@@ -1,0 +1,91 @@
+"""Ablation — every-cycle vs on-activity DS sampling.
+
+Paper III-B.1 argues for recording port data *every cycle* rather than
+only when ports are active: otherwise two cores reading/writing the
+same values with different timing (i.e. with staggering, hence with
+diversity) would produce identical signatures.  This bench measures the
+false-positive inflation of activity-only sampling.
+"""
+
+import pytest
+
+from repro.core.signatures import SignatureConfig
+from repro.soc.config import SocConfig
+from repro.soc.experiment import run_redundant
+from repro.workloads import program
+
+from conftest import save_and_print
+
+WORKLOADS = ("cubic", "fft", "bitcount")
+
+
+def run_mode(name: str, every_cycle: bool, stagger: int = 0):
+    cfg = SocConfig(signature=SignatureConfig(
+        sample_every_cycle=every_cycle))
+    return run_redundant(program(name), benchmark=name, config=cfg,
+                         stagger_nops=stagger)
+
+
+def sweep():
+    out = {}
+    for name in WORKLOADS:
+        out[name] = (run_mode(name, True), run_mode(name, False))
+    return out
+
+
+def staggering_blindness():
+    """The paper's exact scenario, in isolation: both cores move the
+    same values through the ports, one core a cycle later (staggered,
+    hence diverse).  Every-cycle sampling sees the staggering;
+    activity-only sampling does not."""
+    from repro.core.signatures import DataSignatureUnit
+    outcomes = {}
+    for every_cycle in (True, False):
+        config = SignatureConfig(num_ports=4, ds_depth=7,
+                                 sample_every_cycle=every_cycle)
+        a = DataSignatureUnit(config)
+        b = DataSignatureUnit(config)
+        idle = [(0, 0)] * 4
+        blind_cycles = 0
+        for step in range(64):
+            value = [(1, 0x1000 + step), (0, 0), (0, 0), (0, 0)]
+            # a is one cycle ahead of b with the identical value stream
+            a.sample(value if step % 2 == 0 else idle)
+            b.sample(idle if step % 2 == 0 else
+                     [(1, 0x1000 + step - 1), (0, 0), (0, 0), (0, 0)])
+            if a.equal(b):
+                blind_cycles += 1
+        outcomes[every_cycle] = blind_cycles
+    return outcomes
+
+
+def test_sampling_ablation(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    blindness = staggering_blindness()
+
+    lines = ["DS sampling ablation (no-data-div cycles)", "",
+             "  %-12s %14s %18s" % ("benchmark", "every cycle",
+                                    "activity only")]
+    for name, (every, activity) in results.items():
+        lines.append("  %-12s %14d %18d"
+                     % (name, every.no_data_diversity_cycles,
+                        activity.no_data_diversity_cycles))
+    lines.append("")
+    lines.append("staggered-identical-stream microbenchmark "
+                 "(cycles reported as matching):")
+    lines.append("  every-cycle sampling : %d" % blindness[True])
+    lines.append("  activity-only        : %d" % blindness[False])
+    lines.append("")
+    lines.append("note: on full kernels the two modes trade off in both")
+    lines.append("directions (activity-only also *retains* stale")
+    lines.append("address samples longer); the paper's argument is the")
+    lines.append("staggering blindness isolated above.")
+    save_and_print("ablation_sampling.txt", "\n".join(lines))
+
+    # The paper's claim: staggered identical streams are invisible to
+    # activity-only sampling but visible to every-cycle sampling.
+    assert blindness[True] == 0
+    assert blindness[False] >= 32  # blind on every synchronised step
+    # And the mode choice measurably changes full-kernel results.
+    assert any(e.no_data_diversity_cycles != a.no_data_diversity_cycles
+               for e, a in results.values())

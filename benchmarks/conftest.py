@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper table/figure has one ``bench_*.py`` here.  Each bench both
+*regenerates the paper's rows* (printed and saved under
+``benchmarks/out/``) and times a representative unit of work through
+pytest-benchmark.
+
+Set ``SAFEDM_FULL_TABLE1=1`` to sweep all 29 benchmarks in
+``bench_table1``; the default sweeps a category-representative subset
+to keep a full bench run in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Category-representative subset used by default for Table I.
+TABLE1_SUBSET = (
+    "binarysearch",   # search
+    "bitcount",       # bitops
+    "bsort",          # sort
+    "cubic",          # ALU-dense math (the paper's no-div champion)
+    "fft",            # dsp
+    "matrix1",        # linear algebra
+    "md5",            # crypto
+    "pm",             # the timing-anomaly benchmark
+    "recursion",      # stack-heavy
+)
+
+
+def full_table1() -> bool:
+    return os.environ.get("SAFEDM_FULL_TABLE1", "") == "1"
+
+
+def save_and_print(name: str, text: str):
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text)
+    print()
+    print("=" * 72)
+    print(text)
+    print("(saved to %s)" % path)

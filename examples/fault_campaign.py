@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Common-cause fault campaign: why diversity evidence matters.
+
+Injects state-modulated common-cause faults (both cores hit by the same
+physical disturbance) across a redundant run, under two deployments:
+
+* private address spaces (the sound software-redundancy setup), and
+* a shared address space (a misconfigured redundancy whose replicas
+  are genuinely identical — the CCF-vulnerable case SafeDM exists to
+  flag).
+
+Every *silent* escape (matching-but-wrong outputs from identical
+corruption) is cross-referenced with SafeDM's verdict at the injection
+instant: the paper's no-false-negative property requires each one to
+fall in a cycle SafeDM had already flagged as lacking diversity.
+"""
+
+from repro.fault import (
+    run_ccf_campaign,
+    shared_address_config,
+    spread_cycles,
+)
+from repro.workloads import program
+
+
+def report(label, result):
+    print("%s:" % label)
+    print("  %s" % result.summary())
+    for injection in result.injections:
+        if injection.classification != "silent_ccf":
+            continue
+        print("  silent escape at cycle %d: identical_effects=%s "
+              "SafeDM diversity verdict=%s"
+              % (injection.fault_cycle, injection.effects_identical,
+                 injection.diversity_at_injection))
+    print()
+
+
+def main():
+    prog = program("countnegative")
+    cycles = spread_cycles(13000, 12)
+    stimuli = [0x5EED, 0xBEEF, 0x70AD]
+
+    private = run_ccf_campaign(prog, cycles, stimuli=stimuli)
+    report("private address spaces (sound redundancy)", private)
+
+    shared = run_ccf_campaign(prog, cycles, stimuli=stimuli,
+                              config=shared_address_config())
+    report("shared address space (CCF-vulnerable)", shared)
+
+    print("no-false-negative property "
+          "(silent escapes in SafeDM-diverse cycles):")
+    print("  private: %d   shared: %d   (must both be 0)"
+          % (private.silent_despite_diversity,
+             shared.silent_despite_diversity))
+    assert private.silent_despite_diversity == 0
+    assert shared.silent_despite_diversity == 0
+
+
+if __name__ == "__main__":
+    main()

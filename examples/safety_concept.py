@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The ASIL-D safety concept of paper Section III-A, end to end.
+
+A critical task (think: braking) runs every 50 ms, redundantly on two
+non-lockstepped cores, with SafeDM in interrupt-on-threshold mode.
+When SafeDM flags too much lack of diversity, the RTOS *drops the job*
+— the same action as on a detected error — and the FTTI tracker checks
+that the drops never exhaust the 200 ms fault-tolerant time interval.
+
+Two tasks are shown: one on a memory-rich kernel (naturally diverse,
+no drops) and one on the ALU-dense ``cubic`` kernel with a threshold
+low enough to trip (every job drops — an FTTI hazard the safety
+engineer must resolve by raising the threshold or adding staggering).
+"""
+
+from repro.rtos import PeriodicTask, RedundantJobRunner
+from repro.workloads import program
+
+
+def run_task(name, kernel, threshold, jobs, ftti_ms=200.0):
+    task = PeriodicTask(name=name, program=program(kernel),
+                        period_ms=50.0, ftti_ms=ftti_ms,
+                        diversity_threshold=threshold)
+    runner = RedundantJobRunner(task)
+    runner.run(jobs)
+    print("task %r on kernel %r (threshold %d no-div cycles):"
+          % (name, kernel, threshold))
+    for outcome in runner.outcomes:
+        verdict = "DROPPED (diversity interrupt)" if outcome.dropped \
+            else "completed, output=%#x" % outcome.output
+        print("  job %d @ %4.0f ms: %s  [no-div cycles: %d]"
+              % (outcome.index, outcome.index * task.period_ms, verdict,
+                 outcome.no_diversity_cycles))
+    print("  FTTI verdict: %s -> %s"
+          % (runner.tracker.summary(),
+             "SAFE" if runner.tracker.safe else "HAZARD"))
+    print()
+    return runner
+
+
+def main():
+    # A memory-rich kernel is naturally diverse: jobs complete.
+    braking = run_task("braking", "countnegative", threshold=500,
+                       jobs=5)
+    assert braking.tracker.safe
+
+    # The ALU-dense kernel trips a tight threshold on every job: with a
+    # 200 ms FTTI (budget: 3 consecutive drops) five straight drops are
+    # a hazard the safety analysis must catch.
+    steering = run_task("steering", "cubic", threshold=100, jobs=5)
+    assert not steering.tracker.safe
+
+    # The fix the paper suggests: treat the lack of diversity like an
+    # error *rate* problem — here, accept the benchmark's benign no-div
+    # level by setting the threshold above its natural ceiling.
+    tuned = run_task("steering (tuned threshold)", "cubic",
+                     threshold=50_000, jobs=5)
+    assert tuned.tracker.safe
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Full Table I sweep: all 29 TACLe kernels x 4 staggering setups.
+
+Reproduces the paper's main table with the full repetition protocol
+(arbiter variants for 0 nops; both late-core choices for staggered
+runs; max over runs per cell).  Takes a few minutes in full mode.
+
+Usage:
+    python examples/table1_sweep.py                # all 29 kernels
+    python examples/table1_sweep.py cubic pm md5   # selected kernels
+    python examples/table1_sweep.py --csv out.csv  # also write CSV
+"""
+
+import argparse
+import sys
+import time
+
+from repro.analysis.stats import monotonic_decay, summarize_sweep
+from repro.analysis.tables import format_table1, format_table1_csv
+from repro.soc.experiment import PAPER_STAGGER_VALUES, run_row
+from repro.workloads import all_names, program
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("kernels", nargs="*", default=None,
+                        help="kernel names (default: all 29)")
+    parser.add_argument("--csv", default=None,
+                        help="also write the table as CSV")
+    args = parser.parse_args()
+
+    names = args.kernels or all_names()
+    unknown = set(names) - set(all_names())
+    if unknown:
+        parser.error("unknown kernels: %s" % ", ".join(sorted(unknown)))
+
+    rows = {}
+    start = time.time()
+    for index, name in enumerate(names, start=1):
+        row_start = time.time()
+        rows[name] = run_row(program(name), name,
+                             stagger_values=PAPER_STAGGER_VALUES)
+        print("[%2d/%d] %-16s done in %5.1fs"
+              % (index, len(names), name, time.time() - row_start),
+              file=sys.stderr)
+
+    print()
+    print(format_table1(rows, PAPER_STAGGER_VALUES))
+    print()
+    for nops in PAPER_STAGGER_VALUES:
+        summary = summarize_sweep(rows, nops)
+        print("%6d nops: max zero-stag %7d  max no-div %7d  "
+              "benchmarks with no-div: %2d/%d"
+              % (nops, summary.max_zero_staggering,
+                 summary.max_no_diversity,
+                 summary.benchmarks_with_no_div, summary.benchmarks))
+    exceptions = [n for n, ok in
+                  monotonic_decay(rows, PAPER_STAGGER_VALUES).items()
+                  if not ok]
+    print()
+    print("decay exceptions (pm-style timing anomalies): %s"
+          % (", ".join(exceptions) if exceptions else "none"))
+    print("total wall time: %.1fs" % (time.time() - start))
+
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(format_table1_csv(rows, PAPER_STAGGER_VALUES))
+        print("CSV written to %s" % args.csv)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""SafeDM reproduction: a hardware diversity monitor for redundant
+execution on non-lockstepped cores (Bas et al., DATE 2022).
+
+Top-level convenience surface:
+
+* :class:`repro.soc.MPSoC` — the NOEL-V-like platform with SafeDM
+* :class:`repro.core.DiversityMonitor` — SafeDM itself
+* :func:`repro.soc.run_redundant` / :func:`repro.soc.run_row` — the
+  paper's Table I experiment protocol
+* :mod:`repro.workloads` — the 29 TACLe-suite kernels
+* :mod:`repro.fault` — common-cause fault campaigns
+* :mod:`repro.rtos` — the FTTI safety-concept layer
+"""
+
+from .core.monitor import DiversityMonitor, ReportingMode
+from .core.signatures import IsVariant, SignatureConfig
+from .soc.config import SocConfig
+from .soc.experiment import run_cell, run_redundant, run_row
+from .soc.mpsoc import MPSoC
+from .workloads.registry import all_names
+from .workloads.registry import program as workload_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiversityMonitor",
+    "IsVariant",
+    "MPSoC",
+    "ReportingMode",
+    "SignatureConfig",
+    "SocConfig",
+    "all_names",
+    "run_cell",
+    "run_redundant",
+    "run_row",
+    "workload_program",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Result analysis: table formatters and sweep statistics."""
+
+from .stats import (
+    SweepSummary,
+    monotonic_decay,
+    run_statistics,
+    summarize_sweep,
+)
+from .tables import (
+    TABLE2_CLASSES,
+    format_table1,
+    format_table1_csv,
+    format_table2,
+)
+
+__all__ = [
+    "SweepSummary",
+    "TABLE2_CLASSES",
+    "format_table1",
+    "format_table1_csv",
+    "format_table2",
+    "monotonic_decay",
+    "run_statistics",
+    "summarize_sweep",
+]

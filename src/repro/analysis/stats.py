@@ -1,0 +1,95 @@
+"""Run-level statistics over experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..soc.experiment import CellResult, RunResult
+
+
+@dataclass
+class SweepSummary:
+    """Aggregates of one staggering setup across benchmarks."""
+
+    stagger_nops: int
+    benchmarks: int
+    total_zero_staggering: int
+    total_no_diversity: int
+    max_zero_staggering: int
+    max_no_diversity: int
+    benchmarks_with_zero_stag: int
+    benchmarks_with_no_div: int
+
+    @property
+    def mean_zero_staggering(self) -> float:
+        return self.total_zero_staggering / self.benchmarks \
+            if self.benchmarks else 0.0
+
+    @property
+    def mean_no_diversity(self) -> float:
+        return self.total_no_diversity / self.benchmarks \
+            if self.benchmarks else 0.0
+
+
+def summarize_sweep(rows: Dict[str, List[CellResult]],
+                    stagger_nops: int) -> SweepSummary:
+    """Aggregate one Table I column across all benchmarks."""
+    cells = []
+    for cell_list in rows.values():
+        for cell in cell_list:
+            if cell.stagger_nops == stagger_nops:
+                cells.append(cell)
+    zero = [c.zero_staggering_cycles for c in cells]
+    nodiv = [c.no_diversity_cycles for c in cells]
+    return SweepSummary(
+        stagger_nops=stagger_nops,
+        benchmarks=len(cells),
+        total_zero_staggering=sum(zero),
+        total_no_diversity=sum(nodiv),
+        max_zero_staggering=max(zero) if zero else 0,
+        max_no_diversity=max(nodiv) if nodiv else 0,
+        benchmarks_with_zero_stag=sum(1 for z in zero if z > 0),
+        benchmarks_with_no_div=sum(1 for n in nodiv if n > 0),
+    )
+
+
+def monotonic_decay(rows: Dict[str, List[CellResult]],
+                    stagger_values: Sequence[int] = (0, 100, 1000, 10000)
+                    ) -> Dict[str, bool]:
+    """Per-benchmark check of the paper's headline trend.
+
+    "generally, when increasing initial staggering, the cycles with
+    zero staggering and no diversity quickly decrease and tend to
+    vanish" — with occasional exceptions (the pm timing anomaly).
+    Returns benchmark -> True when the 10000-nop column is no larger
+    than the 0-nop column for both counters.
+    """
+    verdicts = {}
+    for benchmark, cells in rows.items():
+        by_nops = {c.stagger_nops: c for c in cells}
+        first = by_nops.get(stagger_values[0])
+        last = by_nops.get(stagger_values[-1])
+        if first is None or last is None:
+            continue
+        verdicts[benchmark] = (
+            last.zero_staggering_cycles <= first.zero_staggering_cycles
+            and last.no_diversity_cycles <= first.no_diversity_cycles)
+    return verdicts
+
+
+def run_statistics(runs: List[RunResult]) -> Dict[str, float]:
+    """Basic aggregates over a list of runs."""
+    if not runs:
+        return {}
+    return {
+        "runs": len(runs),
+        "mean_cycles": sum(r.cycles for r in runs) / len(runs),
+        "mean_committed": sum(r.committed for r in runs) / len(runs),
+        "mean_ipc": sum(r.ipc for r in runs) / len(runs),
+        "mean_zero_staggering": sum(r.zero_staggering_cycles
+                                    for r in runs) / len(runs),
+        "mean_no_diversity": sum(r.no_diversity_cycles
+                                 for r in runs) / len(runs),
+        "all_finished": float(all(r.finished for r in runs)),
+    }

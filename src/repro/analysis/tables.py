@@ -1,0 +1,98 @@
+"""Formatters for the paper's tables.
+
+Table I: per-benchmark "Zero stag" / "No div" cycle counts under each
+initial-staggering setup.  Table II: the taxonomy of non-lockstepped
+redundancy techniques.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..soc.experiment import CellResult
+
+#: Taxonomy underlying Table II (class -> representative techniques).
+TABLE2_CLASSES = {
+    "Diversity unaware": [
+        "redundant multithreading [23], [26]",
+        "cross-core redundancy [10], [17], [19]",
+        "partial redundancy [9], [18]",
+        "software-only replication [11], [20], [24], [27]-[30]",
+    ],
+    "Diversity enforced (intrusive)": [
+        "software staggering [3] (repro.baselines.sw_stagger)",
+        "SafeDE hardware staggering [4] (repro.baselines.safede)",
+    ],
+    "Diversity monitored (non-intrusive)": [
+        "SafeDM — this work (repro.core.monitor)",
+    ],
+}
+
+
+def format_table1(rows: Dict[str, List[CellResult]],
+                  stagger_values: Sequence[int] = (0, 100, 1000, 10000)
+                  ) -> str:
+    """Render Table I from per-benchmark cell results.
+
+    ``rows`` maps benchmark name to its list of :class:`CellResult`
+    (one per staggering value, in order).
+    """
+    header_top = ["Staggering".ljust(15)]
+    header_bot = ["Benchmark".ljust(15)]
+    for nops in stagger_values:
+        header_top.append(("%d nops" % nops).center(17))
+        header_bot.append("Zero stag".rjust(9) + "No div".rjust(8))
+    lines = [" | ".join(header_top), " | ".join(header_bot),
+             "-" * (15 + len(stagger_values) * 20)]
+    for benchmark, cells in rows.items():
+        parts = [benchmark.ljust(15)]
+        by_nops = {c.stagger_nops: c for c in cells}
+        for nops in stagger_values:
+            cell = by_nops.get(nops)
+            if cell is None:
+                parts.append("?".rjust(9) + "?".rjust(8))
+            else:
+                parts.append(str(cell.zero_staggering_cycles).rjust(9)
+                             + str(cell.no_diversity_cycles).rjust(8))
+        lines.append(" | ".join(parts))
+    return "\n".join(lines)
+
+
+def format_table1_csv(rows: Dict[str, List[CellResult]],
+                      stagger_values: Sequence[int] = (0, 100, 1000,
+                                                       10000)) -> str:
+    """CSV rendering of Table I (for EXPERIMENTS.md and plotting)."""
+    header = ["benchmark"]
+    for nops in stagger_values:
+        header.append("zero_stag_%d" % nops)
+        header.append("no_div_%d" % nops)
+    lines = [",".join(header)]
+    for benchmark, cells in rows.items():
+        by_nops = {c.stagger_nops: c for c in cells}
+        parts = [benchmark]
+        for nops in stagger_values:
+            cell = by_nops.get(nops)
+            parts.append(str(cell.zero_staggering_cycles if cell else ""))
+            parts.append(str(cell.no_diversity_cycles if cell else ""))
+        lines.append(",".join(parts))
+    return "\n".join(lines)
+
+
+def format_table2(results: Dict[str, Dict[str, object]] = None) -> str:
+    """Render Table II, optionally annotated with measured behaviour.
+
+    ``results`` maps class name to a dict of measured annotations (e.g.
+    intrusiveness, residual no-diversity cycles) produced by the
+    Table II benchmark.
+    """
+    lines = ["Classification of non-lockstepped redundant execution "
+             "techniques for CPUs (Table II):", ""]
+    for klass, techniques in TABLE2_CLASSES.items():
+        lines.append(klass)
+        for tech in techniques:
+            lines.append("  - %s" % tech)
+        if results and klass in results:
+            for key, value in results[klass].items():
+                lines.append("    measured %s: %s" % (key, value))
+        lines.append("")
+    return "\n".join(lines)

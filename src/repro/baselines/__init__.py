@@ -1,0 +1,23 @@
+"""Baseline redundancy techniques (paper Table II columns)."""
+
+from .lockstep import LockstepComparator, LockstepStats
+from .safede import SafeDeEnforcer, SafeDeStats, run_with_enforcement
+from .sw_stagger import (
+    SoftwareStaggerer,
+    SwStaggerStats,
+    run_with_sw_staggering,
+)
+from .unaware import RedundancyOutcome, compare_outputs
+
+__all__ = [
+    "LockstepComparator",
+    "LockstepStats",
+    "RedundancyOutcome",
+    "SafeDeEnforcer",
+    "SafeDeStats",
+    "SoftwareStaggerer",
+    "SwStaggerStats",
+    "compare_outputs",
+    "run_with_enforcement",
+    "run_with_sw_staggering",
+]

@@ -1,0 +1,80 @@
+"""Dual-Core LockStep (DCLS) reference model (paper Fig. 1).
+
+The classical ASIL-D solution SafeDM replaces: a visible head core plus
+a hidden shadow core executing the same inputs a fixed number of cycles
+later, with output comparison.  The shadow core is not usable for
+independent work — the cost SafeDM's non-lockstepped scheme avoids.
+
+This model rides on top of two :class:`repro.cpu.core.Core` instances:
+the shadow core starts ``stagger`` cycles after the head core, and the
+comparator checks the *delayed* head-commit stream against the shadow
+commit stream, flagging any mismatch as a detected error.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Tuple
+
+
+@dataclass
+class LockstepStats:
+    compared: int = 0
+    mismatches: int = 0
+    first_mismatch_cycle: int = -1
+
+
+class LockstepComparator:
+    """Delayed commit-stream comparator of a DCLS pair.
+
+    Feed per-cycle commit words of head and shadow cores; the head
+    stream is delayed by the configured staggering before comparison.
+    By construction (fixed staggering), the two cores never hold the
+    same state simultaneously — diversity is guaranteed, which is why
+    DCLS needs no diversity monitor.
+    """
+
+    def __init__(self, stagger: int = 2):
+        if stagger < 1:
+            raise ValueError("DCLS staggering must be >= 1 cycle")
+        self.stagger = stagger
+        self.stats = LockstepStats()
+        self._head_delay: Deque[Tuple[int, ...]] = deque(
+            [()] * stagger, maxlen=stagger)
+        self._head_stream: List[int] = []
+        self._shadow_stream: List[int] = []
+
+    def sample(self, cycle: int, head_commits: Tuple[int, ...],
+               shadow_commits: Tuple[int, ...]):
+        """Clock one cycle of commit activity from both cores."""
+        delayed = self._head_delay[0]
+        self._head_delay.append(tuple(head_commits))
+        self._head_stream.extend(delayed)
+        self._shadow_stream.extend(shadow_commits)
+        # Compare as far as both streams go.
+        matched = min(len(self._head_stream), len(self._shadow_stream))
+        for i in range(matched):
+            self.stats.compared += 1
+            if self._head_stream[i] != self._shadow_stream[i]:
+                self.stats.mismatches += 1
+                if self.stats.first_mismatch_cycle < 0:
+                    self.stats.first_mismatch_cycle = cycle
+        del self._head_stream[:matched]
+        del self._shadow_stream[:matched]
+
+    @property
+    def error_detected(self) -> bool:
+        return self.stats.mismatches > 0
+
+    def describe(self) -> str:
+        """Fig. 1-style schematic."""
+        return "\n".join([
+            "Lockstepped core (per Fig. 1):",
+            "  inputs --+--------------> [ head core ] ----> outputs",
+            "           |                                       |",
+            "           +--[delay %d]--> [ shadow core ] --> [compare]"
+            % self.stagger,
+            "  shadow core is invisible at user level; a mismatch on",
+            "  the compare raises the error signal",
+        ])

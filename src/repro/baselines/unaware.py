@@ -1,0 +1,49 @@
+"""Diversity-unaware plain redundancy (paper Table II, first column).
+
+Plain redundant execution with output comparison and *no* diversity
+mechanism at all — the class of techniques ([9]-[11], [17], [19], [20],
+[23], [24], [26]-[30]) that detects independent faults but cannot
+mitigate Common Cause Failures: when a single fault produces identical
+errors in both cores, the outputs still match and the failure escapes.
+
+Used by the fault-injection campaign (`repro.fault`) to quantify the
+CCF escapes SafeDM would have flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RedundancyOutcome:
+    """Verdict of one diversity-unaware redundant run."""
+
+    output0: int
+    output1: int
+    golden: int
+
+    @property
+    def outputs_match(self) -> bool:
+        return self.output0 == self.output1
+
+    @property
+    def correct(self) -> bool:
+        return self.output0 == self.golden and self.output1 == self.golden
+
+    @property
+    def detected(self) -> bool:
+        """Plain redundancy detects a fault only via output mismatch."""
+        return not self.outputs_match
+
+    @property
+    def silent_failure(self) -> bool:
+        """Identical but wrong outputs — the CCF escape."""
+        return self.outputs_match and not self.correct
+
+
+def compare_outputs(output0: int, output1: int,
+                    golden: int) -> RedundancyOutcome:
+    """Classify a redundant run's outputs against the golden result."""
+    return RedundancyOutcome(output0=output0, output1=output1,
+                             golden=golden)

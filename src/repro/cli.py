@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run <kernel> [--stagger N] [--late-core {0,1}]`` — one redundant
+  run with SafeDM counters.
+* ``row <kernel>`` — one full Table I row (all staggering setups).
+* ``table1 [kernels...]`` — the Table I sweep (all 29 by default).
+* ``list`` — available kernels with category and description.
+* ``figures`` — regenerate Figs. 1-4 as structural descriptions.
+* ``overheads`` — the Section V-D area/power numbers.
+* ``vcd <kernel> <out.vcd>`` — dump monitor waveforms for a run.
+* ``disasm <kernel>`` — disassemble a kernel image.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(args) -> int:
+    from .workloads import all_names, workload
+    print("%-16s %-16s %s" % ("kernel", "category", "description"))
+    print("-" * 76)
+    for name in all_names():
+        spec = workload(name)
+        print("%-16s %-16s %s" % (spec.name, spec.category,
+                                  spec.description))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .soc.experiment import run_redundant
+    from .workloads import program
+    result = run_redundant(program(args.kernel), benchmark=args.kernel,
+                           stagger_nops=args.stagger,
+                           late_core=args.late_core)
+    print(result.summary())
+    print("finished=%s committed=%d ipc=%.2f interrupts=%d"
+          % (result.finished, result.committed, result.ipc,
+             result.interrupts))
+    print("no-data-div=%d no-instr-div=%d"
+          % (result.no_data_diversity_cycles,
+             result.no_instruction_diversity_cycles))
+    return 0 if result.finished else 1
+
+
+def _cmd_row(args) -> int:
+    from .analysis.tables import format_table1
+    from .soc.experiment import PAPER_STAGGER_VALUES, run_row
+    from .workloads import program
+    cells = run_row(program(args.kernel), args.kernel,
+                    stagger_values=PAPER_STAGGER_VALUES)
+    print(format_table1({args.kernel: cells}, PAPER_STAGGER_VALUES))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .analysis.tables import format_table1, format_table1_csv
+    from .soc.experiment import PAPER_STAGGER_VALUES, run_row
+    from .workloads import all_names, program
+    names = args.kernels or all_names()
+    rows = {}
+    for index, name in enumerate(names, start=1):
+        print("[%2d/%d] %s" % (index, len(names), name),
+              file=sys.stderr)
+        rows[name] = run_row(program(name), name,
+                             stagger_values=PAPER_STAGGER_VALUES)
+    print(format_table1(rows, PAPER_STAGGER_VALUES))
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(format_table1_csv(rows, PAPER_STAGGER_VALUES))
+        print("CSV written to %s" % args.csv, file=sys.stderr)
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from .baselines.lockstep import LockstepComparator
+    from .core.history import HistoryModule
+    from .core.monitor import DiversityMonitor
+    from .core.signatures import (
+        DataSignatureUnit,
+        InstructionSignatureUnit,
+        SignatureConfig,
+    )
+    from .soc.mpsoc import MPSoC
+    config = SignatureConfig()
+    print("Fig. 1:\n%s\n" % LockstepComparator().describe())
+    print("Fig. 2a: %s" % DataSignatureUnit(config).layout())
+    print("Fig. 2b: %s\n" % InstructionSignatureUnit(config).layout())
+    print("Fig. 3:\n%s\n" % MPSoC().describe())
+    print("Fig. 4:\n%s" % DiversityMonitor(
+        history=HistoryModule()).block_diagram())
+    return 0
+
+
+def _cmd_overheads(args) -> int:
+    from .core.overheads import (
+        BASELINE_MPSOC_LUTS,
+        BASELINE_MPSOC_WATTS,
+        estimate,
+    )
+    report = estimate()
+    print("SafeDM: %d LUTs (%.1f%% of the %d-LUT MPSoC), %.3f W "
+          "(%.2f%% of %.1f W)"
+          % (report.luts, report.area_percent, BASELINE_MPSOC_LUTS,
+             report.watts, report.power_percent, BASELINE_MPSOC_WATTS))
+    return 0
+
+
+def _cmd_vcd(args) -> int:
+    from .soc.mpsoc import MPSoC
+    from .trace.vcd import monitor_vcd
+    from .workloads import program
+    soc = MPSoC()
+    soc.start_redundant(program(args.kernel),
+                        stagger_nops=args.stagger)
+    vcd = monitor_vcd(soc, max_cycles=args.max_cycles)
+    vcd.save(args.output)
+    print("wrote %s (%d cycles simulated)" % (args.output, soc.cycle))
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from .isa.disassembler import disassemble_program, format_listing
+    from .workloads import program
+    prog = program(args.kernel)
+    print(format_listing(disassemble_program(prog),
+                         symbols=prog.symbols))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SafeDM reproduction (DATE 2022) command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available kernels") \
+        .set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="one redundant run")
+    p_run.add_argument("kernel")
+    p_run.add_argument("--stagger", type=int, default=0)
+    p_run.add_argument("--late-core", type=int, choices=(0, 1),
+                       default=1)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_row = sub.add_parser("row", help="one Table I row")
+    p_row.add_argument("kernel")
+    p_row.set_defaults(func=_cmd_row)
+
+    p_t1 = sub.add_parser("table1", help="Table I sweep")
+    p_t1.add_argument("kernels", nargs="*")
+    p_t1.add_argument("--csv", default=None)
+    p_t1.set_defaults(func=_cmd_table1)
+
+    sub.add_parser("figures", help="regenerate Figs. 1-4") \
+        .set_defaults(func=_cmd_figures)
+    sub.add_parser("overheads", help="Section V-D numbers") \
+        .set_defaults(func=_cmd_overheads)
+
+    p_vcd = sub.add_parser("vcd", help="dump monitor waveforms")
+    p_vcd.add_argument("kernel")
+    p_vcd.add_argument("output")
+    p_vcd.add_argument("--stagger", type=int, default=0)
+    p_vcd.add_argument("--max-cycles", type=int, default=200_000)
+    p_vcd.set_defaults(func=_cmd_vcd)
+
+    p_dis = sub.add_parser("disasm", help="disassemble a kernel")
+    p_dis.add_argument("kernel")
+    p_dis.set_defaults(func=_cmd_disasm)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""SafeDM APB slave register file (paper Section IV-B.2).
+
+The monitor is programmed and read out through 32-bit APB registers.
+"The rest of the implementation is agnostic of the bus", so this module
+is the only place that knows about APB; it wraps a
+:class:`~repro.core.monitor.DiversityMonitor`.
+
+Register map (byte offsets from the slave base):
+
+======  ==========  =====================================================
+offset  name        contents
+======  ==========  =====================================================
+0x00    CTRL        bit0 enable; bits[2:1] reporting mode
+                    (0 polling, 1 interrupt-first, 2 threshold)
+0x04    STATUS      bit0 irq pending; bit1 lack of diversity (last
+                    cycle); bit2 zero staggering (last cycle); bit3
+                    IS variant (0 per-stage, 1 in-flight, read-only)
+0x08    THRESHOLD   no-diversity cycle count that triggers the
+                    threshold-mode interrupt
+0x0C    NODIV       cycles with no diversity (DS and IS both equal)
+0x10    DATA_NODIV  cycles with equal data signatures
+0x14    INSTR_NODIV cycles with equal instruction signatures
+0x18    STAG_DIFF   current commit difference (two's complement)
+0x1C    ZERO_STAG   cycles with zero staggering
+0x20    CYCLES_LO   sampled cycles, low word
+0x24    CYCLES_HI   sampled cycles, high word
+0x28    IRQ_ACK     write 1 to acknowledge the interrupt
+0x2C    HIST_SEL    bits[7:0] bin index; bits[9:8] condition
+                    (0 no-data-div, 1 no-instr-div, 2 no-div,
+                    3 zero-staggering)
+0x30    HIST_DATA   episode count of the selected histogram bin
+0x34    HIST_CFG    bits[15:0] bin size; bits[31:16] number of bins
+0x38    RESET       write 1 to reset all counters and histograms
+======  ==========  =====================================================
+"""
+
+from __future__ import annotations
+
+from ..mem.apb import ApbError, ApbSlave
+from .history import HistoryModule
+from .monitor import DiversityMonitor, ReportingMode
+from .signatures import IsVariant
+
+CTRL = 0x00
+STATUS = 0x04
+THRESHOLD = 0x08
+NODIV = 0x0C
+DATA_NODIV = 0x10
+INSTR_NODIV = 0x14
+STAG_DIFF = 0x18
+ZERO_STAG = 0x1C
+CYCLES_LO = 0x20
+CYCLES_HI = 0x24
+IRQ_ACK = 0x28
+HIST_SEL = 0x2C
+HIST_DATA = 0x30
+HIST_CFG = 0x34
+RESET = 0x38
+
+_MODE_ENCODING = {
+    ReportingMode.POLLING: 0,
+    ReportingMode.INTERRUPT_FIRST: 1,
+    ReportingMode.INTERRUPT_THRESHOLD: 2,
+}
+_MODE_DECODING = {v: k for k, v in _MODE_ENCODING.items()}
+
+_HIST_CONDITIONS = ("no_data_diversity", "no_instruction_diversity",
+                    "no_diversity", "zero_staggering")
+
+
+class SafeDmApbSlave(ApbSlave):
+    """APB view onto a :class:`DiversityMonitor`."""
+
+    window = 0x40
+
+    def __init__(self, monitor: DiversityMonitor):
+        self.monitor = monitor
+        self._hist_select = 0
+
+    # -- reads -------------------------------------------------------------
+
+    def read_register(self, offset: int) -> int:
+        monitor = self.monitor
+        stats = monitor.stats
+        if offset == CTRL:
+            value = 1 if monitor.enabled else 0
+            value |= _MODE_ENCODING[monitor.mode] << 1
+            return value
+        if offset == STATUS:
+            report = monitor.last_report
+            value = 1 if monitor.irq.pending else 0
+            if report is not None and not report.diversity:
+                value |= 1 << 1
+            if report is not None and report.zero_staggering:
+                value |= 1 << 2
+            if monitor.config.is_variant is IsVariant.INFLIGHT:
+                value |= 1 << 3
+            return value
+        if offset == THRESHOLD:
+            return monitor.threshold
+        if offset == NODIV:
+            return stats.no_diversity_cycles & 0xFFFFFFFF
+        if offset == DATA_NODIV:
+            return stats.no_data_diversity_cycles & 0xFFFFFFFF
+        if offset == INSTR_NODIV:
+            return stats.no_instruction_diversity_cycles & 0xFFFFFFFF
+        if offset == STAG_DIFF:
+            return monitor.instruction_diff.diff & 0xFFFFFFFF
+        if offset == ZERO_STAG:
+            zs = monitor.instruction_diff.stats.zero_staggering_cycles
+            return zs & 0xFFFFFFFF
+        if offset == CYCLES_LO:
+            return stats.sampled_cycles & 0xFFFFFFFF
+        if offset == CYCLES_HI:
+            return (stats.sampled_cycles >> 32) & 0xFFFFFFFF
+        if offset == HIST_SEL:
+            return self._hist_select
+        if offset == HIST_DATA:
+            return self._histogram_value()
+        if offset == HIST_CFG:
+            history = monitor.history
+            if history is None:
+                return 0
+            return (history.num_bins << 16) | (history.bin_size & 0xFFFF)
+        raise ApbError("SafeDM: read of unmapped register %#x" % offset)
+
+    def _histogram_value(self) -> int:
+        history = self.monitor.history
+        if history is None:
+            return 0
+        condition = _HIST_CONDITIONS[(self._hist_select >> 8) & 0x3]
+        index = self._hist_select & 0xFF
+        bins = history.histograms[condition].bins
+        if index >= len(bins):
+            return 0
+        return bins[index] & 0xFFFFFFFF
+
+    # -- writes -------------------------------------------------------------
+
+    def write_register(self, offset: int, value: int):
+        monitor = self.monitor
+        if offset == CTRL:
+            monitor.enabled = bool(value & 1)
+            mode_bits = (value >> 1) & 0x3
+            if mode_bits not in _MODE_DECODING:
+                raise ApbError("SafeDM: bad reporting mode %d" % mode_bits)
+            monitor.mode = _MODE_DECODING[mode_bits]
+            return
+        if offset == THRESHOLD:
+            monitor.threshold = value
+            return
+        if offset == IRQ_ACK:
+            if value & 1:
+                monitor.irq.acknowledge()
+            return
+        if offset == HIST_SEL:
+            self._hist_select = value & 0x3FF
+            return
+        if offset == RESET:
+            if value & 1:
+                monitor.reset()
+            return
+        raise ApbError("SafeDM: write of read-only register %#x" % offset)
+
+
+def make_monitored_slave(bin_size: int = 1, num_bins: int = 32,
+                         **monitor_kwargs):
+    """Build a monitor with history plus its APB slave (convenience)."""
+    history = HistoryModule(bin_size=bin_size, num_bins=num_bins)
+    monitor = DiversityMonitor(history=history, **monitor_kwargs)
+    return monitor, SafeDmApbSlave(monitor)

@@ -1,0 +1,66 @@
+"""Hardware-style fixed-depth FIFO with a hold input.
+
+SafeDM's signature generators are built from shift FIFOs: every cycle
+the oldest entry is dropped and the newest sample is appended — unless
+the pipeline hold signal is asserted, in which case the FIFO keeps its
+contents ("the hold signal is used to not overwrite any values in the
+FIFOs if the pipeline is stalled", paper Section IV-B.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+
+class HardwareFifo:
+    """Fixed-depth FIFO whose full contents form part of a signature.
+
+    Entries are arbitrary hashable values (register-port samples or
+    instruction words).  On reset all entries are zeroed, like flop
+    reset in the VHDL implementation.
+    """
+
+    def __init__(self, depth: int, reset_value=0):
+        if depth < 1:
+            raise ValueError("FIFO depth must be >= 1")
+        self.depth = depth
+        self.reset_value = reset_value
+        self._entries: Deque = deque([reset_value] * depth, maxlen=depth)
+        self.pushes = 0
+        self.held_cycles = 0
+
+    def push(self, value, hold: bool = False):
+        """Clock the FIFO: append ``value`` unless ``hold``."""
+        if hold:
+            self.held_cycles += 1
+            return
+        self._entries.append(value)
+        self.pushes += 1
+
+    def contents(self) -> Tuple:
+        """Snapshot of all entries, oldest first."""
+        return tuple(self._entries)
+
+    @property
+    def newest(self):
+        return self._entries[-1]
+
+    @property
+    def oldest(self):
+        return self._entries[0]
+
+    def reset(self):
+        self._entries = deque([self.reset_value] * self.depth,
+                              maxlen=self.depth)
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, HardwareFifo):
+            return self.contents() == other.contents()
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self.contents())

@@ -1,0 +1,103 @@
+"""History module (paper Section IV-B.4).
+
+Collects how often — and in how long episodes — diversity is lost,
+"in a histogram fashion, where the bin sizes can be configured".  One
+histogram instance is kept per monitored condition (no data diversity,
+no instruction diversity, full lack of diversity, zero staggering).
+
+The paper adds this module for results gathering only; it is excluded
+from the deployment area numbers, and :mod:`repro.core.overheads`
+follows that convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class EpisodeHistogram:
+    """Histogram of consecutive-cycle episode lengths."""
+
+    def __init__(self, bin_size: int = 1, num_bins: int = 32):
+        if bin_size < 1:
+            raise ValueError("bin_size must be >= 1")
+        self.bin_size = bin_size
+        self.num_bins = num_bins
+        self.bins: List[int] = [0] * num_bins
+        self.total_cycles = 0
+        self.episodes = 0
+        self.longest = 0
+        self._run = 0
+
+    def sample(self, condition: bool):
+        """Clock one cycle of the monitored condition."""
+        if condition:
+            self._run += 1
+            self.total_cycles += 1
+            if self._run > self.longest:
+                self.longest = self._run
+        elif self._run:
+            self._close_run()
+
+    def _close_run(self):
+        index = min((self._run - 1) // self.bin_size, self.num_bins - 1)
+        self.bins[index] += 1
+        self.episodes += 1
+        self._run = 0
+
+    def finish(self):
+        """Close any open episode (end of run)."""
+        if self._run:
+            self._close_run()
+
+    def bin_ranges(self):
+        """(low, high) cycle range covered by each bin, inclusive."""
+        out = []
+        for index in range(self.num_bins):
+            low = index * self.bin_size + 1
+            high = (index + 1) * self.bin_size
+            out.append((low, high if index < self.num_bins - 1 else None))
+        return out
+
+    def reset(self):
+        self.bins = [0] * self.num_bins
+        self.total_cycles = 0
+        self.episodes = 0
+        self.longest = 0
+        self._run = 0
+
+
+@dataclass
+class HistoryModule:
+    """The per-condition histograms SafeDM's testbench integration keeps."""
+
+    bin_size: int = 1
+    num_bins: int = 32
+    histograms: Dict[str, EpisodeHistogram] = field(default_factory=dict)
+
+    CONDITIONS = ("no_data_diversity", "no_instruction_diversity",
+                  "no_diversity", "zero_staggering")
+
+    def __post_init__(self):
+        for name in self.CONDITIONS:
+            self.histograms[name] = EpisodeHistogram(self.bin_size,
+                                                     self.num_bins)
+
+    def sample(self, *, no_data_diversity: bool,
+               no_instruction_diversity: bool, no_diversity: bool,
+               zero_staggering: bool):
+        """Clock one cycle of monitor outputs."""
+        self.histograms["no_data_diversity"].sample(no_data_diversity)
+        self.histograms["no_instruction_diversity"].sample(
+            no_instruction_diversity)
+        self.histograms["no_diversity"].sample(no_diversity)
+        self.histograms["zero_staggering"].sample(zero_staggering)
+
+    def finish(self):
+        for histogram in self.histograms.values():
+            histogram.finish()
+
+    def reset(self):
+        for histogram in self.histograms.values():
+            histogram.reset()

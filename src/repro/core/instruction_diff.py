@@ -1,0 +1,50 @@
+"""Instruction-diff (staggering) counter (paper Section IV-B.3).
+
+"… increases or decreases the count each time core 0 or 1, respectively,
+commits an instruction."  The running value is therefore the commit-count
+difference between the two monitored cores; zero means the cores have
+made identical progress (zero staggering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class InstructionDiffStats:
+    """Counters accumulated over a monitored run."""
+
+    zero_staggering_cycles: int = 0
+    min_diff: int = 0
+    max_diff: int = 0
+    sampled_cycles: int = 0
+
+
+class InstructionDiff:
+    """Commit-difference counter between two cores."""
+
+    def __init__(self):
+        self.diff = 0
+        self.stats = InstructionDiffStats()
+
+    def sample(self, commits_core0: int, commits_core1: int):
+        """Clock one cycle of commit activity from both cores."""
+        self.diff += commits_core0 - commits_core1
+        stats = self.stats
+        stats.sampled_cycles += 1
+        if self.diff == 0:
+            stats.zero_staggering_cycles += 1
+        if self.diff < stats.min_diff:
+            stats.min_diff = self.diff
+        if self.diff > stats.max_diff:
+            stats.max_diff = self.diff
+
+    @property
+    def zero_staggering(self) -> bool:
+        """True while the commit difference is exactly zero."""
+        return self.diff == 0
+
+    def reset(self):
+        self.diff = 0
+        self.stats = InstructionDiffStats()

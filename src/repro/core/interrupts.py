@@ -1,0 +1,40 @@
+"""Interrupt line abstraction.
+
+SafeDM "only notifies the RTOS about diversity loss through interrupts"
+(paper Section I).  The line carries level-style pending state plus an
+edge counter, and accepts any number of subscribed handlers (the RTOS
+safety layer in :mod:`repro.rtos` subscribes here).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+class InterruptLine:
+    """A single interrupt request line with subscribers."""
+
+    def __init__(self, name: str = "irq"):
+        self.name = name
+        self.pending = False
+        self.raised_count = 0
+        self._handlers: List[Callable[[int], None]] = []
+
+    def subscribe(self, handler: Callable[[int], None]):
+        """Register ``handler(cycle)`` to run on every raise edge."""
+        self._handlers.append(handler)
+
+    def raise_irq(self, cycle: int):
+        """Assert the line (edge counted even if already pending)."""
+        self.pending = True
+        self.raised_count += 1
+        for handler in self._handlers:
+            handler(cycle)
+
+    def acknowledge(self):
+        """Clear pending state (the RTOS write to the ack register)."""
+        self.pending = False
+
+    def reset(self):
+        self.pending = False
+        self.raised_count = 0

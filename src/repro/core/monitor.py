@@ -1,0 +1,255 @@
+"""The Diversity Monitor (paper Sections III-B.3 and IV-B).
+
+Per cycle, SafeDM:
+
+1. clocks each core's Data Signature FIFOs with that core's register-
+   port samples (frozen while that core's pipeline holds),
+2. clocks each core's Instruction Signature with that core's per-stage
+   slots (or the in-flight fallback),
+3. compares the two DSs and the two ISs: *lack of diversity* is reported
+   only when **both** signatures match,
+4. updates the staggering (instruction-diff) counter and the history
+   histograms, and
+5. applies the configured reporting mode:
+
+   * ``INTERRUPT_FIRST`` — raise the interrupt on the first cycle
+     without diversity,
+   * ``INTERRUPT_THRESHOLD`` — raise once the cumulative count of
+     no-diversity cycles reaches a user-programmed threshold,
+   * ``POLLING`` — never interrupt; the OS polls the counters.
+
+SafeDM is purely observational: nothing here stalls or otherwise
+affects the monitored cores.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence, Tuple
+
+from .history import HistoryModule
+from .instruction_diff import InstructionDiff
+from .interrupts import InterruptLine
+from .signatures import (
+    DataSignatureUnit,
+    InstructionSignatureUnit,
+    IsVariant,
+    SignatureConfig,
+)
+
+
+class ReportingMode(enum.Enum):
+    """How lack of diversity is reported (paper Section III-B.3)."""
+
+    INTERRUPT_FIRST = "interrupt_first"
+    INTERRUPT_THRESHOLD = "interrupt_threshold"
+    POLLING = "polling"
+
+
+class CoreView(Protocol):
+    """What SafeDM taps from each monitored core.
+
+    :class:`repro.cpu.core.Core` satisfies this protocol directly.
+    """
+
+    hold: bool
+    commits_this_cycle: int
+
+    def stage_slots(self) -> Sequence[Sequence[Tuple[int, int]]]: ...
+
+    def inflight_words(self) -> Sequence[int]: ...
+
+    @property
+    def regfile(self): ...
+
+
+@dataclass
+class MonitorStats:
+    """Cycle counters accumulated by the monitor."""
+
+    sampled_cycles: int = 0
+    no_data_diversity_cycles: int = 0
+    no_instruction_diversity_cycles: int = 0
+    no_diversity_cycles: int = 0
+    interrupts_raised: int = 0
+
+    @property
+    def diversity_cycles(self) -> int:
+        return self.sampled_cycles - self.no_diversity_cycles
+
+
+@dataclass
+class CycleReport:
+    """Outcome of one monitored cycle."""
+
+    cycle: int
+    data_diversity: bool
+    instruction_diversity: bool
+    staggering: int
+
+    @property
+    def diversity(self) -> bool:
+        """Diversity exists if *either* signature differs."""
+        return self.data_diversity or self.instruction_diversity
+
+    @property
+    def zero_staggering(self) -> bool:
+        return self.staggering == 0
+
+
+class DiversityMonitor:
+    """SafeDM: signature generation + comparison + reporting."""
+
+    def __init__(self, config: Optional[SignatureConfig] = None,
+                 mode: ReportingMode = ReportingMode.POLLING,
+                 threshold: int = 1,
+                 history: Optional[HistoryModule] = None):
+        self.config = config or SignatureConfig()
+        self.mode = mode
+        self.threshold = threshold
+        self.enabled = True
+        self.ds_units = (DataSignatureUnit(self.config),
+                         DataSignatureUnit(self.config))
+        self.is_units = (InstructionSignatureUnit(self.config),
+                         InstructionSignatureUnit(self.config))
+        self.instruction_diff = InstructionDiff()
+        self.history = history
+        self.irq = InterruptLine("safedm")
+        self.stats = MonitorStats()
+        self.last_report: Optional[CycleReport] = None
+
+    # -- low-level clocking (used directly by unit tests) ------------------
+
+    def clock_core(self, index: int,
+                   port_samples: Sequence[Tuple[int, int]],
+                   stage_slots=None, inflight_words=None,
+                   hold: bool = False):
+        """Clock core ``index``'s signature units for one cycle."""
+        self.ds_units[index].sample(port_samples, hold=hold)
+        if self.config.is_variant is IsVariant.PER_STAGE:
+            if stage_slots is None:
+                raise ValueError("PER_STAGE variant needs stage_slots")
+            self.is_units[index].sample_stages(stage_slots, hold=hold)
+        else:
+            if inflight_words is None:
+                raise ValueError("INFLIGHT variant needs inflight_words")
+            self.is_units[index].sample_inflight(inflight_words, hold=hold)
+
+    def compare(self, cycle: int, commits0: int = 0,
+                commits1: int = 0) -> CycleReport:
+        """Compare signatures and update counters for one cycle."""
+        data_div = not self.ds_units[0].equal(self.ds_units[1])
+        instr_div = not self.is_units[0].equal(self.is_units[1])
+        self._tick(cycle, data_div, instr_div, commits0, commits1)
+        return self.last_report
+
+    # -- high-level per-cycle observation ------------------------------------
+
+    def observe(self, cycle: int, core0: CoreView,
+                core1: CoreView) -> None:
+        """Tap both cores for one cycle and evaluate diversity.
+
+        This is the per-cycle fast path; the outcome is available via
+        :attr:`last_report` and the accumulated :attr:`stats`.
+        """
+        if not self.enabled:
+            return
+        ds0, ds1 = self.ds_units
+        is0, is1 = self.is_units
+        hold0, hold1 = core0.hold, core1.hold
+        ds0.sample(core0.regfile.port_samples(), hold=hold0)
+        ds1.sample(core1.regfile.port_samples(), hold=hold1)
+        if self.config.is_variant is IsVariant.PER_STAGE:
+            is0.sample_stage_words(core0.stage_words(), hold=hold0)
+            is1.sample_stage_words(core1.stage_words(), hold=hold1)
+        else:
+            is0.sample_inflight(core0.inflight_words(), hold=hold0)
+            is1.sample_inflight(core1.inflight_words(), hold=hold1)
+        self._tick(cycle, not ds0.equal(ds1), not is0.equal(is1),
+                   core0.commits_this_cycle, core1.commits_this_cycle)
+
+    # -- accounting & reporting ------------------------------------------------
+
+    def _tick(self, cycle: int, data_div: bool, instr_div: bool,
+              commits0: int, commits1: int):
+        """Account one monitored cycle (shared by observe and compare)."""
+        self.instruction_diff.sample(commits0, commits1)
+        stats = self.stats
+        stats.sampled_cycles += 1
+        no_data = not data_div
+        no_instr = not instr_div
+        no_div = no_data and no_instr
+        if no_data:
+            stats.no_data_diversity_cycles += 1
+        if no_instr:
+            stats.no_instruction_diversity_cycles += 1
+        if no_div:
+            stats.no_diversity_cycles += 1
+            self._report_loss(cycle)
+        zero_stag = self.instruction_diff.diff == 0
+        if self.history is not None:
+            self.history.sample(no_data_diversity=no_data,
+                                no_instruction_diversity=no_instr,
+                                no_diversity=no_div,
+                                zero_staggering=zero_stag)
+        self.last_report = CycleReport(cycle=cycle, data_diversity=data_div,
+                                       instruction_diversity=instr_div,
+                                       staggering=self.instruction_diff.diff)
+
+    def _report_loss(self, cycle: int):
+        if self.mode is ReportingMode.POLLING:
+            return
+        if self.mode is ReportingMode.INTERRUPT_FIRST:
+            if not self.irq.pending:
+                self._raise(cycle)
+            return
+        # INTERRUPT_THRESHOLD
+        if (self.stats.no_diversity_cycles >= self.threshold
+                and not self.irq.pending):
+            self._raise(cycle)
+
+    def _raise(self, cycle: int):
+        self.stats.interrupts_raised += 1
+        self.irq.raise_irq(cycle)
+
+    # -- management -------------------------------------------------------------
+
+    def finish(self):
+        """Close open history episodes at end of run."""
+        if self.history is not None:
+            self.history.finish()
+
+    def reset(self):
+        for unit in self.ds_units:
+            unit.reset()
+        for unit in self.is_units:
+            unit.reset()
+        self.instruction_diff.reset()
+        if self.history is not None:
+            self.history.reset()
+        self.irq.reset()
+        self.stats = MonitorStats()
+        self.last_report = None
+
+    def block_diagram(self) -> str:
+        """Fig. 4-style description of the monitor's internal blocks."""
+        cfg = self.config
+        lines = [
+            "SafeDM internal blocks (per Fig. 4):",
+            "  Signature generator:",
+            "    core0/core1 Data Signature: %d port FIFOs x depth %d"
+            % (cfg.num_ports, cfg.ds_depth),
+            "    core0/core1 Instruction Signature: %s" %
+            self.is_units[0].layout(),
+            "  Comparators: DS0==DS1 (%d bits), IS0==IS1 (%d bits)"
+            % (self.ds_units[0].signature_bits(),
+               self.is_units[0].signature_bits()),
+            "  Instruction diff: commit-difference staggering counter",
+            "  History module: %s" %
+            ("attached" if self.history is not None else "not attached"),
+            "  APB logic: register file (see repro.core.apb_regs)",
+            "  Reporting mode: %s (threshold=%d)"
+            % (self.mode.value, self.threshold),
+        ]
+        return "\n".join(lines)

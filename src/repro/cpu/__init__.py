@@ -1,0 +1,36 @@
+"""Cycle-level NOEL-V-like core model (dual-issue, in-order, 7 stages)."""
+
+from .core import Core, CoreConfig, CoreStats, SimulationError
+from .exec_unit import branch_taken, effective_address, execute_alu
+from .pipeline import (
+    DE,
+    EX,
+    FE,
+    ME,
+    NUM_STAGES,
+    RA,
+    STAGE_NAMES,
+    WB,
+    XC,
+    BranchPredictor,
+    Group,
+    can_pair,
+)
+from .regfile import RegisterFile
+
+__all__ = [
+    "BranchPredictor",
+    "Core",
+    "CoreConfig",
+    "CoreStats",
+    "Group",
+    "NUM_STAGES",
+    "RegisterFile",
+    "STAGE_NAMES",
+    "SimulationError",
+    "branch_taken",
+    "can_pair",
+    "effective_address",
+    "execute_alu",
+    "DE", "EX", "FE", "ME", "RA", "WB", "XC",
+]

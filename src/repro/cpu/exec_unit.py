@@ -1,0 +1,177 @@
+"""Functional execution of RV64IM instructions.
+
+Pure functions: given operand values, return the result value (and, for
+control flow, the taken/target decision).  The pipeline model calls
+these at issue time; timing is handled separately by the pipeline.
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import Instruction
+from ..isa.registers import XMASK, to_signed
+
+
+def _s(value: int) -> int:
+    return to_signed(value, 64)
+
+
+def _s32(value: int) -> int:
+    return to_signed(value, 32)
+
+
+def _w(value: int) -> int:
+    """Truncate to 32 bits and sign-extend to 64 (the RV64 'W' rule)."""
+    return _s32(value) & XMASK
+
+
+def execute_alu(instr: Instruction, rs1: int, rs2: int) -> int:
+    """Compute the result of an ALU / MUL / DIV instruction.
+
+    ``rs1``/``rs2`` are unsigned 64-bit operand values; the immediate is
+    taken from ``instr``.  Returns the unsigned 64-bit result.
+    """
+    name = instr.mnemonic
+    imm = instr.imm
+
+    # Immediate forms share the register implementations.
+    if name == "addi":
+        return (rs1 + imm) & XMASK
+    if name == "slti":
+        return 1 if _s(rs1) < imm else 0
+    if name == "sltiu":
+        return 1 if rs1 < (imm & XMASK) else 0
+    if name == "xori":
+        return (rs1 ^ imm) & XMASK
+    if name == "ori":
+        return (rs1 | imm) & XMASK
+    if name == "andi":
+        return (rs1 & imm) & XMASK
+    if name == "slli":
+        return (rs1 << imm) & XMASK
+    if name == "srli":
+        return rs1 >> imm
+    if name == "srai":
+        return (_s(rs1) >> imm) & XMASK
+    if name == "addiw":
+        return _w(rs1 + imm)
+    if name == "slliw":
+        return _w(rs1 << imm)
+    if name == "srliw":
+        return _w((rs1 & 0xFFFFFFFF) >> imm)
+    if name == "sraiw":
+        return _w(_s32(rs1) >> imm)
+
+    if name == "add":
+        return (rs1 + rs2) & XMASK
+    if name == "sub":
+        return (rs1 - rs2) & XMASK
+    if name == "sll":
+        return (rs1 << (rs2 & 63)) & XMASK
+    if name == "slt":
+        return 1 if _s(rs1) < _s(rs2) else 0
+    if name == "sltu":
+        return 1 if rs1 < rs2 else 0
+    if name == "xor":
+        return rs1 ^ rs2
+    if name == "srl":
+        return rs1 >> (rs2 & 63)
+    if name == "sra":
+        return (_s(rs1) >> (rs2 & 63)) & XMASK
+    if name == "or":
+        return rs1 | rs2
+    if name == "and":
+        return rs1 & rs2
+    if name == "addw":
+        return _w(rs1 + rs2)
+    if name == "subw":
+        return _w(rs1 - rs2)
+    if name == "sllw":
+        return _w(rs1 << (rs2 & 31))
+    if name == "srlw":
+        return _w((rs1 & 0xFFFFFFFF) >> (rs2 & 31))
+    if name == "sraw":
+        return _w(_s32(rs1) >> (rs2 & 31))
+
+    if name == "mul":
+        return (rs1 * rs2) & XMASK
+    if name == "mulh":
+        return ((_s(rs1) * _s(rs2)) >> 64) & XMASK
+    if name == "mulhsu":
+        return ((_s(rs1) * rs2) >> 64) & XMASK
+    if name == "mulhu":
+        return ((rs1 * rs2) >> 64) & XMASK
+    if name == "mulw":
+        return _w(rs1 * rs2)
+    if name == "div":
+        return _divide(_s(rs1), _s(rs2), 64)
+    if name == "divu":
+        return XMASK if rs2 == 0 else (rs1 // rs2) & XMASK
+    if name == "rem":
+        return _remainder(_s(rs1), _s(rs2), 64)
+    if name == "remu":
+        return rs1 if rs2 == 0 else (rs1 % rs2) & XMASK
+    if name == "divw":
+        return _w(_divide(_s32(rs1), _s32(rs2), 32))
+    if name == "divuw":
+        a, b = rs1 & 0xFFFFFFFF, rs2 & 0xFFFFFFFF
+        return _w(0xFFFFFFFF if b == 0 else a // b)
+    if name == "remw":
+        return _w(_remainder(_s32(rs1), _s32(rs2), 32))
+    if name == "remuw":
+        a, b = rs1 & 0xFFFFFFFF, rs2 & 0xFFFFFFFF
+        return _w(a if b == 0 else a % b)
+
+    if name == "lui":
+        return instr.imm & XMASK
+    raise ValueError("execute_alu cannot handle %r" % name)
+
+
+def _divide(a: int, b: int, bits: int) -> int:
+    if b == 0:
+        return (1 << bits) - 1 if bits == 64 else -1 & XMASK
+    # RISC-V division truncates toward zero; Python floors.
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return q & XMASK
+
+
+def _remainder(a: int, b: int, bits: int) -> int:
+    if b == 0:
+        return a & XMASK
+    r = abs(a) % abs(b)
+    if a < 0:
+        r = -r
+    return r & XMASK
+
+
+def branch_taken(instr: Instruction, rs1: int, rs2: int) -> bool:
+    """Evaluate a conditional branch."""
+    name = instr.mnemonic
+    if name == "beq":
+        return rs1 == rs2
+    if name == "bne":
+        return rs1 != rs2
+    if name == "blt":
+        return _s(rs1) < _s(rs2)
+    if name == "bge":
+        return _s(rs1) >= _s(rs2)
+    if name == "bltu":
+        return rs1 < rs2
+    if name == "bgeu":
+        return rs1 >= rs2
+    raise ValueError("not a branch: %r" % name)
+
+
+def effective_address(instr: Instruction, rs1: int) -> int:
+    """Load/store effective address."""
+    return (rs1 + instr.imm) & XMASK
+
+
+def sign_extend_load(value: int, size: int, signed: bool) -> int:
+    """Post-process a loaded value per the load width/signedness."""
+    if signed:
+        sign_bit = 1 << (8 * size - 1)
+        if value & sign_bit:
+            value -= 1 << (8 * size)
+    return value & XMASK

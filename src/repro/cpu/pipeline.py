@@ -1,0 +1,146 @@
+"""Pipeline building blocks: issue groups, stage names, branch predictor.
+
+The NOEL-V pipeline modelled here is in-order, dual-issue, 7 stages:
+
+====  =====================  ==============================================
+ #    Stage                  Modelled behaviour
+====  =====================  ==============================================
+ 0    FE (fetch)             I-cache access, up to 2 instructions/cycle
+ 1    DE (decode)            decode + group formation
+ 2    RA (register access)   operand read, hazard check
+ 3    EX (execute)           ALU/branch resolution, mul/div occupancy
+ 4    ME (memory)            D-cache access, store-buffer insertion
+ 5    XC (exception)         pass-through
+ 6    WB (writeback)         register write ports, retirement
+====  =====================  ==============================================
+
+Instructions travel in *groups* of 1-2 (the fetch group), and a group
+moves between stages as a unit — "the instructions in one stage move to
+the following stage as a group (either all or none)" — which is the
+property SafeDM's per-stage instruction signature relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..isa.instruction import FetchedInstruction
+from ..isa.opcodes import CLASS_BRANCH, CLASS_DIV, CLASS_JUMP, CLASS_MUL
+
+STAGE_NAMES = ("FE", "DE", "RA", "EX", "ME", "XC", "WB")
+FE, DE, RA, EX, ME, XC, WB = range(7)
+NUM_STAGES = 7
+
+#: Stages observed by SafeDM's per-stage instruction signature (all of
+#: them; kept symbolic so an integration can restrict the window).
+OBSERVED_STAGES = tuple(range(NUM_STAGES))
+
+
+@dataclass
+class Group:
+    """An issue group: 1-2 instructions moving through stages together."""
+
+    instrs: List[FetchedInstruction]
+    #: Cycle at which EX occupancy ends (mul/div block the EX stage).
+    ex_done_cycle: int = 0
+    #: Memory-stage bookkeeping.
+    me_initiated: bool = False
+    me_ready_cycle: Optional[int] = None
+    me_requests: List[object] = field(default_factory=list)
+    #: Cached tuple of instruction words (kept in sync by truncate()).
+    words_cache: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        self.words_cache = tuple(fi.instr.word for fi in self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def words(self) -> Tuple[int, ...]:
+        return self.words_cache
+
+    def truncate(self, keep: int):
+        """Drop instructions after slot ``keep`` (squash within group)."""
+        del self.instrs[keep + 1:]
+        self.words_cache = tuple(fi.instr.word for fi in self.instrs)
+
+    def __str__(self) -> str:
+        return " | ".join(str(fi) for fi in self.instrs)
+
+
+def can_pair(first: FetchedInstruction,
+             second: FetchedInstruction) -> bool:
+    """Dual-issue pairing rule for two sequentially fetched instructions.
+
+    Conservative NOEL-V-like constraints:
+
+    * no RAW dependency of the second on the first,
+    * no WAW on the same destination,
+    * at most one memory operation per group,
+    * at most one mul/div per group,
+    * a control-flow instruction only in the *last* slot.
+    """
+    a, b = first.instr, second.instr
+    rd = a.destination()
+    if rd is not None and rd in b.sources():
+        return False
+    if rd is not None and rd == b.destination():
+        return False
+    if a.spec.is_memory and b.spec.is_memory:
+        return False
+    a_muldiv = a.iclass in (CLASS_MUL, CLASS_DIV)
+    b_muldiv = b.iclass in (CLASS_MUL, CLASS_DIV)
+    if a_muldiv and b_muldiv:
+        return False
+    if a.iclass in (CLASS_BRANCH, CLASS_JUMP):
+        return False  # control flow terminates a group
+    return True
+
+
+class BranchPredictor:
+    """Direct-mapped table of 2-bit saturating counters.
+
+    Deterministic and private per core, so both redundant cores evolve
+    identical predictor state when executing identical streams — the
+    predictor must not be an artificial source of diversity.
+    """
+
+    STRONG_NT, WEAK_NT, WEAK_T, STRONG_T = range(4)
+
+    def __init__(self, entries: int = 256, enabled: bool = True):
+        if entries & (entries - 1):
+            raise ValueError("predictor entries must be a power of two")
+        self.entries = entries
+        self.enabled = enabled
+        self._table = [self.WEAK_NT] * entries
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.entries - 1)
+
+    def predict_taken(self, pc: int) -> bool:
+        """Predict direction for the branch at ``pc``."""
+        if not self.enabled:
+            return False
+        self.predictions += 1
+        return self._table[self._index(pc)] >= self.WEAK_T
+
+    def update(self, pc: int, taken: bool, mispredicted: bool):
+        """Train the counter after resolution."""
+        if mispredicted:
+            self.mispredictions += 1
+        if not self.enabled:
+            return
+        idx = self._index(pc)
+        state = self._table[idx]
+        if taken:
+            self._table[idx] = min(self.STRONG_T, state + 1)
+        else:
+            self._table[idx] = max(self.STRONG_NT, state - 1)
+
+    def reset(self):
+        self._table = [self.WEAK_NT] * self.entries
+        self.predictions = 0
+        self.mispredictions = 0

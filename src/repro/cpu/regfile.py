@@ -1,0 +1,91 @@
+"""Architectural register file with tapped (observable) ports.
+
+SafeDM's data signature is built from "the data being read/written for
+the last n cycles on each of the register ports" (paper Section
+III-B.1).  The register file therefore exposes, every cycle, one sample
+per physical port: ``(enable, value)``.  The pipeline records reads at
+the register-access stage and writes at writeback, mirroring where the
+NOEL-V register file ports are exercised.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..isa.registers import NUM_REGISTERS, XMASK
+
+#: A port sample: (enable, 64-bit value on the port).
+PortSample = Tuple[int, int]
+
+IDLE_SAMPLE: PortSample = (0, 0)
+
+
+class RegisterFile:
+    """32 x 64-bit integer registers plus a readiness scoreboard.
+
+    ``ready_cycle[r]`` is the first cycle at which a consumer may issue
+    reading ``r`` (bypass network included: an ALU result is readable the
+    cycle after issue).  ``PENDING`` marks a register whose producing
+    load has not yet completed in the memory stage.
+    """
+
+    PENDING = 1 << 62
+
+    def __init__(self, num_read_ports: int = 4, num_write_ports: int = 2):
+        self.values: List[int] = [0] * NUM_REGISTERS
+        self.ready_cycle: List[int] = [0] * NUM_REGISTERS
+        self.num_read_ports = num_read_ports
+        self.num_write_ports = num_write_ports
+        self.read_samples: List[PortSample] = [IDLE_SAMPLE] * num_read_ports
+        self.write_samples: List[PortSample] = [IDLE_SAMPLE] * num_write_ports
+
+    # -- architectural access ---------------------------------------------
+
+    def read(self, index: int) -> int:
+        """Architectural read (x0 hardwired to zero)."""
+        return self.values[index] if index else 0
+
+    def write(self, index: int, value: int):
+        """Architectural write (writes to x0 are dropped)."""
+        if index:
+            self.values[index] = value & XMASK
+
+    # -- scoreboard ------------------------------------------------------------
+
+    def ready(self, index: int, cycle: int) -> bool:
+        """True when register ``index`` may be read at ``cycle``."""
+        return index == 0 or self.ready_cycle[index] <= cycle
+
+    def set_ready(self, index: Optional[int], cycle: int):
+        if index:
+            self.ready_cycle[index] = cycle
+
+    def mark_pending(self, index: Optional[int]):
+        """Mark ``index`` as produced by an in-flight load."""
+        if index:
+            self.ready_cycle[index] = self.PENDING
+
+    # -- port observation ----------------------------------------------------
+
+    def begin_cycle(self):
+        """Reset port samples; the pipeline re-records any activity."""
+        self.read_samples = [IDLE_SAMPLE] * self.num_read_ports
+        self.write_samples = [IDLE_SAMPLE] * self.num_write_ports
+
+    def record_read(self, port: int, index: int):
+        """Tap a read of register ``index`` on read port ``port``."""
+        self.read_samples[port] = (1, self.read(index))
+
+    def record_write(self, port: int, index: int, value: int):
+        """Tap a write on write port ``port`` (x0 writes still toggle the
+        port in hardware, so they are recorded too)."""
+        self.write_samples[port] = (1, value & XMASK)
+
+    def port_samples(self) -> List[PortSample]:
+        """All port samples for this cycle, reads then writes."""
+        return self.read_samples + self.write_samples
+
+    def reset(self):
+        self.values = [0] * NUM_REGISTERS
+        self.ready_cycle = [0] * NUM_REGISTERS
+        self.begin_cycle()

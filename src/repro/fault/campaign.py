@@ -1,0 +1,107 @@
+"""Fault-injection campaigns: CCF coverage of SafeDM vs plain redundancy.
+
+A campaign sweeps common-cause injections across a run's timeline and
+cross-references each silent escape with SafeDM's diversity verdict at
+the injection instant.  The paper's no-false-negative claim translates
+to: *every* silent CCF escape happens in a cycle where SafeDM reported
+lack of diversity (SafeDM may over-report — false positives — but a
+CCF cannot slip through a cycle SafeDM called diverse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..isa.program import Program
+from ..soc.config import SocConfig
+from .injector import InjectionResult, golden_run, inject_common_cause
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign outcome."""
+
+    injections: List[InjectionResult] = field(default_factory=list)
+
+    def count(self, classification: str) -> int:
+        return sum(1 for r in self.injections
+                   if r.classification == classification)
+
+    @property
+    def masked(self) -> int:
+        return self.count("masked")
+
+    @property
+    def detected(self) -> int:
+        return self.count("detected")
+
+    @property
+    def silent_ccf(self) -> int:
+        return self.count("silent_ccf")
+
+    @property
+    def silent_despite_diversity(self) -> int:
+        """Identical-effect silent escapes in cycles SafeDM called
+        diverse.  Must be zero for the paper's no-false-negative
+        property: identical corruption implies identical core state,
+        which SafeDM by construction reports as lack of diversity.
+        """
+        return sum(1 for r in self.injections
+                   if r.classification == "silent_ccf"
+                   and r.effects_identical
+                   and r.diversity_at_injection is True)
+
+    @property
+    def silent_via_shared_state(self) -> int:
+        """Silent escapes where the corruptions *differed* but still
+        produced matching wrong outputs — only possible when replicas
+        share writable state (one core's corrupted store poisons the
+        data its twin reads).  A shared-input CCF channel outside any
+        diversity scheme's reach; flags an unsound redundancy setup.
+        """
+        return sum(1 for r in self.injections
+                   if r.classification == "silent_ccf"
+                   and not r.effects_identical)
+
+    @property
+    def detected_or_flagged(self) -> int:
+        """Faults either caught by comparison or flagged by SafeDM."""
+        return sum(1 for r in self.injections
+                   if r.classification == "detected"
+                   or (r.classification == "silent_ccf"
+                       and r.diversity_at_injection is False))
+
+    def summary(self) -> str:
+        total = len(self.injections)
+        return ("injections=%d masked=%d detected=%d silent_ccf=%d "
+                "silent_despite_diversity=%d silent_via_shared_state=%d"
+                % (total, self.masked, self.detected, self.silent_ccf,
+                   self.silent_despite_diversity,
+                   self.silent_via_shared_state))
+
+
+def run_ccf_campaign(program: Program, cycles: List[int],
+                     stimuli: Optional[List[int]] = None,
+                     config: Optional[SocConfig] = None,
+                     max_cycles: int = 2_000_000) -> CampaignResult:
+    """Inject one common-cause fault per (cycle, stimulus) pair."""
+    golden = golden_run(program, config=config, max_cycles=max_cycles)
+    stimuli = stimuli or [0x5EED]
+    result = CampaignResult()
+    for stimulus in stimuli:
+        for cycle in cycles:
+            result.injections.append(
+                inject_common_cause(program, cycle, stimulus, golden,
+                                    config=config,
+                                    max_cycles=max_cycles))
+    return result
+
+
+def spread_cycles(total_cycles: int, count: int,
+                  start: int = 16) -> List[int]:
+    """Deterministic injection instants spread across a run."""
+    if count < 1:
+        return []
+    span = max(total_cycles - start, 1)
+    return [start + (i * span) // count for i in range(count)]

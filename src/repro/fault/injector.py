@@ -1,0 +1,161 @@
+"""Single fault-injection runs on the MPSoC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..baselines.unaware import RedundancyOutcome, compare_outputs
+from ..isa.program import Program
+from ..soc.config import SocConfig
+from ..soc.mpsoc import MPSoC
+from .models import CommonCauseFault, TransientFault
+
+
+def _activity_digest(soc: MPSoC, index: int) -> int:
+    """CRC of one core's SafeDM-visible signature window."""
+    import zlib
+    crc = 0
+    for entry in soc.safedm.ds_units[index].signature():
+        enable, value = entry
+        crc = zlib.crc32(bytes([enable]) + value.to_bytes(8, "little"),
+                         crc)
+    for item in soc.safedm.is_units[index].signature():
+        if isinstance(item, tuple):
+            valid, word = item
+            crc = zlib.crc32(bytes([valid]) + word.to_bytes(4, "little"),
+                             crc)
+        else:
+            crc = zlib.crc32(int(item).to_bytes(4, "little"), crc)
+    return crc & 0xFFFFFFFF
+
+#: The kernels' checksum register (s0 == x8); read per core at halt so
+#: outputs stay per-core even when both cores share one address space.
+RESULT_REGISTER = 8
+
+
+def _core_outputs(soc: MPSoC):
+    c0 = soc.cores[soc.monitored[0]]
+    c1 = soc.cores[soc.monitored[1]]
+    return (c0.regfile.values[RESULT_REGISTER],
+            c1.regfile.values[RESULT_REGISTER])
+
+
+def shared_address_config() -> SocConfig:
+    """A (mis)configured redundancy where both cores share one data
+    region — identical gp/sp, hence genuinely identical state during
+    aligned execution.  This is the CCF-vulnerable deployment SafeDM
+    exists to flag."""
+    cfg = SocConfig()
+    return SocConfig(data_bases=(cfg.data_bases[0], cfg.data_bases[0]))
+
+
+@dataclass
+class InjectionResult:
+    """Outcome of one injected redundant run."""
+
+    fault_cycle: int
+    outcome: RedundancyOutcome
+    #: SafeDM report at the injection cycle: True if diversity existed.
+    diversity_at_injection: Optional[bool]
+    #: Cumulative no-diversity cycles over the run.
+    no_diversity_cycles: int
+    effects: tuple
+    finished: bool
+
+    @property
+    def effects_identical(self) -> bool:
+        """True when the disturbance corrupted both cores identically."""
+        return len(self.effects) == 2 and self.effects[0] == self.effects[1]
+
+    @property
+    def classification(self) -> str:
+        if not self.finished:
+            return "hang"
+        if self.outcome.correct:
+            return "masked"
+        if self.outcome.detected:
+            return "detected"
+        return "silent_ccf"
+
+
+def golden_run(program: Program, config: Optional[SocConfig] = None,
+               max_cycles: int = 2_000_000) -> int:
+    """Fault-free redundant run; returns the golden checksum."""
+    soc = MPSoC(config=config)
+    soc.start_redundant(program)
+    soc.run(max_cycles=max_cycles)
+    golden0, golden1 = _core_outputs(soc)
+    if golden0 != golden1:
+        raise RuntimeError("golden run is not deterministic")
+    return golden0
+
+
+def inject_common_cause(program: Program, cycle: int, stimulus: int,
+                        golden: int,
+                        config: Optional[SocConfig] = None,
+                        max_cycles: int = 2_000_000) -> InjectionResult:
+    """Run redundantly with one common-cause fault at ``cycle``."""
+    soc = MPSoC(config=config)
+    soc.start_redundant(program)
+    fault = CommonCauseFault(cycle=cycle, stimulus=stimulus)
+    effects = ()
+    diversity_at_injection = None
+    start = soc.cycle
+    while soc.cycle - start < max_cycles:
+        if all(soc.cores[i].finished for i in soc.monitored):
+            break
+        soc.step()
+        if soc.cycle - 1 == cycle:
+            # Inject on the clock edge that ends the fault cycle: the
+            # corruption is modulated by the state SafeDM just sampled.
+            core0 = soc.cores[soc.monitored[0]]
+            core1 = soc.cores[soc.monitored[1]]
+            effects = fault.inject(core0, core1,
+                                   _activity_digest(soc, 0),
+                                   _activity_digest(soc, 1))
+            if soc.safedm.last_report is not None:
+                diversity_at_injection = soc.safedm.last_report.diversity
+    soc.safedm.finish()
+    finished = all(soc.cores[i].finished for i in soc.monitored)
+    output0, output1 = _core_outputs(soc)
+    outcome = compare_outputs(output0, output1, golden)
+    return InjectionResult(
+        fault_cycle=cycle,
+        outcome=outcome,
+        diversity_at_injection=diversity_at_injection,
+        no_diversity_cycles=soc.safedm.stats.no_diversity_cycles,
+        effects=effects,
+        finished=finished,
+    )
+
+
+def inject_transient(program: Program, cycle: int, core: int,
+                     register: int, bit: int, golden: int,
+                     config: Optional[SocConfig] = None,
+                     max_cycles: int = 2_000_000) -> InjectionResult:
+    """Run redundantly with one single-core transient at ``cycle``."""
+    soc = MPSoC(config=config)
+    soc.start_redundant(program)
+    fault = TransientFault(cycle=cycle, core=core, register=register,
+                           bit=bit)
+    effects = ()
+    start = soc.cycle
+    while soc.cycle - start < max_cycles:
+        if all(soc.cores[i].finished for i in soc.monitored):
+            break
+        if soc.cycle == cycle:
+            effects = (fault.inject(soc.cores[core]),)
+        soc.step()
+    soc.safedm.finish()
+    finished = all(soc.cores[i].finished for i in soc.monitored)
+    output0, output1 = _core_outputs(soc)
+    outcome = compare_outputs(output0, output1, golden)
+    return InjectionResult(
+        fault_cycle=cycle,
+        outcome=outcome,
+        diversity_at_injection=None,
+        no_diversity_cycles=soc.safedm.stats.no_diversity_cycles,
+        effects=effects,
+        finished=finished,
+    )

@@ -1,0 +1,53 @@
+"""RV64IM instruction-set substrate.
+
+Public API:
+
+* :func:`assemble` / :class:`Assembler` -- text to :class:`Program`
+* :func:`decode` / :func:`encode` -- word-level codec
+* :class:`Instruction`, :class:`FetchedInstruction` -- decoded forms
+* :func:`disassemble_word`, :func:`disassemble_program`
+"""
+
+from .assembler import Assembler, AssemblerError, assemble
+from .decoder import DecodeError, decode
+from .disassembler import disassemble_program, disassemble_word
+from .encoder import EncodingError, encode
+from .instruction import FetchedInstruction, Instruction
+from .opcodes import NOP_WORD, SPECS, InstructionSpec
+from .program import Program
+from .registers import (
+    NUM_REGISTERS,
+    XLEN,
+    XMASK,
+    RegisterError,
+    parse_register,
+    register_name,
+    to_signed,
+    to_unsigned,
+)
+
+__all__ = [
+    "Assembler",
+    "AssemblerError",
+    "DecodeError",
+    "EncodingError",
+    "FetchedInstruction",
+    "Instruction",
+    "InstructionSpec",
+    "NOP_WORD",
+    "NUM_REGISTERS",
+    "Program",
+    "RegisterError",
+    "SPECS",
+    "XLEN",
+    "XMASK",
+    "assemble",
+    "decode",
+    "disassemble_program",
+    "disassemble_word",
+    "encode",
+    "parse_register",
+    "register_name",
+    "to_signed",
+    "to_unsigned",
+]

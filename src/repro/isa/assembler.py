@@ -1,0 +1,390 @@
+"""Two-pass RV64IM assembler.
+
+The workload kernels in :mod:`repro.workloads` are written as assembly
+text and assembled by this module into :class:`~repro.isa.program.Program`
+images.  Supported, beyond the base mnemonics in
+:mod:`repro.isa.opcodes`:
+
+* labels (``name:``) and label operands in branches/jumps/``la``,
+* the usual pseudo-instructions (``nop``, ``li``, ``la``, ``mv``, ``j``,
+  ``jr``, ``call``, ``ret``, ``not``, ``neg``, ``seqz``, ``snez``,
+  ``beqz``, ``bnez``, ``blez``, ``bgez``, ``bltz``, ``bgtz``, ``ble``,
+  ``bgt``, ``bleu``, ``bgtu``),
+* data directives ``.word``, ``.dword``, ``.byte``, ``.space``,
+  ``.align``, and constant definition ``.equ NAME VALUE``,
+* ``#`` and ``;`` comments.
+
+Immediates accept decimal, hex (``0x``), binary (``0b``), ``'c'`` char
+literals, and names defined by ``.equ``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .encoder import encode
+from .instruction import Instruction
+from .opcodes import SPECS
+from .program import Program
+from .registers import parse_register
+
+
+class AssemblerError(ValueError):
+    """Raised on any syntax or range error, with line information."""
+
+    def __init__(self, message: str, lineno: Optional[int] = None):
+        if lineno is not None:
+            message = "line %d: %s" % (lineno, message)
+        super().__init__(message)
+        self.lineno = lineno
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_MEM_OPERAND_RE = re.compile(r"^(-?[\w'+\-*() ]+)\(([\w]+)\)$")
+
+
+@dataclass
+class _Item:
+    """One assembled item: either an encoded word or a pending fixup."""
+
+    address: int
+    lineno: int
+    # For instructions:
+    mnemonic: Optional[str] = None
+    operands: Optional[List[str]] = None
+    # For data:
+    data: Optional[bytes] = None
+
+
+class Assembler:
+    """Two-pass assembler producing :class:`Program` images."""
+
+    def __init__(self, base: int = 0x0000_0000):
+        self.base = base
+
+    # -- public API -----------------------------------------------------
+
+    def assemble(self, source: str, entry_label: str = "_start") -> Program:
+        """Assemble ``source`` and return a :class:`Program`.
+
+        The program's entry point is the address of ``entry_label`` if it
+        is defined, otherwise the image base.
+        """
+        self._equs = {}
+        items, symbols = self._first_pass(source)
+        image = self._second_pass(items, symbols)
+        entry = symbols.get(entry_label, self.base)
+        return Program(base=self.base, image=image, symbols=dict(symbols),
+                       entry=entry)
+
+    # -- pass 1: parse, expand pseudo-instructions, place labels ---------
+
+    def _first_pass(self, source: str):
+        items: List[_Item] = []
+        symbols: Dict[str, int] = {}
+        equs: Dict[str, int] = getattr(self, "_equs", {})
+        pc = self.base
+
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+            while True:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                label = match.group(1)
+                if label in symbols:
+                    raise AssemblerError("duplicate label %r" % label, lineno)
+                symbols[label] = pc
+                line = line[match.end():].strip()
+            if not line:
+                continue
+
+            if line.startswith("."):
+                pc = self._directive(line, pc, items, equs, symbols, lineno)
+                continue
+
+            mnemonic, operands = self._split_statement(line, lineno)
+            expansion = self._expand(mnemonic, operands, equs, lineno)
+            for exp_mnemonic, exp_operands in expansion:
+                items.append(_Item(address=pc, lineno=lineno,
+                                   mnemonic=exp_mnemonic,
+                                   operands=exp_operands))
+                pc += 4
+        return items, symbols
+
+    def _directive(self, line, pc, items, equs, symbols, lineno) -> int:
+        parts = line.replace(",", " ").split()
+        name = parts[0]
+        args = parts[1:]
+        if name == ".equ":
+            if len(args) != 2:
+                raise AssemblerError(".equ needs NAME VALUE", lineno)
+            equs[args[0]] = self._const(args[1], equs, lineno)
+            return pc
+        if name == ".align":
+            power = self._const(args[0], equs, lineno) if args else 2
+            alignment = 1 << power
+            pad = (-pc) % alignment
+            if pad:
+                items.append(_Item(address=pc, lineno=lineno,
+                                   data=b"\x00" * pad))
+            return pc + pad
+        if name == ".space":
+            size = self._const(args[0], equs, lineno)
+            items.append(_Item(address=pc, lineno=lineno,
+                               data=b"\x00" * size))
+            return pc + size
+        if name in (".word", ".dword", ".byte", ".half"):
+            width = {".byte": 1, ".half": 2, ".word": 4, ".dword": 8}[name]
+            blob = bytearray()
+            for arg in args:
+                value = self._const(arg, equs, lineno)
+                blob += (value & ((1 << (8 * width)) - 1)).to_bytes(
+                    width, "little")
+            items.append(_Item(address=pc, lineno=lineno, data=bytes(blob)))
+            return pc + len(blob)
+        raise AssemblerError("unknown directive %r" % name, lineno)
+
+    @staticmethod
+    def _split_statement(line: str, lineno: int):
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        operands = [op.strip() for op in rest.split(",")] if rest else []
+        return mnemonic, operands
+
+    def _const(self, token: str, equs: Dict[str, int], lineno: int) -> int:
+        token = token.strip()
+        if token in equs:
+            return equs[token]
+        if len(token) == 3 and token[0] == token[2] == "'":
+            return ord(token[1])
+        try:
+            return int(token, 0)
+        except ValueError:
+            # Allow simple constant arithmetic, e.g. ``N*8+4``.
+            if re.fullmatch(r"[\w'+\-*() ]+", token):
+                names = {k: v for k, v in equs.items()}
+                try:
+                    value = eval(token, {"__builtins__": {}}, names)
+                    if isinstance(value, int):
+                        return value
+                except Exception:
+                    pass
+            raise AssemblerError("bad constant %r" % token, lineno)
+
+    # -- pseudo-instruction expansion -------------------------------------
+
+    def _expand(self, mnemonic, operands, equs, lineno):
+        """Return a list of (mnemonic, operands) concrete statements."""
+        expand = self._expand  # for recursion
+        ops = operands
+        if mnemonic == "nop":
+            return [("addi", ["x0", "x0", "0"])]
+        if mnemonic == "mv":
+            return [("addi", [ops[0], ops[1], "0"])]
+        if mnemonic == "not":
+            return [("xori", [ops[0], ops[1], "-1"])]
+        if mnemonic == "neg":
+            return [("sub", [ops[0], "x0", ops[1]])]
+        if mnemonic == "negw":
+            return [("subw", [ops[0], "x0", ops[1]])]
+        if mnemonic == "seqz":
+            return [("sltiu", [ops[0], ops[1], "1"])]
+        if mnemonic == "snez":
+            return [("sltu", [ops[0], "x0", ops[1]])]
+        if mnemonic == "sltz":
+            return [("slt", [ops[0], ops[1], "x0"])]
+        if mnemonic == "sgtz":
+            return [("slt", [ops[0], "x0", ops[1]])]
+        if mnemonic == "beqz":
+            return [("beq", [ops[0], "x0", ops[1]])]
+        if mnemonic == "bnez":
+            return [("bne", [ops[0], "x0", ops[1]])]
+        if mnemonic == "blez":
+            return [("bge", ["x0", ops[0], ops[1]])]
+        if mnemonic == "bgez":
+            return [("bge", [ops[0], "x0", ops[1]])]
+        if mnemonic == "bltz":
+            return [("blt", [ops[0], "x0", ops[1]])]
+        if mnemonic == "bgtz":
+            return [("blt", ["x0", ops[0], ops[1]])]
+        if mnemonic == "ble":
+            return [("bge", [ops[1], ops[0], ops[2]])]
+        if mnemonic == "bgt":
+            return [("blt", [ops[1], ops[0], ops[2]])]
+        if mnemonic == "bleu":
+            return [("bgeu", [ops[1], ops[0], ops[2]])]
+        if mnemonic == "bgtu":
+            return [("bltu", [ops[1], ops[0], ops[2]])]
+        if mnemonic == "j":
+            return [("jal", ["x0", ops[0]])]
+        if mnemonic == "jr":
+            return [("jalr", ["x0", "0(%s)" % ops[0]])]
+        if mnemonic == "call":
+            return [("jal", ["ra", ops[0]])]
+        if mnemonic == "ret":
+            return [("jalr", ["x0", "0(ra)"])]
+        if mnemonic == "la":
+            # Resolved in pass 2: lui+addi pair referencing the label.
+            return [("_la_hi", [ops[0], ops[1]]),
+                    ("_la_lo", [ops[0], ops[0], ops[1]])]
+        if mnemonic == "li":
+            return self._expand_li(ops[0], ops[1], equs, lineno)
+        if mnemonic == "sext.w":
+            return [("addiw", [ops[0], ops[1], "0"])]
+        if mnemonic in SPECS or mnemonic in ("_la_hi", "_la_lo"):
+            return [(mnemonic, ops)]
+        raise AssemblerError("unknown mnemonic %r" % mnemonic, lineno)
+
+    def _expand_li(self, rd, token, equs, lineno):
+        value = self._const(token, equs, lineno)
+        if not -(1 << 63) <= value < (1 << 64):
+            raise AssemblerError("li constant out of 64-bit range", lineno)
+        if value >= 1 << 63:
+            value -= 1 << 64
+        return self._li_sequence(rd, value)
+
+    def _li_sequence(self, rd, value) -> List[Tuple[str, List[str]]]:
+        if -2048 <= value < 2048:
+            return [("addi", [rd, "x0", str(value)])]
+        if -(1 << 31) <= value < (1 << 31):
+            hi = (value + 0x800) >> 12
+            lo = value - (hi << 12)
+            seq = [("lui", [rd, str(hi & 0xFFFFF)])]
+            if lo:
+                seq.append(("addiw", [rd, rd, str(lo)]))
+            elif hi & 0x80000:
+                # lui sign-extends on RV64; a lone lui already matches.
+                pass
+            return seq
+        # General 64-bit constant: build high part, shift, add low parts.
+        lo12 = value & 0xFFF
+        if lo12 >= 0x800:
+            lo12 -= 0x1000
+        rest = (value - lo12) >> 12
+        seq = self._li_sequence(rd, rest)
+        seq.append(("slli", [rd, rd, "12"]))
+        if lo12:
+            seq.append(("addi", [rd, rd, str(lo12)]))
+        return seq
+
+    # -- pass 2: resolve labels and encode ---------------------------------
+
+    def _second_pass(self, items: List[_Item], symbols: Dict[str, int]):
+        image: Dict[int, bytes] = {}
+        blob = bytearray()
+        start = self.base
+        expected = self.base
+        for item in items:
+            if item.address != expected:
+                raise AssemblerError("internal: address mismatch",
+                                     item.lineno)
+            if item.data is not None:
+                blob += item.data
+                expected += len(item.data)
+                continue
+            word = self._encode_item(item, symbols)
+            blob += word.to_bytes(4, "little")
+            expected += 4
+        image[start] = bytes(blob)
+        return image
+
+    def _encode_item(self, item: _Item, symbols: Dict[str, int]) -> int:
+        mnemonic, ops = item.mnemonic, list(item.operands)
+        lineno = item.lineno
+
+        if mnemonic == "_la_hi":
+            target = self._symbol(ops[1], symbols, lineno)
+            hi = (target + 0x800) >> 12
+            return encode(Instruction(SPECS["lui"],
+                                      rd=parse_register(ops[0]),
+                                      imm=(hi << 12) & 0xFFFFF000))
+        if mnemonic == "_la_lo":
+            target = self._symbol(ops[2], symbols, lineno)
+            hi = (target + 0x800) >> 12
+            lo = target - (hi << 12)
+            return encode(Instruction(SPECS["addi"],
+                                      rd=parse_register(ops[0]),
+                                      rs1=parse_register(ops[1]), imm=lo))
+
+        spec = SPECS.get(mnemonic)
+        if spec is None:
+            raise AssemblerError("unknown mnemonic %r" % mnemonic, lineno)
+        try:
+            instr = self._build(spec, ops, symbols, item)
+            return encode(instr)
+        except AssemblerError:
+            raise
+        except ValueError as exc:
+            raise AssemblerError(str(exc), lineno)
+
+    def _symbol(self, token: str, symbols: Dict[str, int],
+                lineno: int) -> int:
+        token = token.strip()
+        if token in symbols:
+            return symbols[token]
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise AssemblerError("undefined symbol %r" % token, lineno)
+
+    def _imm_or_label_offset(self, token, symbols, pc, lineno) -> int:
+        token = token.strip()
+        if token in symbols:
+            return symbols[token] - pc
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise AssemblerError("undefined symbol %r" % token, lineno)
+
+    def _build(self, spec, ops, symbols, item) -> Instruction:
+        fmt = spec.fmt
+        lineno, pc = item.lineno, item.address
+        if fmt == "R":
+            return Instruction(spec, rd=parse_register(ops[0]),
+                               rs1=parse_register(ops[1]),
+                               rs2=parse_register(ops[2]))
+        if fmt in ("I", "IS", "ISW"):
+            if spec.is_load or spec.mnemonic == "jalr":
+                offset, base = self._mem_operand(ops[1], lineno)
+                return Instruction(spec, rd=parse_register(ops[0]),
+                                   rs1=base, imm=offset)
+            imm = self._const(ops[2], getattr(self, "_equs", {}), lineno)
+            return Instruction(spec, rd=parse_register(ops[0]),
+                               rs1=parse_register(ops[1]), imm=imm)
+        if fmt == "S":
+            offset, base = self._mem_operand(ops[1], lineno)
+            return Instruction(spec, rs1=base,
+                               rs2=parse_register(ops[0]), imm=offset)
+        if fmt == "B":
+            imm = self._imm_or_label_offset(ops[2], symbols, pc, lineno)
+            return Instruction(spec, rs1=parse_register(ops[0]),
+                               rs2=parse_register(ops[1]), imm=imm)
+        if fmt == "U":
+            imm20 = int(ops[1], 0) & 0xFFFFF
+            value = imm20 << 12
+            if value & 0x80000000:
+                value -= 1 << 32
+            return Instruction(spec, rd=parse_register(ops[0]), imm=value)
+        if fmt == "J":
+            imm = self._imm_or_label_offset(ops[1], symbols, pc, lineno)
+            return Instruction(spec, rd=parse_register(ops[0]), imm=imm)
+        if fmt == "SYS":
+            return Instruction(spec)
+        raise AssemblerError("unhandled format %r" % fmt, lineno)
+
+    def _mem_operand(self, token: str, lineno: int):
+        match = _MEM_OPERAND_RE.match(token.strip())
+        if not match:
+            raise AssemblerError("bad memory operand %r" % token, lineno)
+        offset = self._const(match.group(1), getattr(self, "_equs", {}),
+                             lineno)
+        return offset, parse_register(match.group(2))
+
+
+def assemble(source: str, base: int = 0, entry_label: str = "_start"):
+    """Convenience wrapper: assemble ``source`` at ``base``."""
+    return Assembler(base=base).assemble(source, entry_label=entry_label)

@@ -1,0 +1,117 @@
+"""Instruction decoder: 32-bit word -> :class:`Instruction`.
+
+The decoder is table-driven from :mod:`repro.isa.opcodes` and caches
+decoded words, which matters because the pipeline model decodes the same
+hot-loop words millions of times.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .instruction import Instruction
+from .opcodes import (
+    FMT_B,
+    FMT_I,
+    FMT_I_SHIFT,
+    FMT_I_SHIFT_W,
+    FMT_J,
+    FMT_R,
+    FMT_S,
+    FMT_SYS,
+    FMT_U,
+    SPECS,
+    SYS_ENCODINGS,
+)
+
+
+class DecodeError(ValueError):
+    """Raised for a word that is not a known RV64IM encoding."""
+
+
+def _build_lookup():
+    """(opcode, funct3, funct7) -> spec lookup with per-format keys."""
+    by_key = {}
+    for spec in SPECS.values():
+        if spec.fmt == FMT_R:
+            key = (spec.opcode, spec.funct3, spec.funct7)
+        elif spec.fmt == FMT_I_SHIFT:
+            # RV64 shifts: the shamt spills into funct7 bit 0, so the
+            # discriminator is funct7[6:1] (tagged to avoid collisions).
+            key = (spec.opcode, spec.funct3, "f6:%d" % (spec.funct7 >> 1))
+        elif spec.fmt == FMT_I_SHIFT_W:
+            key = (spec.opcode, spec.funct3, spec.funct7)
+        elif spec.fmt == FMT_SYS:
+            continue  # matched by exact word below
+        elif spec.fmt in (FMT_U, FMT_J):
+            key = (spec.opcode, None, None)
+        else:
+            key = (spec.opcode, spec.funct3, None)
+        by_key[key] = spec
+    return by_key
+
+
+_LOOKUP = _build_lookup()
+_SYS_BY_WORD = {word: SPECS[name] for name, word in SYS_ENCODINGS.items()}
+
+
+def _sext(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+@lru_cache(maxsize=65536)
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit ``word`` into an :class:`Instruction`.
+
+    Raises :class:`DecodeError` for unknown encodings.
+    """
+    word &= 0xFFFFFFFF
+    if word in _SYS_BY_WORD:
+        return Instruction(spec=_SYS_BY_WORD[word], word=word)
+
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    spec = (_LOOKUP.get((opcode, funct3, funct7))
+            or _LOOKUP.get((opcode, funct3, "f6:%d" % (funct7 >> 1)))
+            or _LOOKUP.get((opcode, funct3, None))
+            or _LOOKUP.get((opcode, None, None)))
+    if spec is None:
+        raise DecodeError("cannot decode word %#010x" % word)
+
+    fmt = spec.fmt
+    if fmt == FMT_R:
+        return Instruction(spec, rd=rd, rs1=rs1, rs2=rs2, word=word)
+    if fmt == FMT_I:
+        imm = _sext(word >> 20, 12)
+        return Instruction(spec, rd=rd, rs1=rs1, imm=imm, word=word)
+    if fmt == FMT_I_SHIFT:
+        shamt = (word >> 20) & 0x3F
+        return Instruction(spec, rd=rd, rs1=rs1, imm=shamt, word=word)
+    if fmt == FMT_I_SHIFT_W:
+        shamt = (word >> 20) & 0x1F
+        return Instruction(spec, rd=rd, rs1=rs1, imm=shamt, word=word)
+    if fmt == FMT_S:
+        imm = _sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+        return Instruction(spec, rs1=rs1, rs2=rs2, imm=imm, word=word)
+    if fmt == FMT_B:
+        imm = (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11) \
+            | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1)
+        return Instruction(spec, rs1=rs1, rs2=rs2, imm=_sext(imm, 13),
+                           word=word)
+    if fmt == FMT_U:
+        imm = _sext(word & 0xFFFFF000, 32)
+        return Instruction(spec, rd=rd, imm=imm, word=word)
+    if fmt == FMT_J:
+        imm = (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12) \
+            | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1)
+        return Instruction(spec, rd=rd, imm=_sext(imm, 21), word=word)
+
+    raise DecodeError("cannot decode word %#010x (opcode %#x)"
+                      % (word, opcode))

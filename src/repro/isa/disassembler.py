@@ -1,0 +1,46 @@
+"""Disassembler: 32-bit words back to assembly text.
+
+Used for trace output and for round-trip testing of the encoder/decoder
+pair.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from .decoder import DecodeError, decode
+from .program import Program
+
+
+def disassemble_word(word: int) -> str:
+    """Disassemble one 32-bit ``word``; unknown words render as ``.word``."""
+    try:
+        return decode(word).text()
+    except DecodeError:
+        return ".word 0x%08x" % (word & 0xFFFFFFFF)
+
+
+def disassemble_program(program: Program) -> List[Tuple[int, int, str]]:
+    """Disassemble a full :class:`Program` image.
+
+    Returns ``(address, word, text)`` tuples in address order.
+    """
+    listing = []
+    for address, word in program.words():
+        listing.append((address, word, disassemble_word(word)))
+    return listing
+
+
+def format_listing(rows: Iterable[Tuple[int, int, str]],
+                   symbols=None) -> str:
+    """Pretty-print a disassembly listing with optional label column."""
+    by_address = {}
+    if symbols:
+        for name, address in symbols.items():
+            by_address.setdefault(address, []).append(name)
+    lines = []
+    for address, word, text in rows:
+        for label in by_address.get(address, []):
+            lines.append("%s:" % label)
+        lines.append("  %#010x: %08x  %s" % (address, word, text))
+    return "\n".join(lines)

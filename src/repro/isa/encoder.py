@@ -1,0 +1,125 @@
+"""Instruction encoder: :class:`Instruction` -> 32-bit RV64 word."""
+
+from __future__ import annotations
+
+from .instruction import Instruction
+from .opcodes import (
+    FMT_B,
+    FMT_I,
+    FMT_I_SHIFT,
+    FMT_I_SHIFT_W,
+    FMT_J,
+    FMT_R,
+    FMT_S,
+    FMT_SYS,
+    FMT_U,
+    SYS_ENCODINGS,
+)
+
+
+class EncodingError(ValueError):
+    """Raised when operands do not fit the instruction format."""
+
+
+def _check_range(value: int, bits: int, what: str, signed: bool = True):
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise EncodingError("%s %d does not fit in %d bits" %
+                            (what, value, bits))
+
+
+def _check_reg(idx, what: str) -> int:
+    if idx is None or not 0 <= idx < 32:
+        raise EncodingError("bad %s register: %r" % (what, idx))
+    return idx
+
+
+def encode(instr: Instruction) -> int:
+    """Encode ``instr`` into its 32-bit word."""
+    spec = instr.spec
+    fmt = spec.fmt
+    op = spec.opcode
+    f3 = spec.funct3
+    f7 = spec.funct7
+
+    if fmt == FMT_R:
+        rd = _check_reg(instr.rd, "rd")
+        rs1 = _check_reg(instr.rs1, "rs1")
+        rs2 = _check_reg(instr.rs2, "rs2")
+        return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) \
+            | (rd << 7) | op
+
+    if fmt == FMT_I:
+        rd = _check_reg(instr.rd, "rd")
+        rs1 = _check_reg(instr.rs1, "rs1")
+        _check_range(instr.imm, 12, "immediate")
+        imm = instr.imm & 0xFFF
+        return (imm << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+
+    if fmt in (FMT_I_SHIFT, FMT_I_SHIFT_W):
+        rd = _check_reg(instr.rd, "rd")
+        rs1 = _check_reg(instr.rs1, "rs1")
+        shamt_bits = 6 if fmt == FMT_I_SHIFT else 5
+        _check_range(instr.imm, shamt_bits, "shift amount", signed=False)
+        imm = (f7 << 5) | instr.imm
+        return (imm << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | op
+
+    if fmt == FMT_S:
+        rs1 = _check_reg(instr.rs1, "rs1")
+        rs2 = _check_reg(instr.rs2, "rs2")
+        _check_range(instr.imm, 12, "store offset")
+        imm = instr.imm & 0xFFF
+        return ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) \
+            | (f3 << 12) | ((imm & 0x1F) << 7) | op
+
+    if fmt == FMT_B:
+        rs1 = _check_reg(instr.rs1, "rs1")
+        rs2 = _check_reg(instr.rs2, "rs2")
+        _check_range(instr.imm, 13, "branch offset")
+        if instr.imm & 1:
+            raise EncodingError("branch offset must be even: %d" % instr.imm)
+        imm = instr.imm & 0x1FFF
+        b12 = (imm >> 12) & 1
+        b11 = (imm >> 11) & 1
+        b10_5 = (imm >> 5) & 0x3F
+        b4_1 = (imm >> 1) & 0xF
+        return (b12 << 31) | (b10_5 << 25) | (rs2 << 20) | (rs1 << 15) \
+            | (f3 << 12) | (b4_1 << 8) | (b11 << 7) | op
+
+    if fmt == FMT_U:
+        rd = _check_reg(instr.rd, "rd")
+        if instr.imm & 0xFFF:
+            raise EncodingError("U-type immediate has low bits set: %#x"
+                                % instr.imm)
+        _check_range(instr.imm >> 12, 20, "upper immediate")
+        return ((instr.imm >> 12) & 0xFFFFF) << 12 | (rd << 7) | op
+
+    if fmt == FMT_J:
+        rd = _check_reg(instr.rd, "rd")
+        _check_range(instr.imm, 21, "jump offset")
+        if instr.imm & 1:
+            raise EncodingError("jump offset must be even: %d" % instr.imm)
+        imm = instr.imm & 0x1FFFFF
+        b20 = (imm >> 20) & 1
+        b19_12 = (imm >> 12) & 0xFF
+        b11 = (imm >> 11) & 1
+        b10_1 = (imm >> 1) & 0x3FF
+        return (b20 << 31) | (b10_1 << 21) | (b11 << 20) \
+            | (b19_12 << 12) | (rd << 7) | op
+
+    if fmt == FMT_SYS:
+        return SYS_ENCODINGS[spec.mnemonic]
+
+    raise AssertionError("unhandled format %r" % fmt)
+
+
+def with_word(instr: Instruction) -> Instruction:
+    """Return a copy of ``instr`` whose ``word`` field holds its encoding."""
+    word = encode(instr)
+    if instr.word == word:
+        return instr
+    return Instruction(spec=instr.spec, rd=instr.rd, rs1=instr.rs1,
+                       rs2=instr.rs2, imm=instr.imm, word=word)

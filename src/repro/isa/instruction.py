@@ -1,0 +1,137 @@
+"""Decoded instruction representation.
+
+An :class:`Instruction` is the unit that flows through the pipeline model
+and through SafeDM's instruction-signature FIFOs.  It records the spec,
+the operand register indices, the immediate, plus the raw 32-bit word the
+instruction was encoded as (SafeDM hashes the *encoding*, so the raw word
+must survive decoding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .opcodes import (
+    FMT_B,
+    FMT_I,
+    FMT_I_SHIFT,
+    FMT_I_SHIFT_W,
+    FMT_J,
+    FMT_R,
+    FMT_S,
+    FMT_SYS,
+    FMT_U,
+    InstructionSpec,
+)
+from .registers import register_name
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded RV64 instruction.
+
+    ``rd``/``rs1``/``rs2`` are register indices (``None`` when the format
+    has no such operand).  ``imm`` is the sign-extended immediate.
+    """
+
+    spec: InstructionSpec
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: int = 0
+    word: int = 0
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    @property
+    def iclass(self) -> str:
+        return self.spec.iclass
+
+    def sources(self) -> Tuple[int, ...]:
+        """Register indices read by this instruction (x0 included)."""
+        srcs = []
+        if self.rs1 is not None:
+            srcs.append(self.rs1)
+        if self.rs2 is not None:
+            srcs.append(self.rs2)
+        return tuple(srcs)
+
+    def destination(self) -> Optional[int]:
+        """Register index written by this instruction, or ``None``.
+
+        Writes to x0 are architectural no-ops and reported as ``None``.
+        """
+        if self.rd is None or self.rd == 0:
+            return None
+        return self.rd
+
+    @property
+    def is_nop(self) -> bool:
+        """True for the canonical ``nop`` (``addi x0, x0, 0``)."""
+        return (self.spec.mnemonic == "addi" and self.rd == 0
+                and self.rs1 == 0 and self.imm == 0)
+
+    def text(self) -> str:
+        """Assembly text rendering (used by the disassembler and traces)."""
+        spec = self.spec
+        fmt = spec.fmt
+        name = spec.mnemonic
+        if fmt == FMT_R:
+            return "%s %s, %s, %s" % (name, register_name(self.rd),
+                                      register_name(self.rs1),
+                                      register_name(self.rs2))
+        if fmt in (FMT_I, FMT_I_SHIFT, FMT_I_SHIFT_W):
+            if spec.is_load or spec.mnemonic == "jalr":
+                return "%s %s, %d(%s)" % (name, register_name(self.rd),
+                                          self.imm, register_name(self.rs1))
+            return "%s %s, %s, %d" % (name, register_name(self.rd),
+                                      register_name(self.rs1), self.imm)
+        if fmt == FMT_S:
+            return "%s %s, %d(%s)" % (name, register_name(self.rs2),
+                                      self.imm, register_name(self.rs1))
+        if fmt == FMT_B:
+            return "%s %s, %s, %d" % (name, register_name(self.rs1),
+                                      register_name(self.rs2), self.imm)
+        if fmt == FMT_U:
+            return "%s %s, 0x%x" % (name, register_name(self.rd),
+                                    (self.imm >> 12) & 0xFFFFF)
+        if fmt == FMT_J:
+            return "%s %s, %d" % (name, register_name(self.rd), self.imm)
+        if fmt == FMT_SYS:
+            return name
+        raise AssertionError("unhandled format %r" % fmt)
+
+    def __str__(self) -> str:
+        return self.text()
+
+
+@dataclass
+class FetchedInstruction:
+    """An :class:`Instruction` bound to a fetch address.
+
+    This is what actually travels through pipeline stages: the same
+    static instruction can be in flight several times (loop iterations),
+    each occurrence carrying its own ``pc`` and sequence number.
+    """
+
+    instr: Instruction
+    pc: int
+    seq: int = 0
+    #: Filled at execute time for loads/stores (effective address).
+    effective_address: Optional[int] = field(default=None, compare=False)
+    #: Fetch-time branch prediction (conditional branches only).
+    predicted_taken: bool = field(default=False, compare=False)
+    #: Value written to ``rd`` (filled at execute/memory time).
+    result: Optional[int] = field(default=None, compare=False)
+    #: Store data captured at issue time.
+    store_value: Optional[int] = field(default=None, compare=False)
+
+    @property
+    def word(self) -> int:
+        return self.instr.word
+
+    def __str__(self) -> str:
+        return "%#010x: %s" % (self.pc, self.instr.text())

@@ -1,0 +1,178 @@
+"""RV64IM opcode tables.
+
+Every instruction understood by the reproduction is described by an
+:class:`InstructionSpec` entry here.  The encoder, decoder, assembler and
+pipeline model all key off this single table, so adding an instruction is
+a one-line change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Major opcode values (bits [6:0] of the encoding).
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_IMM32 = 0b0011011
+OP_REG = 0b0110011
+OP_REG32 = 0b0111011
+OP_MISC_MEM = 0b0001111
+OP_SYSTEM = 0b1110011
+
+# Instruction formats.
+FMT_R = "R"
+FMT_I = "I"
+FMT_I_SHIFT = "IS"      # I-format with a 6-bit shamt (RV64)
+FMT_I_SHIFT_W = "ISW"   # I-format with a 5-bit shamt (word shifts)
+FMT_S = "S"
+FMT_B = "B"
+FMT_U = "U"
+FMT_J = "J"
+FMT_SYS = "SYS"         # ecall/ebreak/fence: fixed encodings
+
+# Functional classes consumed by the pipeline model.
+CLASS_ALU = "alu"
+CLASS_MUL = "mul"
+CLASS_DIV = "div"
+CLASS_LOAD = "load"
+CLASS_STORE = "store"
+CLASS_BRANCH = "branch"
+CLASS_JUMP = "jump"
+CLASS_SYSTEM = "system"
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    fmt: str
+    opcode: int
+    funct3: int = 0
+    funct7: int = 0
+    iclass: str = CLASS_ALU
+    #: Memory access size in bytes for loads/stores, else 0.
+    size: int = 0
+    #: Loads: sign-extend the loaded value.
+    signed: bool = True
+
+    @property
+    def is_load(self) -> bool:
+        return self.iclass == CLASS_LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.iclass == CLASS_STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.iclass in (CLASS_LOAD, CLASS_STORE)
+
+    @property
+    def is_control(self) -> bool:
+        return self.iclass in (CLASS_BRANCH, CLASS_JUMP)
+
+
+def _specs():
+    s = InstructionSpec
+    table = [
+        # --- upper immediates and jumps -------------------------------
+        s("lui", FMT_U, OP_LUI),
+        s("auipc", FMT_U, OP_AUIPC),
+        s("jal", FMT_J, OP_JAL, iclass=CLASS_JUMP),
+        s("jalr", FMT_I, OP_JALR, 0b000, iclass=CLASS_JUMP),
+        # --- branches --------------------------------------------------
+        s("beq", FMT_B, OP_BRANCH, 0b000, iclass=CLASS_BRANCH),
+        s("bne", FMT_B, OP_BRANCH, 0b001, iclass=CLASS_BRANCH),
+        s("blt", FMT_B, OP_BRANCH, 0b100, iclass=CLASS_BRANCH),
+        s("bge", FMT_B, OP_BRANCH, 0b101, iclass=CLASS_BRANCH),
+        s("bltu", FMT_B, OP_BRANCH, 0b110, iclass=CLASS_BRANCH),
+        s("bgeu", FMT_B, OP_BRANCH, 0b111, iclass=CLASS_BRANCH),
+        # --- loads ------------------------------------------------------
+        s("lb", FMT_I, OP_LOAD, 0b000, iclass=CLASS_LOAD, size=1),
+        s("lh", FMT_I, OP_LOAD, 0b001, iclass=CLASS_LOAD, size=2),
+        s("lw", FMT_I, OP_LOAD, 0b010, iclass=CLASS_LOAD, size=4),
+        s("ld", FMT_I, OP_LOAD, 0b011, iclass=CLASS_LOAD, size=8),
+        s("lbu", FMT_I, OP_LOAD, 0b100, iclass=CLASS_LOAD, size=1,
+          signed=False),
+        s("lhu", FMT_I, OP_LOAD, 0b101, iclass=CLASS_LOAD, size=2,
+          signed=False),
+        s("lwu", FMT_I, OP_LOAD, 0b110, iclass=CLASS_LOAD, size=4,
+          signed=False),
+        # --- stores -----------------------------------------------------
+        s("sb", FMT_S, OP_STORE, 0b000, iclass=CLASS_STORE, size=1),
+        s("sh", FMT_S, OP_STORE, 0b001, iclass=CLASS_STORE, size=2),
+        s("sw", FMT_S, OP_STORE, 0b010, iclass=CLASS_STORE, size=4),
+        s("sd", FMT_S, OP_STORE, 0b011, iclass=CLASS_STORE, size=8),
+        # --- immediate ALU ----------------------------------------------
+        s("addi", FMT_I, OP_IMM, 0b000),
+        s("slti", FMT_I, OP_IMM, 0b010),
+        s("sltiu", FMT_I, OP_IMM, 0b011),
+        s("xori", FMT_I, OP_IMM, 0b100),
+        s("ori", FMT_I, OP_IMM, 0b110),
+        s("andi", FMT_I, OP_IMM, 0b111),
+        s("slli", FMT_I_SHIFT, OP_IMM, 0b001, 0b0000000),
+        s("srli", FMT_I_SHIFT, OP_IMM, 0b101, 0b0000000),
+        s("srai", FMT_I_SHIFT, OP_IMM, 0b101, 0b0100000),
+        # --- immediate ALU, 32-bit results ------------------------------
+        s("addiw", FMT_I, OP_IMM32, 0b000),
+        s("slliw", FMT_I_SHIFT_W, OP_IMM32, 0b001, 0b0000000),
+        s("srliw", FMT_I_SHIFT_W, OP_IMM32, 0b101, 0b0000000),
+        s("sraiw", FMT_I_SHIFT_W, OP_IMM32, 0b101, 0b0100000),
+        # --- register ALU ------------------------------------------------
+        s("add", FMT_R, OP_REG, 0b000, 0b0000000),
+        s("sub", FMT_R, OP_REG, 0b000, 0b0100000),
+        s("sll", FMT_R, OP_REG, 0b001, 0b0000000),
+        s("slt", FMT_R, OP_REG, 0b010, 0b0000000),
+        s("sltu", FMT_R, OP_REG, 0b011, 0b0000000),
+        s("xor", FMT_R, OP_REG, 0b100, 0b0000000),
+        s("srl", FMT_R, OP_REG, 0b101, 0b0000000),
+        s("sra", FMT_R, OP_REG, 0b101, 0b0100000),
+        s("or", FMT_R, OP_REG, 0b110, 0b0000000),
+        s("and", FMT_R, OP_REG, 0b111, 0b0000000),
+        # --- register ALU, 32-bit results --------------------------------
+        s("addw", FMT_R, OP_REG32, 0b000, 0b0000000),
+        s("subw", FMT_R, OP_REG32, 0b000, 0b0100000),
+        s("sllw", FMT_R, OP_REG32, 0b001, 0b0000000),
+        s("srlw", FMT_R, OP_REG32, 0b101, 0b0000000),
+        s("sraw", FMT_R, OP_REG32, 0b101, 0b0100000),
+        # --- M extension --------------------------------------------------
+        s("mul", FMT_R, OP_REG, 0b000, 0b0000001, iclass=CLASS_MUL),
+        s("mulh", FMT_R, OP_REG, 0b001, 0b0000001, iclass=CLASS_MUL),
+        s("mulhsu", FMT_R, OP_REG, 0b010, 0b0000001, iclass=CLASS_MUL),
+        s("mulhu", FMT_R, OP_REG, 0b011, 0b0000001, iclass=CLASS_MUL),
+        s("div", FMT_R, OP_REG, 0b100, 0b0000001, iclass=CLASS_DIV),
+        s("divu", FMT_R, OP_REG, 0b101, 0b0000001, iclass=CLASS_DIV),
+        s("rem", FMT_R, OP_REG, 0b110, 0b0000001, iclass=CLASS_DIV),
+        s("remu", FMT_R, OP_REG, 0b111, 0b0000001, iclass=CLASS_DIV),
+        s("mulw", FMT_R, OP_REG32, 0b000, 0b0000001, iclass=CLASS_MUL),
+        s("divw", FMT_R, OP_REG32, 0b100, 0b0000001, iclass=CLASS_DIV),
+        s("divuw", FMT_R, OP_REG32, 0b101, 0b0000001, iclass=CLASS_DIV),
+        s("remw", FMT_R, OP_REG32, 0b110, 0b0000001, iclass=CLASS_DIV),
+        s("remuw", FMT_R, OP_REG32, 0b111, 0b0000001, iclass=CLASS_DIV),
+        # --- system -------------------------------------------------------
+        s("fence", FMT_SYS, OP_MISC_MEM, 0b000, iclass=CLASS_SYSTEM),
+        s("ecall", FMT_SYS, OP_SYSTEM, 0b000, iclass=CLASS_SYSTEM),
+        s("ebreak", FMT_SYS, OP_SYSTEM, 0b000, iclass=CLASS_SYSTEM),
+    ]
+    return {spec.mnemonic: spec for spec in table}
+
+
+#: Mnemonic -> spec.
+SPECS = _specs()
+
+#: Fixed 32-bit encodings for the SYS format.
+SYS_ENCODINGS = {
+    "fence": 0x0000000F,
+    "ecall": 0x00000073,
+    "ebreak": 0x00100073,
+}
+
+#: Encoding of the canonical NOP (``addi x0, x0, 0``).
+NOP_WORD = 0x00000013

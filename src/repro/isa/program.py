@@ -1,0 +1,40 @@
+"""Assembled program image."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Program:
+    """A relocated, fully-resolved program image.
+
+    ``image`` maps base addresses to byte blobs (normally a single blob
+    at ``base``).  ``symbols`` maps label names to absolute addresses.
+    """
+
+    base: int
+    image: Dict[int, bytes]
+    symbols: Dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+
+    @property
+    def size(self) -> int:
+        """Total number of image bytes."""
+        return sum(len(blob) for blob in self.image.values())
+
+    def words(self):
+        """Iterate over ``(address, word)`` pairs of 32-bit image words."""
+        for start, blob in sorted(self.image.items()):
+            for offset in range(0, len(blob) - 3, 4):
+                word = int.from_bytes(blob[offset:offset + 4], "little")
+                yield start + offset, word
+
+    def symbol(self, name: str) -> int:
+        """Absolute address of label ``name``."""
+        return self.symbols[name]
+
+    def end(self) -> int:
+        """One past the highest image address."""
+        return max(start + len(blob) for start, blob in self.image.items())

@@ -1,0 +1,24 @@
+"""Memory hierarchy substrate: functional memory, timing caches, AHB/APB."""
+
+from .apb import ApbBridge, ApbError, ApbSlave
+from .bus import AhbBus, BusRequest, BusStats, BusTiming
+from .cache import Cache, CacheConfig, CacheStats
+from .memory import Memory, MemoryError_
+from .store_buffer import StoreBuffer, StoreBufferStats
+
+__all__ = [
+    "AhbBus",
+    "ApbBridge",
+    "ApbError",
+    "ApbSlave",
+    "BusRequest",
+    "BusStats",
+    "BusTiming",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "Memory",
+    "MemoryError_",
+    "StoreBuffer",
+    "StoreBufferStats",
+]

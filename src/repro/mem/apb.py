@@ -1,0 +1,84 @@
+"""APB peripheral bus model.
+
+SafeDM attaches to the MPSoC as an APB slave (paper Section IV-B); this
+module provides the slave protocol surface: a slave exposes 32-bit
+registers at word-aligned offsets, and the bridge routes reads/writes by
+address range.  The model is functional (single-cycle), which matches
+how the paper uses APB — configuration and result readout, never on the
+critical path of the monitored cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class ApbError(Exception):
+    """Raised on access to an unmapped address or a bad offset."""
+
+
+class ApbSlave:
+    """Base class for APB slaves.
+
+    Subclasses implement :meth:`read_register` / :meth:`write_register`
+    taking a word-aligned byte offset within the slave's window.
+    """
+
+    #: Size of the slave's address window in bytes.
+    window = 0x100
+
+    def read_register(self, offset: int) -> int:
+        raise ApbError("read of unimplemented register %#x" % offset)
+
+    def write_register(self, offset: int, value: int):
+        raise ApbError("write of unimplemented register %#x" % offset)
+
+
+@dataclass
+class _Mapping:
+    base: int
+    slave: ApbSlave
+    name: str
+
+
+class ApbBridge:
+    """AHB-to-APB bridge: address-decoded access to attached slaves."""
+
+    def __init__(self, base: int = 0xFC00_0000):
+        self.base = base
+        self._mappings: List[_Mapping] = []
+
+    def attach(self, slave: ApbSlave, offset: int, name: str = "") -> int:
+        """Attach ``slave`` at ``base+offset``; returns its absolute base."""
+        base = self.base + offset
+        for m in self._mappings:
+            if base < m.base + m.slave.window and m.base < base + slave.window:
+                raise ApbError("APB window overlap at %#x" % base)
+        self._mappings.append(_Mapping(base=base, slave=slave,
+                                       name=name or type(slave).__name__))
+        return base
+
+    def _decode(self, address: int) -> Tuple[ApbSlave, int]:
+        for m in self._mappings:
+            if m.base <= address < m.base + m.slave.window:
+                return m.slave, address - m.base
+        raise ApbError("no APB slave at %#x" % address)
+
+    def read(self, address: int) -> int:
+        """32-bit APB read."""
+        if address & 3:
+            raise ApbError("misaligned APB read at %#x" % address)
+        slave, offset = self._decode(address)
+        return slave.read_register(offset) & 0xFFFFFFFF
+
+    def write(self, address: int, value: int):
+        """32-bit APB write."""
+        if address & 3:
+            raise ApbError("misaligned APB write at %#x" % address)
+        slave, offset = self._decode(address)
+        slave.write_register(offset, value & 0xFFFFFFFF)
+
+    def slaves(self) -> Dict[str, int]:
+        """Mapping of slave name to absolute base address."""
+        return {m.name: m.base for m in self._mappings}

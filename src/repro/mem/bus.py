@@ -1,0 +1,181 @@
+"""AHB bus model with round-robin arbitration and an integrated shared L2.
+
+The paper's key observation — that redundant execution diverges
+*naturally* — hinges on exactly this component: when both cores miss
+their L1s in the same cycle, the bus grants one of them first and delays
+the other, which breaks zero staggering ("One core is granted access
+first and gets its load served whereas the other is delayed").  The
+shared L2 also lets a *trailing* core run faster than the head core on
+the same instruction stream (the head core warms L2 instruction lines),
+which is how trailing cores occasionally catch up.
+
+The model is deliberately transaction-level: one outstanding transaction
+occupies the bus for a number of cycles derived from whether it hits the
+shared L2 or goes to the memory controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .cache import Cache, CacheConfig
+
+
+@dataclass
+class BusTiming:
+    """Service latencies, in bus cycles, for one granted transaction."""
+
+    #: Grant + address phase overhead.
+    grant: int = 1
+    #: Line transfer on the 128-bit AHB (32-byte line = 2 beats).
+    transfer: int = 2
+    #: L2 lookup latency on a hit.
+    l2_hit: int = 4
+    #: Additional latency to the memory controller on an L2 miss.
+    l2_miss: int = 18
+    #: Single-beat store (write-through traffic).
+    store: int = 2
+
+
+@dataclass
+class BusRequest:
+    """One master's pending transaction.
+
+    ``complete_cycle`` is valid once ``granted`` is True; the request is
+    finished when the SoC cycle reaches it.
+    """
+
+    master: int
+    address: int
+    is_store: bool = False
+    is_ifetch: bool = False
+    issue_cycle: int = 0
+    granted: bool = False
+    complete_cycle: int = -1
+    l2_hit: Optional[bool] = None
+
+    def done(self, cycle: int) -> bool:
+        return self.granted and cycle >= self.complete_cycle
+
+
+@dataclass
+class BusStats:
+    """Aggregate transaction counters."""
+
+    transactions: int = 0
+    store_transactions: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    busy_cycles: int = 0
+    contended_grants: int = 0
+
+
+class AhbBus:
+    """Single-outstanding-transaction AHB with round-robin arbitration."""
+
+    def __init__(self, num_masters: int = 2,
+                 timing: Optional[BusTiming] = None,
+                 l2_config: Optional[CacheConfig] = None):
+        self.num_masters = num_masters
+        self.timing = timing or BusTiming()
+        self.l2 = Cache(l2_config or CacheConfig(size=65536, line_size=32,
+                                                 ways=8, name="l2"))
+        self.stats = BusStats()
+        self._queue: List[BusRequest] = []
+        self._inflight: Optional[BusRequest] = None
+        self._rr_next = 0
+
+    # -- master interface -------------------------------------------------
+
+    def request(self, req: BusRequest) -> BusRequest:
+        """Enqueue ``req``; completion is observable via ``req.done()``."""
+        self._queue.append(req)
+        return req
+
+    def request_line(self, master: int, address: int, cycle: int,
+                     is_ifetch: bool = False) -> BusRequest:
+        """Convenience: enqueue a line-fill read."""
+        return self.request(BusRequest(master=master,
+                                       address=self.l2.line_address(address),
+                                       is_ifetch=is_ifetch,
+                                       issue_cycle=cycle))
+
+    def request_store(self, master: int, address: int,
+                      cycle: int) -> BusRequest:
+        """Convenience: enqueue a write-through store beat."""
+        return self.request(BusRequest(master=master, address=address,
+                                       is_store=True, issue_cycle=cycle))
+
+    # -- per-cycle behaviour -------------------------------------------------
+
+    def step(self, cycle: int):
+        """Advance the bus one cycle: retire and grant transactions."""
+        if self._inflight is not None:
+            self.stats.busy_cycles += 1
+            if cycle >= self._inflight.complete_cycle:
+                self._inflight = None
+        if self._inflight is None and self._queue:
+            self._grant(cycle)
+
+    def _grant(self, cycle: int):
+        eligible = [r for r in self._queue if r.issue_cycle <= cycle]
+        if not eligible:
+            return
+        if len(eligible) > 1:
+            self.stats.contended_grants += 1
+        req = self._pick_round_robin(eligible)
+        self._queue.remove(req)
+        req.granted = True
+        req.complete_cycle = cycle + self._service_time(req)
+        self._inflight = req
+        self._rr_next = (req.master + 1) % self.num_masters
+
+    def _pick_round_robin(self, eligible: List[BusRequest]) -> BusRequest:
+        for offset in range(self.num_masters):
+            master = (self._rr_next + offset) % self.num_masters
+            for req in eligible:
+                if req.master == master:
+                    return req
+        return eligible[0]
+
+    def _service_time(self, req: BusRequest) -> int:
+        t = self.timing
+        self.stats.transactions += 1
+        if req.is_store:
+            self.stats.store_transactions += 1
+            # Stores allocate in L2 (write-allocate L2 keeps later loads
+            # from the same line fast, mirroring GRLIB's shared L2).
+            hit = self.l2.lookup(req.address)
+            req.l2_hit = hit
+            if hit:
+                self.stats.l2_hits += 1
+                return t.grant + t.store
+            self.stats.l2_misses += 1
+            self.l2.fill(req.address)
+            return t.grant + t.store + t.l2_miss // 2
+        hit = self.l2.lookup(req.address)
+        req.l2_hit = hit
+        if hit:
+            self.stats.l2_hits += 1
+            return t.grant + t.l2_hit + t.transfer
+        self.stats.l2_misses += 1
+        self.l2.fill(req.address)
+        return t.grant + t.l2_hit + t.l2_miss + t.transfer
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while a transaction occupies the bus."""
+        return self._inflight is not None
+
+    def pending_requests(self) -> int:
+        return len(self._queue) + (1 if self._inflight else 0)
+
+    def reset(self):
+        """Clear queues and L2 (between experiment runs)."""
+        self._queue.clear()
+        self._inflight = None
+        self._rr_next = 0
+        self.l2.invalidate_all()

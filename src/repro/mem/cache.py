@@ -1,0 +1,104 @@
+"""Tag-only set-associative cache timing model.
+
+Caches in this simulator track which lines are present (tags + LRU) and
+answer hit/miss; the data itself always lives in the functional
+:class:`~repro.mem.memory.Memory`.  This matches what SafeDM needs: the
+monitor observes *when* pipelines stall and *which values* flow through
+register ports, and both are fully determined by hit/miss timing plus
+functional data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size: int = 4096
+    line_size: int = 32
+    ways: int = 2
+    name: str = "cache"
+
+    def __post_init__(self):
+        if self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a power of two")
+        if self.size % (self.line_size * self.ways):
+            raise ValueError("size must be a multiple of line_size*ways")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.line_size * self.ways)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """LRU set-associative tag store."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.stats = CacheStats()
+        # Per-set list of tags in LRU order (index 0 = most recent).
+        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+        self._set_shift = config.line_size.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+
+    def _locate(self, address: int):
+        line = address >> self._set_shift
+        return self._sets[line & self._set_mask], line
+
+    def line_address(self, address: int) -> int:
+        """Line-aligned address containing ``address``."""
+        return address & ~(self.config.line_size - 1)
+
+    def lookup(self, address: int) -> bool:
+        """True if the line holding ``address`` is present (updates LRU)."""
+        tags, tag = self._locate(address)
+        if tag in tags:
+            tags.remove(tag)
+            tags.insert(0, tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Like :meth:`lookup` but with no LRU or counter side effects."""
+        tags, tag = self._locate(address)
+        return tag in tags
+
+    def fill(self, address: int):
+        """Allocate the line holding ``address`` (LRU eviction)."""
+        tags, tag = self._locate(address)
+        if tag in tags:
+            tags.remove(tag)
+        tags.insert(0, tag)
+        if len(tags) > self.config.ways:
+            tags.pop()
+
+    def invalidate_all(self):
+        """Drop all lines (used between experiment runs)."""
+        for tags in self._sets:
+            tags.clear()
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently cached."""
+        return sum(len(tags) for tags in self._sets)

@@ -1,0 +1,89 @@
+"""Flat backing memory.
+
+Functional state of the whole SoC lives here: the timing models in
+:mod:`repro.mem.cache` and :mod:`repro.mem.bus` only decide *when* an
+access completes, while data correctness always comes from this memory.
+That split (functional memory + tag-only timing caches) is a standard
+simulator construction and is what lets the reproduction run millions of
+cycles in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class MemoryError_(Exception):
+    """Raised on misaligned or out-of-range accesses."""
+
+
+class Memory:
+    """Sparse paged byte-addressable memory (allocate-on-touch)."""
+
+    def __init__(self):
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, address: int) -> bytearray:
+        key = address >> PAGE_BITS
+        page = self._pages.get(key)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[key] = page
+        return page
+
+    # -- bulk access ------------------------------------------------------
+
+    def load_blob(self, address: int, blob: bytes):
+        """Copy ``blob`` into memory starting at ``address``."""
+        offset = 0
+        while offset < len(blob):
+            page = self._page(address + offset)
+            start = (address + offset) & PAGE_MASK
+            chunk = min(PAGE_SIZE - start, len(blob) - offset)
+            page[start:start + chunk] = blob[offset:offset + chunk]
+            offset += chunk
+
+    def read_blob(self, address: int, size: int) -> bytes:
+        """Read ``size`` raw bytes starting at ``address``."""
+        out = bytearray()
+        offset = 0
+        while offset < size:
+            page = self._page(address + offset)
+            start = (address + offset) & PAGE_MASK
+            chunk = min(PAGE_SIZE - start, size - offset)
+            out += page[start:start + chunk]
+            offset += chunk
+        return bytes(out)
+
+    # -- scalar access ------------------------------------------------------
+
+    def read(self, address: int, size: int) -> int:
+        """Read an unsigned little-endian value of ``size`` bytes."""
+        if address & (size - 1):
+            raise MemoryError_("misaligned read of %d bytes at %#x"
+                               % (size, address))
+        page = self._page(address)
+        start = address & PAGE_MASK
+        return int.from_bytes(page[start:start + size], "little")
+
+    def write(self, address: int, value: int, size: int):
+        """Write an unsigned little-endian value of ``size`` bytes."""
+        if address & (size - 1):
+            raise MemoryError_("misaligned write of %d bytes at %#x"
+                               % (size, address))
+        page = self._page(address)
+        start = address & PAGE_MASK
+        page[start:start + size] = (value & ((1 << (8 * size)) - 1)
+                                    ).to_bytes(size, "little")
+
+    def read_word(self, address: int) -> int:
+        """Read a 32-bit instruction word."""
+        return self.read(address, 4)
+
+    def touched_pages(self) -> int:
+        """Number of allocated 4 KiB pages (for tests and stats)."""
+        return len(self._pages)

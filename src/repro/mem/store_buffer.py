@@ -1,0 +1,108 @@
+"""Core-local store buffer with same-line coalescing.
+
+NOEL-V's L1 data cache is write-through, so every store becomes bus
+traffic.  A small store buffer decouples the pipeline from the bus; when
+the bus is busy, stores to the same cache line merge into a single
+transaction.  This coalescing is the mechanism behind the paper's ``pm``
+timing anomaly: a *delayed* core finds the bus occupied by the head
+core, its stores coalesce, and it ends up finishing its store burst in
+fewer transactions than the head core did — fast enough to catch up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .bus import AhbBus, BusRequest
+
+
+@dataclass
+class StoreEntry:
+    """One pending (possibly coalesced) store transaction."""
+
+    line_address: int
+    stores: int = 1
+
+
+@dataclass
+class StoreBufferStats:
+    stores_accepted: int = 0
+    coalesced: int = 0
+    transactions: int = 0
+    full_stalls: int = 0
+
+
+class StoreBuffer:
+    """FIFO of pending store transactions for one core."""
+
+    def __init__(self, master: int, bus: AhbBus, depth: int = 4,
+                 coalesce: bool = True):
+        self.master = master
+        self.bus = bus
+        self.depth = depth
+        self.coalesce = coalesce
+        self.stats = StoreBufferStats()
+        self._entries: List[StoreEntry] = []
+        self._inflight: Optional[BusRequest] = None
+
+    # -- pipeline interface ---------------------------------------------------
+
+    def push(self, address: int, cycle: int) -> bool:
+        """Accept a store from the pipeline.
+
+        Returns False (pipeline must stall and retry) when the buffer is
+        full and the store cannot coalesce.
+        """
+        line = self.bus.l2.line_address(address)
+        if self.coalesce:
+            # Merge with any entry not yet on the bus for the same line.
+            for entry in self._entries:
+                if entry.line_address == line:
+                    entry.stores += 1
+                    self.stats.stores_accepted += 1
+                    self.stats.coalesced += 1
+                    return True
+        if len(self._entries) >= self.depth:
+            self.stats.full_stalls += 1
+            return False
+        self._entries.append(StoreEntry(line_address=line))
+        self.stats.stores_accepted += 1
+        return True
+
+    def contains_line(self, address: int) -> bool:
+        """True if a pending store targets the line of ``address``.
+
+        Loads use this for store-to-load ordering: a load to a line with
+        a pending store waits for the drain (the functional value is
+        already in memory, so only timing is affected).
+        """
+        line = self.bus.l2.line_address(address)
+        if self._inflight is not None and self._inflight.address == line:
+            return True
+        return any(entry.line_address == line for entry in self._entries)
+
+    # -- per-cycle behaviour -------------------------------------------------
+
+    def step(self, cycle: int):
+        """Drain one transaction at a time through the bus."""
+        if self._inflight is not None and self._inflight.done(cycle):
+            self._inflight = None
+        if self._inflight is None and self._entries:
+            entry = self._entries.pop(0)
+            self.stats.transactions += 1
+            self._inflight = self.bus.request_store(self.master,
+                                                    entry.line_address,
+                                                    cycle)
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries and self._inflight is None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries) + (1 if self._inflight else 0)
+
+    def reset(self):
+        self._entries.clear()
+        self._inflight = None

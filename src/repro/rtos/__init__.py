@@ -1,0 +1,12 @@
+"""Safety-concept layer: periodic redundant jobs, FTTI tracking."""
+
+from .safety import FttiTracker, JobRecord
+from .scheduler import JobOutcome, PeriodicTask, RedundantJobRunner
+
+__all__ = [
+    "FttiTracker",
+    "JobOutcome",
+    "JobRecord",
+    "PeriodicTask",
+    "RedundantJobRunner",
+]

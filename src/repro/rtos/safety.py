@@ -1,0 +1,86 @@
+"""FTTI tracking — the safety-concept arithmetic of paper Section III-A.
+
+"ASIL-D systems such as braking and steering are executed at high
+frequency (e.g. every 50ms) and a hazard can occur if errors are not
+detected within a larger period (e.g. 200ms), which is the Fault
+Tolerant Time Interval (FTTI).  Hence, if a job of the braking task is
+dropped, hence preserving the decision taken 50ms ago during 50
+additional ms, the system still remains safe as long as new job drops
+do not occur consecutively."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class JobRecord:
+    """Outcome of one periodic job instance."""
+
+    index: int
+    release_ms: float
+    dropped: bool
+    reason: str = ""
+
+
+@dataclass
+class FttiTracker:
+    """Tracks job drops against the task's FTTI budget.
+
+    With period P and FTTI F, up to ``floor(F / P) - 1`` *consecutive*
+    drops are tolerable: the last good actuation stays valid until the
+    FTTI expires.
+    """
+
+    period_ms: float = 50.0
+    ftti_ms: float = 200.0
+    records: List[JobRecord] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.ftti_ms < self.period_ms:
+            raise ValueError("FTTI shorter than the task period")
+
+    @property
+    def max_consecutive_drops(self) -> int:
+        return int(self.ftti_ms / self.period_ms) - 1
+
+    def record(self, dropped: bool, reason: str = "") -> JobRecord:
+        record = JobRecord(index=len(self.records),
+                           release_ms=len(self.records) * self.period_ms,
+                           dropped=dropped, reason=reason)
+        self.records.append(record)
+        return record
+
+    def consecutive_drops_ending_at(self, index: int) -> int:
+        count = 0
+        while index >= 0 and self.records[index].dropped:
+            count += 1
+            index -= 1
+        return count
+
+    @property
+    def hazards(self) -> List[int]:
+        """Job indices at which the FTTI budget was exceeded."""
+        limit = self.max_consecutive_drops
+        out = []
+        for record in self.records:
+            if record.dropped and \
+                    self.consecutive_drops_ending_at(record.index) > limit:
+                out.append(record.index)
+        return out
+
+    @property
+    def safe(self) -> bool:
+        return not self.hazards
+
+    @property
+    def drop_count(self) -> int:
+        return sum(1 for r in self.records if r.dropped)
+
+    def summary(self) -> str:
+        return ("jobs=%d drops=%d max_consecutive_allowed=%d hazards=%s"
+                % (len(self.records), self.drop_count,
+                   self.max_consecutive_drops,
+                   self.hazards or "none"))

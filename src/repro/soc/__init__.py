@@ -1,0 +1,27 @@
+"""MPSoC platform: cores + bus + SafeDM, and the experiment protocol."""
+
+from .config import SocConfig
+from .experiment import (
+    PAPER_STAGGER_VALUES,
+    CellResult,
+    RunResult,
+    run_cell,
+    run_redundant,
+    run_row,
+)
+from .loader import LoaderError, build_nop_sled, load_program
+from .mpsoc import MPSoC
+
+__all__ = [
+    "CellResult",
+    "LoaderError",
+    "MPSoC",
+    "PAPER_STAGGER_VALUES",
+    "RunResult",
+    "SocConfig",
+    "build_nop_sled",
+    "load_program",
+    "run_cell",
+    "run_redundant",
+    "run_row",
+]

@@ -1,0 +1,149 @@
+"""Redundant-execution experiment protocol (paper Section V-B).
+
+Reproduces the paper's measurement procedure:
+
+* *Without staggering* — both cores start the program in the same cycle.
+* *With staggering* — the late core first executes 100 / 1,000 / 10,000
+  nops; runs are repeated with each core taking the late role.
+
+For every run we record the number of cycles with zero staggering
+(commit difference of 0 at program level) and the number of cycles in
+which SafeDM reports no diversity (both signatures equal), i.e. the two
+columns of the paper's Table I.  Like the paper, a table cell reports
+the *maximum* across the repeated runs.
+
+The FPGA platform has run-to-run variation; this simulator is
+deterministic, so "repeated runs" vary controlled initial conditions
+instead: the bus arbiter's starting round-robin position and (for the
+staggered experiments) which core starts late.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core.monitor import ReportingMode
+from ..isa.program import Program
+from .config import SocConfig
+from .mpsoc import MPSoC
+
+#: The initial staggering values evaluated in the paper.
+PAPER_STAGGER_VALUES = (0, 100, 1000, 10000)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one redundant run."""
+
+    benchmark: str
+    stagger_nops: int
+    late_core: int
+    cycles: int
+    committed: int
+    zero_staggering_cycles: int
+    no_diversity_cycles: int
+    no_data_diversity_cycles: int
+    no_instruction_diversity_cycles: int
+    interrupts: int
+    finished: bool
+    ipc: float
+
+    def summary(self) -> str:
+        return ("%s nops=%d late=%d: cycles=%d zero_stag=%d no_div=%d"
+                % (self.benchmark, self.stagger_nops, self.late_core,
+                   self.cycles, self.zero_staggering_cycles,
+                   self.no_diversity_cycles))
+
+
+@dataclass
+class CellResult:
+    """One Table I cell: max across repeated runs."""
+
+    benchmark: str
+    stagger_nops: int
+    zero_staggering_cycles: int
+    no_diversity_cycles: int
+    runs: List[RunResult] = field(default_factory=list)
+
+
+def run_redundant(program: Program, benchmark: str = "program",
+                  stagger_nops: int = 0, late_core: int = 1,
+                  config: Optional[SocConfig] = None,
+                  mode: ReportingMode = ReportingMode.POLLING,
+                  threshold: int = 1,
+                  max_cycles: int = 2_000_000,
+                  rr_start: int = 0,
+                  soc_hook: Optional[Callable[[MPSoC], None]] = None
+                  ) -> RunResult:
+    """Run ``program`` redundantly on a fresh MPSoC and report counters."""
+    soc = MPSoC(config=config, mode=mode, threshold=threshold)
+    soc.bus._rr_next = rr_start % soc.bus.num_masters
+    soc.start_redundant(program, late_core=late_core,
+                        stagger_nops=stagger_nops)
+    if soc_hook is not None:
+        soc_hook(soc)
+    cycles = soc.run(max_cycles=max_cycles)
+    stats = soc.safedm.stats
+    diff_stats = soc.safedm.instruction_diff.stats
+    finished = all(soc.cores[idx].finished for idx in soc.monitored)
+    committed = sum(soc.cores[idx].stats.committed
+                    for idx in soc.monitored)
+    core0 = soc.cores[soc.monitored[0]]
+    return RunResult(
+        benchmark=benchmark,
+        stagger_nops=stagger_nops,
+        late_core=late_core,
+        cycles=cycles,
+        committed=committed,
+        zero_staggering_cycles=diff_stats.zero_staggering_cycles,
+        no_diversity_cycles=stats.no_diversity_cycles,
+        no_data_diversity_cycles=stats.no_data_diversity_cycles,
+        no_instruction_diversity_cycles=(
+            stats.no_instruction_diversity_cycles),
+        interrupts=stats.interrupts_raised,
+        finished=finished,
+        ipc=core0.stats.ipc,
+    )
+
+
+def run_cell(program: Program, benchmark: str, stagger_nops: int,
+             config: Optional[SocConfig] = None,
+             max_cycles: int = 2_000_000) -> CellResult:
+    """Run the paper's repetition protocol for one Table I cell.
+
+    Without staggering: repeated runs varying the arbiter start (the
+    paper runs 4 times).  With staggering: one run per late-core choice
+    (the paper runs "one with one core starting first, and another one
+    with the other core starting first").
+    """
+    runs: List[RunResult] = []
+    if stagger_nops == 0:
+        for rr_start in (0, 1):
+            runs.append(run_redundant(program, benchmark=benchmark,
+                                      stagger_nops=0, config=config,
+                                      max_cycles=max_cycles,
+                                      rr_start=rr_start))
+    else:
+        for late_core in (0, 1):
+            runs.append(run_redundant(program, benchmark=benchmark,
+                                      stagger_nops=stagger_nops,
+                                      late_core=late_core, config=config,
+                                      max_cycles=max_cycles))
+    return CellResult(
+        benchmark=benchmark,
+        stagger_nops=stagger_nops,
+        zero_staggering_cycles=max(r.zero_staggering_cycles for r in runs),
+        no_diversity_cycles=max(r.no_diversity_cycles for r in runs),
+        runs=runs,
+    )
+
+
+def run_row(program: Program, benchmark: str,
+            stagger_values: Sequence[int] = PAPER_STAGGER_VALUES,
+            config: Optional[SocConfig] = None,
+            max_cycles: int = 2_000_000) -> List[CellResult]:
+    """Run one full Table I row (all staggering setups)."""
+    return [run_cell(program, benchmark, nops, config=config,
+                     max_cycles=max_cycles)
+            for nops in stagger_values]

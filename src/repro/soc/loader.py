@@ -1,0 +1,62 @@
+"""Bare-metal program loading and staggering sleds.
+
+The paper loads each benchmark on both cores, synchronizes the cores so
+they start in the same cycle, and (for the staggered experiments) makes
+one core "first execute a number of nop (no-operation) instructions
+before it runs the actual program".  This module reproduces both: the
+shared text image is placed once, and per-core nop sleds ending in a
+jump to the entry point are emitted at core-private text addresses.
+"""
+
+from __future__ import annotations
+
+from ..isa.encoder import encode
+from ..isa.instruction import Instruction
+from ..isa.opcodes import NOP_WORD, SPECS
+from ..isa.program import Program
+from ..mem.memory import Memory
+
+
+class LoaderError(ValueError):
+    pass
+
+
+def load_program(memory: Memory, program: Program):
+    """Copy a :class:`Program` image into the SoC memory."""
+    for base, blob in program.image.items():
+        memory.load_blob(base, blob)
+
+
+def build_nop_sled(memory: Memory, sled_base: int, nops: int,
+                   entry: int):
+    """Emit ``nops`` no-ops followed by a jump to ``entry``.
+
+    Returns ``(start_pc, instruction_count)``: the staggered core's
+    reset PC and how many instructions the sled commits (needed to
+    preload the staggering counter).  With ``nops == 0`` no sled is
+    emitted and ``(entry, 0)`` is returned — the core starts on the
+    program immediately.
+    """
+    if nops < 0:
+        raise LoaderError("negative nop count")
+    if nops == 0:
+        return entry, 0
+    blob = bytearray(NOP_WORD.to_bytes(4, "little") * nops)
+    jump_pc = sled_base + 4 * nops
+    offset = entry - jump_pc
+    if -(1 << 20) <= offset < (1 << 20):
+        jump = encode(Instruction(SPECS["jal"], rd=0, imm=offset))
+        blob += jump.to_bytes(4, "little")
+        count = nops + 1
+    else:
+        # Out of JAL range: lui+jalr through t6 (x31).
+        hi = (entry + 0x800) >> 12
+        lo = entry - (hi << 12)
+        blob += encode(Instruction(SPECS["lui"], rd=31,
+                                   imm=(hi << 12) & 0xFFFFF000)
+                       ).to_bytes(4, "little")
+        blob += encode(Instruction(SPECS["jalr"], rd=0, rs1=31, imm=lo)
+                       ).to_bytes(4, "little")
+        count = nops + 2
+    memory.load_blob(sled_base, bytes(blob))
+    return sled_base, count

@@ -1,0 +1,188 @@
+"""The MPSoC: cores + caches + AHB/L2 + APB + SafeDM (paper Section IV).
+
+:class:`MPSoC` owns the functional memory, the shared bus (with the L2
+inside it), the cores, the APB bridge, and the SafeDM instance wired to
+cores 0 and 1.  Its :meth:`step`/:meth:`run` methods advance the whole
+platform cycle by cycle; SafeDM observes the cores *after* they have
+been stepped each cycle, exactly like the hardware samples pipeline
+registers on the clock edge.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.apb_regs import SafeDmApbSlave
+from ..core.history import HistoryModule
+from ..core.monitor import DiversityMonitor, ReportingMode
+from ..cpu.core import Core
+from ..isa.program import Program
+from ..mem.apb import ApbBridge
+from ..mem.bus import AhbBus
+from ..mem.memory import Memory
+from .config import SocConfig
+from .loader import build_nop_sled, load_program
+
+
+class MPSoC:
+    """A NOEL-V-like multicore with SafeDM attached over APB.
+
+    One SafeDM instance watches exactly one pair of cores; larger
+    multicores (the paper's contribution list mentions a 4-core
+    Gaisler platform) instantiate one monitor per redundant pair via
+    ``monitor_pairs``.  ``soc.safedm`` is the first pair's monitor.
+    """
+
+    def __init__(self, config: Optional[SocConfig] = None,
+                 mode: ReportingMode = ReportingMode.POLLING,
+                 threshold: int = 1,
+                 history_bin_size: int = 1,
+                 history_bins: int = 32,
+                 monitor_pairs=((0, 1),)):
+        self.config = config or SocConfig()
+        cfg = self.config
+        for pair in monitor_pairs:
+            if len(pair) != 2 or not all(0 <= c < cfg.num_cores
+                                         for c in pair):
+                raise ValueError("bad monitored pair %r" % (pair,))
+        self.memory = Memory()
+        self.bus = AhbBus(num_masters=cfg.num_cores,
+                          timing=cfg.bus_timing, l2_config=cfg.l2)
+        self.cores: List[Core] = [
+            Core(core_id, self.bus, self.memory, config=cfg.core)
+            for core_id in range(cfg.num_cores)
+        ]
+        self.monitor_pairs = tuple(tuple(pair) for pair in monitor_pairs)
+        self.monitors: List[DiversityMonitor] = []
+        self.apb = ApbBridge(base=cfg.apb_base)
+        self._slave_bases: List[int] = []
+        for index, pair in enumerate(self.monitor_pairs):
+            history = HistoryModule(bin_size=history_bin_size,
+                                    num_bins=history_bins)
+            monitor = DiversityMonitor(config=cfg.signature, mode=mode,
+                                       threshold=threshold,
+                                       history=history)
+            self.monitors.append(monitor)
+            base = self.apb.attach(SafeDmApbSlave(monitor),
+                                   0x100 * index,
+                                   "safedm%d" % index)
+            self._slave_bases.append(base)
+        #: First pair's monitor (the common single-pair case).
+        self.safedm = self.monitors[0]
+        self.safedm_base = self._slave_bases[0]
+        self.cycle = 0
+        #: First monitored core pair (back-compat convenience).
+        self.monitored = self.monitor_pairs[0]
+        #: Sample each monitor only while its pair is fully live.
+        self.gate_monitor_on_finish = True
+
+    # -- program setup ------------------------------------------------------
+
+    def load(self, program: Program):
+        """Load a shared text image."""
+        load_program(self.memory, program)
+
+    def start_core(self, core_id: int, entry: int,
+                   stagger_nops: int = 0) -> int:
+        """Point a core at ``entry``, optionally behind a nop sled.
+
+        Registers are initialised to the bare-metal convention the
+        workload kernels rely on: ``gp`` = core-private data base,
+        ``sp`` = top of the core-private stack, ``tp`` = core id.
+        Returns the number of sled instructions the core will commit
+        before reaching the program.
+        """
+        cfg = self.config
+        start_pc = entry
+        sled_count = 0
+        if stagger_nops:
+            sled_base = cfg.sled_base + core_id * 0x0008_0000
+            start_pc, sled_count = build_nop_sled(self.memory, sled_base,
+                                                  stagger_nops, entry)
+        core = self.cores[core_id]
+        core.reset(entry=start_pc)
+        core.regfile.write(3, cfg.data_base(core_id))   # gp
+        core.regfile.write(2, cfg.stack_top(core_id))   # sp
+        core.regfile.write(4, core_id)                  # tp
+        # The paper's cores enter the measured region straight out of a
+        # synchronization loop, i.e. with the first instruction line hot;
+        # warm it so cycle 0 starts with live pipelines, not a cold stall.
+        core.icache.fill(start_pc)
+        self.bus.l2.fill(self.bus.l2.line_address(start_pc))
+        return sled_count
+
+    def start_redundant(self, program: Program, late_core: int = 1,
+                        stagger_nops: int = 0, pair: int = 0):
+        """Start monitored pair ``pair`` on the same program.
+
+        ``late_core`` executes ``stagger_nops`` no-ops before entering
+        the program; SafeDM's staggering counter is preloaded so that it
+        reads *program-level* staggering (the sled commits would
+        otherwise offset the commit difference).
+        """
+        self.load(program)
+        cores = self.monitor_pairs[pair]
+        monitor = self.monitors[pair]
+        extra = 0
+        for core_id in cores:
+            nops = stagger_nops if core_id == late_core else 0
+            count = self.start_core(core_id, program.entry,
+                                    stagger_nops=nops)
+            if core_id == late_core:
+                extra = count
+        if extra:
+            # The late core commits the sled instructions on top of the
+            # program; preload so diff==0 means equal *program* progress.
+            preload = extra if late_core == cores[1] else -extra
+            monitor.instruction_diff.diff = preload
+
+    # -- simulation loop ---------------------------------------------------------
+
+    def step(self):
+        """Advance the platform one clock cycle."""
+        cycle = self.cycle
+        for core in self.cores:
+            if not core.finished:
+                core.step(cycle)
+            else:
+                core.commits_this_cycle = 0
+        self.bus.step(cycle)
+        for monitor, pair in zip(self.monitors, self.monitor_pairs):
+            if self._monitor_active(pair):
+                monitor.observe(cycle, self.cores[pair[0]],
+                                self.cores[pair[1]])
+        self.cycle += 1
+
+    def _monitor_active(self, pair) -> bool:
+        if not self.gate_monitor_on_finish:
+            return True
+        return not any(self.cores[idx].finished for idx in pair)
+
+    def run(self, max_cycles: int = 2_000_000) -> int:
+        """Run until every monitored core finishes (or ``max_cycles``).
+
+        Returns the number of cycles simulated.
+        """
+        start = self.cycle
+        watched = {core for pair in self.monitor_pairs for core in pair}
+        while self.cycle - start < max_cycles:
+            if all(self.cores[idx].finished for idx in watched):
+                break
+            self.step()
+        for monitor in self.monitors:
+            monitor.finish()
+        return self.cycle - start
+
+    # -- host access (the paper's testbench role) ---------------------------------
+
+    def apb_read(self, offset: int) -> int:
+        """Read a SafeDM APB register by byte offset."""
+        return self.apb.read(self.safedm_base + offset)
+
+    def apb_write(self, offset: int, value: int):
+        """Write a SafeDM APB register by byte offset."""
+        self.apb.write(self.safedm_base + offset, value)
+
+    def describe(self) -> str:
+        """Fig. 3-style schematic."""
+        return self.config.describe()

@@ -1,0 +1,20 @@
+"""Tracing: VCD waveforms, pipeline text traces, signature captures."""
+
+from .pipeline_trace import PipelineTracer, TraceLine, trace_run
+from .signature_trace import (
+    SignatureSample,
+    SignatureTrace,
+    capture_signature_trace,
+)
+from .vcd import VcdWriter, monitor_vcd
+
+__all__ = [
+    "PipelineTracer",
+    "SignatureSample",
+    "SignatureTrace",
+    "TraceLine",
+    "VcdWriter",
+    "capture_signature_trace",
+    "monitor_vcd",
+    "trace_run",
+]

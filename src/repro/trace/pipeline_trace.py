@@ -1,0 +1,80 @@
+"""Per-cycle textual pipeline traces (the "Modelsim view").
+
+The paper validates SafeDM by visually inspecting pipeline contents in
+Modelsim; :class:`PipelineTracer` renders the same view as text — one
+line per cycle per core showing every stage's occupancy — so specific
+cycles (e.g. a reported lack of diversity) can be audited by eye.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..cpu.pipeline import STAGE_NAMES
+
+
+@dataclass
+class TraceLine:
+    cycle: int
+    core: int
+    hold: bool
+    stages: tuple
+
+    def render(self) -> str:
+        parts = []
+        for name, group in zip(STAGE_NAMES, self.stages):
+            if group is None:
+                parts.append("%s:%-21s" % (name, "-"))
+            else:
+                words = "/".join("%08x" % w for w in group)
+                parts.append("%s:%-21s" % (name, words))
+        flag = "H" if self.hold else " "
+        return "c%-7d core%d %s %s" % (self.cycle, self.core, flag,
+                                       " ".join(parts))
+
+
+class PipelineTracer:
+    """Captures stage occupancy of one or more cores each cycle."""
+
+    def __init__(self, cores, window: Optional[int] = None):
+        self.cores = list(cores)
+        self.window = window
+        self.lines: List[TraceLine] = []
+
+    def sample(self, cycle: int):
+        """Record all cores' stage contents for ``cycle``."""
+        for index, core in enumerate(self.cores):
+            self.lines.append(TraceLine(cycle=cycle, core=index,
+                                        hold=core.hold,
+                                        stages=tuple(core.stage_words())))
+        if self.window is not None:
+            excess = len(self.lines) - self.window * len(self.cores)
+            if excess > 0:
+                del self.lines[:excess]
+
+    def render(self, last: Optional[int] = None) -> str:
+        lines = self.lines
+        if last is not None:
+            lines = lines[-last * len(self.cores):]
+        return "\n".join(line.render() for line in lines)
+
+    def around(self, cycle: int, radius: int = 3) -> str:
+        """Render the trace lines within ``radius`` cycles of ``cycle``."""
+        selected = [line for line in self.lines
+                    if abs(line.cycle - cycle) <= radius]
+        return "\n".join(line.render() for line in selected)
+
+
+def trace_run(soc, max_cycles: int = 5_000,
+              window: Optional[int] = None) -> PipelineTracer:
+    """Run ``soc`` while tracing the monitored cores' pipelines."""
+    tracer = PipelineTracer([soc.cores[i] for i in soc.monitored],
+                            window=window)
+    start = soc.cycle
+    while soc.cycle - start < max_cycles:
+        if all(soc.cores[i].finished for i in soc.monitored):
+            break
+        soc.step()
+        tracer.sample(soc.cycle - 1)
+    return tracer

@@ -1,0 +1,89 @@
+"""Per-cycle capture of SafeDM's signature comparison outcomes."""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class SignatureSample:
+    """One cycle of monitor outputs."""
+
+    cycle: int
+    data_diversity: bool
+    instruction_diversity: bool
+    staggering: int
+
+    @property
+    def diversity(self) -> bool:
+        return self.data_diversity or self.instruction_diversity
+
+
+class SignatureTrace:
+    """Collects :class:`SignatureSample` rows, exportable as CSV."""
+
+    COLUMNS = ("cycle", "data_diversity", "instruction_diversity",
+               "diversity", "staggering")
+
+    def __init__(self):
+        self.samples: List[SignatureSample] = []
+
+    def append(self, sample: SignatureSample):
+        self.samples.append(sample)
+
+    def no_diversity_episodes(self) -> List[tuple]:
+        """(start_cycle, length) of each consecutive no-diversity run."""
+        episodes = []
+        start = None
+        previous = None
+        for sample in self.samples:
+            if not sample.diversity:
+                if start is None or (previous is not None
+                                     and sample.cycle != previous + 1):
+                    if start is not None:
+                        episodes.append((start, previous - start + 1))
+                    start = sample.cycle
+                previous = sample.cycle
+            else:
+                if start is not None:
+                    episodes.append((start, previous - start + 1))
+                    start = None
+        if start is not None:
+            episodes.append((start, previous - start + 1))
+        return episodes
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        out.write(",".join(self.COLUMNS) + "\n")
+        for s in self.samples:
+            out.write("%d,%d,%d,%d,%d\n"
+                      % (s.cycle, s.data_diversity,
+                         s.instruction_diversity, s.diversity,
+                         s.staggering))
+        return out.getvalue()
+
+    def save(self, path: str):
+        with open(path, "w") as handle:
+            handle.write(self.to_csv())
+
+
+def capture_signature_trace(soc, max_cycles: int = 100_000
+                            ) -> SignatureTrace:
+    """Run ``soc`` while capturing every monitor report."""
+    trace = SignatureTrace()
+    start = soc.cycle
+    while soc.cycle - start < max_cycles:
+        if all(soc.cores[i].finished for i in soc.monitored):
+            break
+        soc.step()
+        report = soc.safedm.last_report
+        if report is not None and report.cycle == soc.cycle - 1:
+            trace.append(SignatureSample(
+                cycle=report.cycle,
+                data_diversity=report.data_diversity,
+                instruction_diversity=report.instruction_diversity,
+                staggering=report.staggering))
+    soc.safedm.finish()
+    return trace

@@ -1,0 +1,25 @@
+"""Workloads: the 29 TACLe-suite kernels used in the paper's Table I."""
+
+from .dsl import ARENA, lcg_reference, lcg_setup, lcg_step, store_result
+from .registry import (
+    REGISTRY,
+    TACLE_KERNELS,
+    Workload,
+    all_names,
+    program,
+    workload,
+)
+
+__all__ = [
+    "ARENA",
+    "REGISTRY",
+    "TACLE_KERNELS",
+    "Workload",
+    "all_names",
+    "lcg_reference",
+    "lcg_setup",
+    "lcg_step",
+    "program",
+    "store_result",
+    "workload",
+]

@@ -1,0 +1,66 @@
+"""Assembly-construction helpers for the TACLe-style kernels.
+
+All kernels follow one bare-metal convention (matching what
+:meth:`repro.soc.mpsoc.MPSoC.start_core` sets up):
+
+* ``gp`` — base of the core-private data region.  All mutable data is
+  ``gp``-relative, so redundant copies of a kernel naturally use
+  different absolute addresses (the paper's "different address spaces"
+  diversity source).
+* ``sp`` — top of the core-private stack (recursion kernels).
+* ``tp`` — core id (unused by kernels; reserved).
+* The kernel's final checksum is stored to ``0(gp)``, then the core
+  executes ``ebreak`` to halt.
+* Data layout: ``0(gp)`` result, ``8..63(gp)`` scratch, arrays from
+  ``64(gp)`` up (offset ``ARENA``).
+
+Input data is generated in-kernel from a deterministic 64-bit LCG so
+kernels are fully self-contained (TACLe benchmarks are self-contained
+for the same reason: "they do not need to read any data from files or
+peripherals").
+"""
+
+from __future__ import annotations
+
+#: First free gp-relative offset for kernel arrays.
+ARENA = 64
+
+#: 64-bit LCG constants (Knuth's MMIX multiplier).
+LCG_MUL = 6364136223846793005
+LCG_INC = 1442695040888963407
+
+
+def lcg_setup(seed: int, state: str = "s11", mul: str = "s10",
+              inc: str = "s9") -> str:
+    """Initialise the in-kernel LCG registers."""
+    return "\n".join([
+        "    li %s, %d" % (state, seed),
+        "    li %s, %d" % (mul, LCG_MUL),
+        "    li %s, %d" % (inc, LCG_INC),
+    ])
+
+
+def lcg_step(dst: str, shift: int = 33, state: str = "s11",
+             mul: str = "s10", inc: str = "s9") -> str:
+    """Advance the LCG and leave ``(state >> shift)`` in ``dst``."""
+    return "\n".join([
+        "    mul %s, %s, %s" % (state, state, mul),
+        "    add %s, %s, %s" % (state, state, inc),
+        "    srli %s, %s, %d" % (dst, state, shift),
+    ])
+
+
+def store_result(reg: str = "s0") -> str:
+    """Standard kernel epilogue: publish the checksum and halt."""
+    return "    sd %s, 0(gp)\n    ebreak" % reg
+
+
+def lcg_reference(seed: int, count: int, shift: int = 33):
+    """Python-side reference of the in-kernel LCG stream."""
+    mask = (1 << 64) - 1
+    state = seed
+    out = []
+    for _ in range(count):
+        state = (state * LCG_MUL + LCG_INC) & mask
+        out.append(state >> shift)
+    return out

@@ -1,0 +1,101 @@
+"""Workload registry: the 29 TACLe-suite kernels of the paper's Table I.
+
+Each kernel lives in :mod:`repro.workloads.tacle` as a module exporting
+``NAME``, ``CATEGORY``, ``DESCRIPTION`` and ``SOURCE`` (assembly text in
+the :mod:`repro.workloads.dsl` conventions).  This registry assembles
+and caches them.
+
+These are from-scratch reimplementations of the TACLe benchmark
+*algorithms* at simulation-friendly sizes, not the TACLe C sources; see
+DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+
+#: Module names under repro.workloads.tacle, in the paper's Table I order.
+TACLE_KERNELS = (
+    "binarysearch", "bitcount", "bitonic", "bsort", "complex_updates",
+    "cosf", "countnegative", "cubic", "deg2rad", "fac", "fft",
+    "filterbank", "fir2dim", "iir", "insertsort", "isqrt", "jfdctint",
+    "lms", "ludcmp", "matrix1", "md5", "minver", "pm", "prime",
+    "quicksort", "rad2deg", "recursion", "sha", "st",
+)
+
+DEFAULT_TEXT_BASE = 0x0001_0000
+
+
+@dataclass
+class Workload:
+    """One registered kernel."""
+
+    name: str
+    category: str
+    description: str
+    source: str
+    #: Expected checksum at 0(gp), or None if only determinism is checked.
+    expected_checksum: Optional[int] = None
+
+    def assemble(self, base: int = DEFAULT_TEXT_BASE) -> Program:
+        return assemble(self.source, base=base)
+
+
+class WorkloadRegistry:
+    """Lazy-loading registry of the kernel modules."""
+
+    def __init__(self):
+        self._workloads: Dict[str, Workload] = {}
+        self._programs: Dict[tuple, Program] = {}
+
+    def names(self) -> List[str]:
+        return list(TACLE_KERNELS)
+
+    def get(self, name: str) -> Workload:
+        if name not in self._workloads:
+            if name not in TACLE_KERNELS:
+                raise KeyError("unknown workload %r (known: %s)"
+                               % (name, ", ".join(TACLE_KERNELS)))
+            module = importlib.import_module(
+                "repro.workloads.tacle.%s" % name)
+            self._workloads[name] = Workload(
+                name=module.NAME,
+                category=module.CATEGORY,
+                description=module.DESCRIPTION,
+                source=module.SOURCE,
+                expected_checksum=getattr(module, "EXPECTED_CHECKSUM",
+                                          None),
+            )
+        return self._workloads[name]
+
+    def program(self, name: str,
+                base: int = DEFAULT_TEXT_BASE) -> Program:
+        """Assembled (and cached) program image for ``name``."""
+        key = (name, base)
+        if key not in self._programs:
+            self._programs[key] = self.get(name).assemble(base=base)
+        return self._programs[key]
+
+
+#: Process-wide registry instance.
+REGISTRY = WorkloadRegistry()
+
+
+def workload(name: str) -> Workload:
+    """Shorthand for ``REGISTRY.get(name)``."""
+    return REGISTRY.get(name)
+
+
+def program(name: str, base: int = DEFAULT_TEXT_BASE) -> Program:
+    """Shorthand for ``REGISTRY.program(name)``."""
+    return REGISTRY.program(name, base=base)
+
+
+def all_names() -> List[str]:
+    """All Table I benchmark names, in paper order."""
+    return list(TACLE_KERNELS)

@@ -1,0 +1,1 @@
+"""TACLe-suite kernel reimplementations (one module per benchmark)."""

@@ -1,0 +1,96 @@
+"""binarysearch — repeated binary search over a sorted table.
+
+TACLe's ``binarysearch`` searches a sorted array; this version builds a
+512-entry sorted table (``arr[i] = 5*i + 3``) and performs 200 searches
+with LCG-generated keys, accumulating the found index (or -1).
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "binarysearch"
+CATEGORY = "search"
+
+N = 768
+SEARCHES = 200
+SEED = 0xB1A2
+
+DESCRIPTION = ("binary search of %d keys over a %d-entry sorted table"
+               % (SEARCHES, N))
+
+
+def _reference() -> int:
+    checksum = 0
+    for key_raw in lcg_reference(SEED, SEARCHES):
+        key = key_raw & 0xFFF  # 12-bit keys over a table reaching 5*N+3
+        lo, hi = 0, N
+        found = None
+        while lo < hi:
+            mid = (lo + hi) // 2
+            value = 5 * mid + 3
+            if value == key:
+                found = mid
+                break
+            if value < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        checksum += found if found is not None else -1
+    return checksum & ((1 << 64) - 1)
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ N, {N}
+.equ K, {SEARCHES}
+.equ ARR, 64
+_start:
+    # --- build the sorted table: arr[i] = 5*i + 3 ---
+    li t0, 0
+    addi t1, gp, ARR
+    li t2, 5
+init:
+    mul t3, t0, t2
+    addi t3, t3, 3
+    sd t3, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t4, N
+    blt t0, t4, init
+
+    # --- search loop ---
+{lcg_setup(SEED)}
+    li s0, 0            # checksum
+    li s1, 0            # search counter
+    li s2, K
+search_loop:
+{lcg_step('t0')}
+    li t1, 0xFFF
+    and t0, t0, t1      # key
+    li t2, 0            # lo
+    li t3, N            # hi
+bs_loop:
+    bgeu t2, t3, bs_miss
+    add t4, t2, t3
+    srli t4, t4, 1      # mid
+    slli t5, t4, 3
+    addi t6, gp, ARR
+    add t5, t5, t6
+    ld t5, 0(t5)        # arr[mid]
+    beq t5, t0, bs_hit
+    bltu t5, t0, bs_right
+    mv t3, t4
+    j bs_loop
+bs_right:
+    addi t2, t4, 1
+    j bs_loop
+bs_hit:
+    add s0, s0, t4
+    j bs_next
+bs_miss:
+    addi s0, s0, -1
+bs_next:
+    addi s1, s1, 1
+    blt s1, s2, search_loop
+{store_result('s0')}
+"""

@@ -1,0 +1,47 @@
+"""bitcount — population count of a pseudo-random stream.
+
+TACLe's ``bitcount`` exercises several bit-counting strategies; this
+version uses Kernighan's clear-lowest-set-bit loop over 800 LCG values,
+a register-only (no-memory) inner loop.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "bitcount"
+CATEGORY = "bitops"
+DESCRIPTION = "Kernighan popcount of 800 16-bit values"
+
+COUNT = 800
+SEED = 0xB17C
+SHIFT = 48
+
+
+def _reference() -> int:
+    total = 0
+    for value in lcg_reference(SEED, COUNT, shift=SHIFT):
+        total += bin(value).count("1")
+    return total & ((1 << 64) - 1)
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ K, {COUNT}
+_start:
+{lcg_setup(SEED)}
+    li s0, 0            # total bit count
+    li s1, 0            # value counter
+    li s2, K
+value_loop:
+{lcg_step('t0', shift=SHIFT)}
+pop_loop:
+    beqz t0, pop_done
+    addi t1, t0, -1
+    and t0, t0, t1      # clear lowest set bit
+    addi s0, s0, 1
+    j pop_loop
+pop_done:
+    addi s1, s1, 1
+    blt s1, s2, value_loop
+{store_result('s0')}
+"""

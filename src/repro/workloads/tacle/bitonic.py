@@ -1,0 +1,97 @@
+"""bitonic — bitonic sorting network over 64 elements.
+
+Data-independent control flow (the network shape is fixed), so both
+redundant copies execute the exact same instruction stream — the case
+the paper's staggering-based competitors rely on.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "bitonic"
+CATEGORY = "sort"
+DESCRIPTION = "bitonic network sort of 64 LCG-generated values"
+
+N = 64
+SEED = 0xB170
+
+
+def _reference() -> int:
+    arr = list(lcg_reference(SEED, N))
+    arr.sort()
+    checksum = 0
+    for index, value in enumerate(arr):
+        checksum += (index + 1) * value
+    return checksum & ((1 << 64) - 1)
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ N, {N}
+.equ ARR, 64
+_start:
+    # --- fill the array from the LCG ---
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, ARR
+fill:
+{lcg_step('t2')}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, N
+    blt t0, t3, fill
+
+    # --- bitonic network: for k=2..N step *2, j=k/2..1 step /2 ---
+    li s1, 2            # k
+k_loop:
+    srli s2, s1, 1      # j
+j_loop:
+    li s3, 0            # i
+i_loop:
+    xor s4, s3, s2      # l = i ^ j
+    ble s4, s3, i_next  # only when l > i
+    # load arr[i] and arr[l]
+    slli t0, s3, 3
+    addi t1, gp, ARR
+    add t0, t0, t1
+    ld t2, 0(t0)        # arr[i]
+    slli t3, s4, 3
+    add t3, t3, t1
+    ld t4, 0(t3)        # arr[l]
+    and t5, s3, s1      # direction = i & k
+    beqz t5, ascending
+    # descending: swap if arr[i] < arr[l]
+    bgeu t2, t4, i_next
+    j do_swap
+ascending:
+    # ascending: swap if arr[i] > arr[l]
+    bleu t2, t4, i_next
+do_swap:
+    sd t4, 0(t0)
+    sd t2, 0(t3)
+i_next:
+    addi s3, s3, 1
+    li t6, N
+    blt s3, t6, i_loop
+    srli s2, s2, 1
+    bnez s2, j_loop
+    slli s1, s1, 1
+    li t6, N
+    ble s1, t6, k_loop
+
+    # --- weighted checksum: sum (i+1)*arr[i] ---
+    li s0, 0
+    li t0, 0
+    addi t1, gp, ARR
+check:
+    ld t2, 0(t1)
+    addi t3, t0, 1
+    mul t2, t2, t3
+    add s0, s0, t2
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t4, N
+    blt t0, t4, check
+{store_result('s0')}
+"""

@@ -1,0 +1,79 @@
+"""bsort — bubble sort with early exit.
+
+Classic TACLe bubble sort; the early-exit flag makes late passes cheap.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "bsort"
+CATEGORY = "sort"
+DESCRIPTION = "bubble sort (early exit) of 72 LCG-generated values"
+
+N = 72
+SEED = 0xB508
+
+
+def _reference() -> int:
+    arr = list(lcg_reference(SEED, N))
+    arr.sort()
+    checksum = 0
+    for index, value in enumerate(arr):
+        checksum += (index + 1) * value
+    return checksum & ((1 << 64) - 1)
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ N, {N}
+.equ ARR, 64
+_start:
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, ARR
+fill:
+{lcg_step('t2')}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, N
+    blt t0, t3, fill
+
+    # --- bubble passes ---
+    li s1, N            # remaining length
+pass_loop:
+    li s2, 0            # swapped flag
+    li s3, 1            # index
+    addi s4, gp, ARR    # ptr to arr[index-1]
+inner:
+    ld t0, 0(s4)
+    ld t1, 8(s4)
+    bleu t0, t1, no_swap
+    sd t1, 0(s4)
+    sd t0, 8(s4)
+    li s2, 1
+no_swap:
+    addi s4, s4, 8
+    addi s3, s3, 1
+    blt s3, s1, inner
+    addi s1, s1, -1
+    beqz s2, sorted     # early exit when no swaps
+    li t2, 1
+    bgt s1, t2, pass_loop
+sorted:
+
+    # --- weighted checksum ---
+    li s0, 0
+    li t0, 0
+    addi t1, gp, ARR
+check:
+    ld t2, 0(t1)
+    addi t3, t0, 1
+    mul t2, t2, t3
+    add s0, s0, t2
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t4, N
+    blt t0, t4, check
+{store_result('s0')}
+"""

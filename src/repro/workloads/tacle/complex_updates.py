@@ -1,0 +1,115 @@
+"""complex_updates — complex multiply-accumulate (DSPstone kernel).
+
+``c[i] += a[i] * b[i]`` over complex fixed-point (Q16.16) vectors,
+repeated for several passes.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "complex_updates"
+CATEGORY = "dsp"
+DESCRIPTION = "complex MAC over 192 Q16.16 pairs, 4 passes"
+
+N = 192
+PASSES = 4
+SEED = 0xC0F1
+SHIFT = 42  # 22-bit magnitudes keep Q16.16 products in range
+
+MASK = (1 << 64) - 1
+
+
+def _sra16(value: int) -> int:
+    """Arithmetic >>16 on a 64-bit two's-complement value."""
+    if value & (1 << 63):
+        value -= 1 << 64
+    return (value >> 16) & MASK
+
+
+def _reference() -> int:
+    stream = lcg_reference(SEED, 6 * N, shift=SHIFT)
+    a = [(stream[6 * i], stream[6 * i + 1]) for i in range(N)]
+    b = [(stream[6 * i + 2], stream[6 * i + 3]) for i in range(N)]
+    c = [[stream[6 * i + 4], stream[6 * i + 5]] for i in range(N)]
+    for _ in range(PASSES):
+        for i in range(N):
+            ar, ai = a[i]
+            br, bi = b[i]
+            re = (_sra16(ar * br) - _sra16(ai * bi)) & MASK
+            im = (_sra16(ar * bi) + _sra16(ai * br)) & MASK
+            c[i][0] = (c[i][0] + re) & MASK
+            c[i][1] = (c[i][1] + im) & MASK
+    checksum = 0
+    for re, im in c:
+        checksum = (checksum + re + 3 * im) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+# Layout: interleaved records of 6 dwords: ar ai br bi cr ci.
+SOURCE = f"""
+.equ N, {N}
+.equ PASSES, {PASSES}
+.equ REC, 48            # bytes per record
+.equ DATA, 64
+_start:
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, DATA
+fill:                   # 6 dwords per record
+{lcg_step('t2', shift=SHIFT)}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, N*6
+    blt t0, t3, fill
+
+    li s8, PASSES
+pass_loop:
+    li s1, 0            # record index
+    addi s2, gp, DATA
+mac_loop:
+    ld t0, 0(s2)        # ar
+    ld t1, 8(s2)        # ai
+    ld t2, 16(s2)       # br
+    ld t3, 24(s2)       # bi
+    mul t4, t0, t2      # ar*br
+    srai t4, t4, 16
+    mul t5, t1, t3      # ai*bi
+    srai t5, t5, 16
+    sub t4, t4, t5      # re
+    mul t5, t0, t3      # ar*bi
+    srai t5, t5, 16
+    mul t6, t1, t2      # ai*br
+    srai t6, t6, 16
+    add t5, t5, t6      # im
+    ld t0, 32(s2)       # cr
+    add t0, t0, t4
+    sd t0, 32(s2)
+    ld t1, 40(s2)       # ci
+    add t1, t1, t5
+    sd t1, 40(s2)
+    addi s2, s2, REC
+    addi s1, s1, 1
+    li t6, N
+    blt s1, t6, mac_loop
+    addi s8, s8, -1
+    bnez s8, pass_loop
+
+    # --- checksum: sum cr + 3*ci ---
+    li s0, 0
+    li s1, 0
+    addi s2, gp, DATA
+check:
+    ld t0, 32(s2)
+    add s0, s0, t0
+    ld t1, 40(s2)
+    slli t2, t1, 1
+    add t1, t1, t2      # 3*ci
+    add s0, s0, t1
+    addi s2, s2, REC
+    addi s1, s1, 1
+    li t3, N
+    blt s1, t3, check
+{store_result('s0')}
+"""

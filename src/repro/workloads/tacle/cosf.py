@@ -1,0 +1,116 @@
+"""cosf — fixed-point cosine via Taylor series.
+
+Replaces TACLe's float ``cosf`` with Q16.16 arithmetic (the model core
+is RV64IM, no FPU).  Like the compiled C version, angles are read from
+an input array and results written to an output array, so each
+evaluation carries pointer traffic through the register ports.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "cosf"
+CATEGORY = "math"
+DESCRIPTION = "Q16.16 Taylor cosine over a 250-entry angle array"
+
+COUNT = 250
+SEED = 0xC05F
+TWO_PI_Q16 = 411775  # 2*pi in Q16.16
+
+MASK = (1 << 64) - 1
+
+
+def _sra16(value: int) -> int:
+    if value & (1 << 63):
+        value -= 1 << 64
+    return (value >> 16) & MASK
+
+
+def _cos_q16(x: int) -> int:
+    """1 - x^2/2 + x^4/24 - x^6/720 in Q16.16, with the reciprocals
+    folded into Q16 multipliers (1/24 ~ 2731, 1/720 ~ 91) like an
+    optimised implementation would (matches the asm)."""
+    x2 = _sra16(x * x)
+    result = (65536 - (x2 >> 1)) & MASK
+    x4 = _sra16(x2 * x2)
+    result = (result + ((x4 * 2731) >> 16)) & MASK
+    x6 = _sra16(x4 * x2)
+    result = (result - ((x6 * 91) >> 16)) & MASK
+    return result
+
+
+def _reference() -> int:
+    checksum = 0
+    for raw in lcg_reference(SEED, COUNT):
+        angle = raw & 0x3FFFF  # 18-bit range (0..4 rad, Q16.16)
+        checksum = (checksum + _cos_q16(angle)) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+# Layout: IN angles at 64(gp), OUT results at 64+8*COUNT(gp).
+SOURCE = f"""
+.equ K, {COUNT}
+.equ TWO_PI, {TWO_PI_Q16}
+.equ IN, 64
+.equ OUT, {64 + 8 * COUNT}
+_start:
+    # --- fill the angle array ---
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, IN
+fill:
+{lcg_step('t2')}
+    li t3, 0x3FFFF
+    and t2, t2, t3
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t4, K
+    blt t0, t4, fill
+
+    # --- evaluate cos for each angle ---
+    li s1, 0            # index
+    addi s2, gp, IN
+    li s3, OUT
+    add s3, gp, s3
+eval_loop:
+    ld t0, 0(s2)        # x
+    mul t1, t0, t0
+    srai t1, t1, 16     # x2
+    srli t2, t1, 1      # x2/2
+    li t4, 65536
+    sub t4, t4, t2
+    mul t5, t1, t1
+    srai t5, t5, 16     # x4
+    li t3, 2731         # 1/24 in Q16
+    mul t2, t5, t3
+    srli t2, t2, 16
+    add t4, t4, t2
+    mul t6, t5, t1
+    srai t6, t6, 16     # x6
+    li t3, 91           # 1/720 in Q16
+    mul t2, t6, t3
+    srli t2, t2, 16
+    sub t4, t4, t2
+    sd t4, 0(s3)
+    addi s2, s2, 8
+    addi s3, s3, 8
+    addi s1, s1, 1
+    li t0, K
+    blt s1, t0, eval_loop
+
+    # --- checksum the output array ---
+    li s0, 0
+    li s1, 0
+    li s3, OUT
+    add s3, gp, s3
+sum_loop:
+    ld t0, 0(s3)
+    add s0, s0, t0
+    addi s3, s3, 8
+    addi s1, s1, 1
+    li t1, K
+    blt s1, t1, sum_loop
+{store_result('s0')}
+"""

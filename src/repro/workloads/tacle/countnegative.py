@@ -1,0 +1,70 @@
+"""countnegative — count negatives and sum a matrix.
+
+TACLe's ``countnegative`` walks a matrix computing the count of
+negative elements and the sum per quadrant; this version walks a
+20x40 matrix of signed 32-bit values.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "countnegative"
+CATEGORY = "matrix"
+DESCRIPTION = "negative count + sum over a 20x40 int32 matrix"
+
+ROWS = 20
+COLS = 40
+SEED = 0xC947
+
+MASK = (1 << 64) - 1
+
+
+def _reference() -> int:
+    values = lcg_reference(SEED, ROWS * COLS, shift=31)  # 33-bit values
+    count = 0
+    total = 0
+    for raw in values:
+        value = raw & 0xFFFFFFFF
+        if value & 0x80000000:
+            value -= 1 << 32
+            count += 1
+        total = (total + value) & MASK
+    return (total + 1000003 * count) & MASK
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ N, {ROWS * COLS}
+.equ ARR, 64
+_start:
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, ARR
+fill:                       # store as 32-bit words (signed on reload)
+{lcg_step('t2', shift=31)}
+    sw t2, 0(t1)
+    addi t1, t1, 4
+    addi t0, t0, 1
+    li t3, N
+    blt t0, t3, fill
+
+    li s0, 0                # sum
+    li s1, 0                # negative count
+    li t0, 0
+    addi t1, gp, ARR
+scan:
+    lw t2, 0(t1)            # sign-extending load
+    add s0, s0, t2
+    bgez t2, not_neg
+    addi s1, s1, 1
+not_neg:
+    addi t1, t1, 4
+    addi t0, t0, 1
+    li t3, N
+    blt t0, t3, scan
+
+    li t4, 1000003
+    mul t4, t4, s1
+    add s0, s0, t4
+{store_result('s0')}
+"""

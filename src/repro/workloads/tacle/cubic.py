@@ -1,0 +1,110 @@
+"""cubic — cube-root solving via Newton iteration.
+
+TACLe's ``cubic`` solves cubic equations; this version runs Newton's
+method for the real cube root of 90 Q16.16 targets, 10 iterations each.
+Almost purely register arithmetic (mul/div chains) — the paper's
+highest no-diversity benchmark has exactly this profile.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "cubic"
+CATEGORY = "math"
+DESCRIPTION = "Newton cube roots of 90 Q16.16 targets, 10 iterations"
+
+COUNT = 90
+ITERS = 10
+SEED = 0xC0B1C
+
+MASK = (1 << 64) - 1
+ONE = 1 << 16
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def _sra16(value: int) -> int:
+    return (_signed(value) >> 16) & MASK
+
+
+def _sdiv(a: int, b: int) -> int:
+    """RISC-V div: truncate toward zero."""
+    a, b = _signed(a), _signed(b)
+    if b == 0:
+        return MASK
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return q & MASK
+
+
+def _reference() -> int:
+    checksum = 0
+    for raw in lcg_reference(SEED, COUNT):
+        target = raw % (63 * ONE) + ONE          # T in [1, 64) Q16.16
+        x = (target // 3 + ONE) & MASK           # initial guess
+        for _ in range(ITERS):
+            x2 = _sra16(x * x)
+            x3 = _sra16(x2 * x)
+            f = (x3 - target) & MASK
+            fp = (3 * x2) & MASK
+            dx = _sdiv((_signed(f) << 16) & MASK, fp)
+            x = (x - dx) & MASK
+        checksum = (checksum + x) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ K, {COUNT}
+.equ ITERS, {ITERS}
+.equ OUT, 64
+_start:
+{lcg_setup(SEED)}
+    li s1, 0            # equation counter
+    li s2, K
+    addi s8, gp, OUT    # output cursor
+eq_loop:
+{lcg_step('t0')}
+    li t1, {63 * ONE}
+    remu t0, t0, t1
+    li t1, {ONE}
+    add s3, t0, t1      # target T
+    # initial guess x = T/3 + 1.0
+    li t1, 3
+    div s4, s3, t1
+    li t1, {ONE}
+    add s4, s4, t1
+    li s5, ITERS
+newton:
+    mul t1, s4, s4
+    srai t1, t1, 16     # x2
+    mul t2, t1, s4
+    srai t2, t2, 16     # x3
+    sub t3, t2, s3      # f = x3 - T
+    slli t4, t1, 1
+    add t4, t4, t1      # fp = 3*x2
+    slli t3, t3, 16
+    div t5, t3, t4      # dx = (f<<16)/fp
+    sub s4, s4, t5
+    addi s5, s5, -1
+    bnez s5, newton
+    sd s4, 0(s8)        # record the root
+    addi s8, s8, 8
+    addi s1, s1, 1
+    blt s1, s2, eq_loop
+    # checksum = sum of recorded roots
+    li s0, 0
+    li t0, 0
+    addi t1, gp, OUT
+sum_loop:
+    ld t2, 0(t1)
+    add s0, s0, t2
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, K
+    blt t0, t3, sum_loop
+{store_result('s0')}
+"""

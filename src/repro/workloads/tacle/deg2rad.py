@@ -1,0 +1,64 @@
+"""deg2rad — degree-to-radian conversion over an array.
+
+Q16.16: rad = deg * (pi/180), converting a 1,000-entry array in place
+(array-based like the compiled TACLe version).
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "deg2rad"
+CATEGORY = "math"
+DESCRIPTION = "Q16.16 degree-to-radian conversion of a 1000-entry array"
+
+COUNT = 1000
+SEED = 0xDE62
+PI_OVER_180_Q16 = 1144  # round(pi/180 * 65536)
+
+MASK = (1 << 64) - 1
+
+
+def _reference() -> int:
+    checksum = 0
+    for raw in lcg_reference(SEED, COUNT):
+        deg = raw & 0x1FFFFFF  # 25-bit range (0..512 degrees, Q16.16)
+        rad = (deg * PI_OVER_180_Q16) >> 16
+        checksum = (checksum + rad) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ K, {COUNT}
+.equ IN, 64
+_start:
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, IN
+fill:
+{lcg_step('t2')}
+    li t3, 0x1FFFFFF
+    and t2, t2, t3
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t4, K
+    blt t0, t4, fill
+
+    # --- convert in place, accumulating the checksum ---
+    li s0, 0
+    li s1, 0
+    addi s2, gp, IN
+    li s4, {PI_OVER_180_Q16}
+conv_loop:
+    ld t0, 0(s2)
+    mul t1, t0, s4
+    srli t1, t1, 16
+    sd t1, 0(s2)
+    add s0, s0, t1
+    addi s2, s2, 8
+    addi s1, s1, 1
+    li t2, K
+    blt s1, t2, conv_loop
+{store_result('s0')}
+"""

@@ -1,0 +1,66 @@
+"""fac — recursive factorial.
+
+Exercises call/return and the core-private stack (``sp`` differs across
+the redundant copies, so every frame access carries address diversity).
+"""
+
+from ..dsl import store_result
+
+NAME = "fac"
+CATEGORY = "recursion"
+DESCRIPTION = "recursive n! for n=0..11, repeated 20 times"
+
+MAX_N = 11
+REPS = 20
+
+MASK = (1 << 64) - 1
+
+
+def _reference() -> int:
+    import math
+    checksum = 0
+    for _ in range(REPS):
+        for n in range(MAX_N + 1):
+            checksum = (checksum + math.factorial(n)) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ MAXN, {MAX_N}
+.equ REPS, {REPS}
+_start:
+    li s0, 0            # checksum
+    li s1, 0            # rep counter
+rep_loop:
+    li s2, 0            # n
+n_loop:
+    mv a0, s2
+    call fac
+    add s0, s0, a0
+    addi s2, s2, 1
+    li t0, MAXN
+    ble s2, t0, n_loop
+    addi s1, s1, 1
+    li t0, REPS
+    blt s1, t0, rep_loop
+{store_result('s0')}
+
+fac:                    # a0 = n -> a0 = n!
+    li t0, 2
+    blt a0, t0, fac_base
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    sd a0, 0(sp)
+    addi a0, a0, -1
+    call fac
+    ld t1, 0(sp)
+    mul a0, a0, t1
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+fac_base:
+    li a0, 1
+    ret
+"""

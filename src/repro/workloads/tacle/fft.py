@@ -1,0 +1,244 @@
+"""fft — 64-point radix-2 fixed-point FFT.
+
+Iterative decimation-in-time FFT in Q16.16 with rodata twiddle tables
+(shared, read-only — like the compiled TACLe binary's constant pools).
+The bit-reverse permutation table is also precomputed into rodata.
+"""
+
+import math
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "fft"
+CATEGORY = "dsp"
+DESCRIPTION = "64-point Q16.16 radix-2 FFT of an LCG-generated signal"
+
+N = 64
+LOG2N = 6
+SEED = 0xFF7
+
+MASK = (1 << 64) - 1
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def _sra16(value: int) -> int:
+    return (_signed(value & MASK) >> 16) & MASK
+
+
+def _tables():
+    half = N // 2
+    cos_tab = [round(math.cos(2 * math.pi * i / N) * 65536)
+               for i in range(half)]
+    sin_tab = [round(math.sin(2 * math.pi * i / N) * 65536)
+               for i in range(half)]
+    rev = []
+    for i in range(N):
+        r = 0
+        for b in range(LOG2N):
+            if i & (1 << b):
+                r |= 1 << (LOG2N - 1 - b)
+        rev.append(r)
+    return cos_tab, sin_tab, rev
+
+
+COS_TAB, SIN_TAB, REV_TAB = _tables()
+
+
+def _reference() -> int:
+    stream = lcg_reference(SEED, N)
+    # Low 16 bits of each sample, sign-extended (matches slli/srai 48).
+    xr = []
+    for v in stream:
+        lo = v & 0xFFFF
+        xr.append((lo - 0x10000 if lo >= 0x8000 else lo) & MASK)
+    xi = [0] * N
+    # Bit-reverse permutation.
+    for i in range(N):
+        r = REV_TAB[i]
+        if r > i:
+            xr[i], xr[r] = xr[r], xr[i]
+            xi[i], xi[r] = xi[r], xi[i]
+    # Butterflies.
+    length = 2
+    while length <= N:
+        half = length // 2
+        step = N // length
+        for k in range(0, N, length):
+            for j in range(half):
+                tw = j * step
+                wr = COS_TAB[tw] & MASK
+                wi = (-SIN_TAB[tw]) & MASK
+                a, b = k + j, k + j + half
+                tr = (_sra16(_signed(wr) * _signed(xr[b]))
+                      - _sra16(_signed(wi) * _signed(xi[b]))) & MASK
+                ti = (_sra16(_signed(wr) * _signed(xi[b]))
+                      + _sra16(_signed(wi) * _signed(xr[b]))) & MASK
+                xr[b] = (xr[a] - tr) & MASK
+                xi[b] = (xi[a] - ti) & MASK
+                xr[a] = (xr[a] + tr) & MASK
+                xi[a] = (xi[a] + ti) & MASK
+        length *= 2
+    checksum = 0
+    for i in range(N):
+        checksum = (checksum + xr[i] + 3 * xi[i]) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+
+def _dwords(values):
+    return ", ".join(str(v & MASK) for v in values)
+
+
+# Layout: XR at 64(gp), XI at 64+8N(gp).
+SOURCE = f"""
+.equ N, {N}
+.equ XR, 64
+.equ XI, {64 + 8 * N}
+_start:
+    # --- fill xr with signed 16-bit samples, xi with zero ---
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, XR
+    li t5, XI
+    add t2, gp, t5
+fill:
+{lcg_step('t3')}
+    slli t3, t3, 48
+    srai t3, t3, 48     # low 16 bits, sign-extended
+    sd t3, 0(t1)
+    sd x0, 0(t2)
+    addi t1, t1, 8
+    addi t2, t2, 8
+    addi t0, t0, 1
+    li t4, N
+    blt t0, t4, fill
+
+    # --- bit-reverse permutation via rodata table ---
+    la s1, rev_tab
+    li s2, 0            # i
+bitrev:
+    slli t0, s2, 3
+    add t1, s1, t0
+    ld t2, 0(t1)        # r = rev[i]
+    ble t2, s2, no_swap
+    # swap xr[i]<->xr[r], xi[i]<->xi[r]
+    addi t3, gp, XR
+    slli t4, s2, 3
+    add t4, t3, t4      # &xr[i]
+    slli t5, t2, 3
+    add t5, t3, t5      # &xr[r]
+    ld t0, 0(t4)
+    ld t1, 0(t5)
+    sd t1, 0(t4)
+    sd t0, 0(t5)
+    li t6, XI-XR
+    add t4, t4, t6
+    add t5, t5, t6
+    ld t0, 0(t4)
+    ld t1, 0(t5)
+    sd t1, 0(t4)
+    sd t0, 0(t5)
+no_swap:
+    addi s2, s2, 1
+    li t0, N
+    blt s2, t0, bitrev
+
+    # --- butterfly stages ---
+    li s1, 2            # length
+stage_loop:
+    srli s2, s1, 1      # half
+    li t0, N
+    div s3, t0, s1      # step
+    li s4, 0            # k
+k_loop:
+    li s5, 0            # j
+j_loop:
+    mul t0, s5, s3      # tw index
+    slli t0, t0, 3
+    la t1, cos_tab
+    add t1, t1, t0
+    ld s6, 0(t1)        # wr
+    la t1, sin_tab
+    add t1, t1, t0
+    ld s7, 0(t1)
+    neg s7, s7          # wi = -sin
+    add t0, s4, s5      # a
+    add t1, t0, s2      # b
+    addi t2, gp, XR
+    slli t3, t0, 3
+    add t3, t2, t3      # &xr[a]
+    slli t4, t1, 3
+    add t4, t2, t4      # &xr[b]
+    ld t5, 0(t4)        # xr[b]
+    li t6, XI-XR
+    add t4, t4, t6      # &xi[b]
+    ld t6, 0(t4)        # xi[b]
+    # tr = (wr*xrb - wi*xib) >> 16 ; ti = (wr*xib + wi*xrb) >> 16
+    mul a0, s6, t5
+    srai a0, a0, 16
+    mul a1, s7, t6
+    srai a1, a1, 16
+    sub a0, a0, a1      # tr
+    mul a1, s6, t6
+    srai a1, a1, 16
+    mul a2, s7, t5
+    srai a2, a2, 16
+    add a1, a1, a2      # ti
+    # update
+    ld t5, 0(t3)        # xr[a]
+    sub a2, t5, a0
+    add t5, t5, a0
+    sd t5, 0(t3)        # xr[a] += tr
+    li a3, XI-XR
+    add a4, t3, a3      # &xi[a]
+    slli a5, t1, 3
+    addi a6, gp, XR
+    add a5, a6, a5      # &xr[b]
+    sd a2, 0(a5)        # xr[b] = xra - tr
+    ld t5, 0(a4)        # xi[a]
+    sub a2, t5, a1
+    add t5, t5, a1
+    sd t5, 0(a4)        # xi[a] += ti
+    add a5, a5, a3      # &xi[b]
+    sd a2, 0(a5)
+    addi s5, s5, 1
+    blt s5, s2, j_loop
+    add s4, s4, s1
+    li t0, N
+    blt s4, t0, k_loop
+    slli s1, s1, 1
+    li t0, N
+    ble s1, t0, stage_loop
+
+    # --- checksum: sum xr[i] + 3*xi[i] ---
+    li s0, 0
+    li s2, 0
+    addi s3, gp, XR
+check:
+    ld t0, 0(s3)
+    add s0, s0, t0
+    li t1, XI-XR
+    add t2, s3, t1
+    ld t0, 0(t2)
+    slli t1, t0, 1
+    add t0, t0, t1
+    add s0, s0, t0
+    addi s3, s3, 8
+    addi s2, s2, 1
+    li t3, N
+    blt s2, t3, check
+{store_result('s0')}
+
+.align 3
+cos_tab:
+    .dword {_dwords(COS_TAB)}
+sin_tab:
+    .dword {_dwords(SIN_TAB)}
+rev_tab:
+    .dword {_dwords(REV_TAB)}
+"""

@@ -1,0 +1,100 @@
+"""filterbank — bank of FIR filters (StreamIt kernel).
+
+Two 8-tap FIR filters run over a 160-sample signal; per-filter outputs
+are accumulated into separate output rows.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "filterbank"
+CATEGORY = "dsp"
+DESCRIPTION = "2-filter x 8-tap FIR bank over 160 samples"
+
+FILTERS = 2
+TAPS = 8
+SAMPLES = 160
+SEED = 0xF17B
+SHIFT = 49  # 15-bit values
+
+MASK = (1 << 64) - 1
+
+
+def _reference() -> int:
+    stream = lcg_reference(SEED, SAMPLES + FILTERS * TAPS, shift=SHIFT)
+    x = stream[:SAMPLES]
+    coeff = [stream[SAMPLES + f * TAPS:SAMPLES + (f + 1) * TAPS]
+             for f in range(FILTERS)]
+    checksum = 0
+    for f in range(FILTERS):
+        acc_sum = 0
+        for i in range(TAPS, SAMPLES):
+            acc = 0
+            for t in range(TAPS):
+                acc = (acc + coeff[f][t] * x[i - t]) & MASK
+            acc_sum = (acc_sum + (acc >> 16)) & MASK
+        checksum = (checksum + (f + 1) * acc_sum) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+# Layout: X at 64(gp); COEFF rows after it.
+SOURCE = f"""
+.equ F, {FILTERS}
+.equ T, {TAPS}
+.equ S, {SAMPLES}
+.equ X, 64
+.equ COEFF, {64 + 8 * SAMPLES}
+_start:
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, X
+fill:                       # samples then coefficients, contiguously
+{lcg_step('t2', shift=SHIFT)}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, S+F*T
+    blt t0, t3, fill
+
+    li s0, 0                # checksum
+    li s1, 0                # f
+filter_loop:
+    li s2, 0                # acc_sum
+    li s3, T                # i
+sample_loop:
+    li s4, 0                # acc
+    li s5, 0                # t
+    # &coeff[f][0]
+    li t0, T*8
+    mul t1, s1, t0
+    li t2, COEFF
+    add t1, t1, t2
+    add s6, gp, t1
+    # &x[i]
+    slli t3, s3, 3
+    addi t4, gp, X
+    add s7, t4, t3
+tap_loop:
+    ld t0, 0(s6)            # coeff[f][t]
+    ld t1, 0(s7)            # x[i-t]
+    mul t2, t0, t1
+    add s4, s4, t2
+    addi s6, s6, 8
+    addi s7, s7, -8
+    addi s5, s5, 1
+    li t3, T
+    blt s5, t3, tap_loop
+    srli s4, s4, 16
+    add s2, s2, s4
+    addi s3, s3, 1
+    li t3, S
+    blt s3, t3, sample_loop
+    addi t0, s1, 1
+    mul t1, s2, t0          # (f+1) * acc_sum
+    add s0, s0, t1
+    addi s1, s1, 1
+    li t2, F
+    blt s1, t2, filter_loop
+{store_result('s0')}
+"""

@@ -1,0 +1,122 @@
+"""fir2dim — 2-D FIR (3x3 convolution) over an image.
+
+16x16 input image, 3x3 kernel, 14x14 output (valid region only).
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "fir2dim"
+CATEGORY = "dsp"
+DESCRIPTION = "3x3 convolution over a 16x16 image"
+
+DIM = 16
+OUT_DIM = DIM - 2
+SEED = 0xF12D
+SHIFT = 52  # 12-bit pixels
+
+KERNEL = (1, 2, 1, 2, 4, 2, 1, 2, 1)  # Gaussian-ish, fits registers
+
+MASK = (1 << 64) - 1
+
+
+def _reference() -> int:
+    pixels = lcg_reference(SEED, DIM * DIM, shift=SHIFT)
+    checksum = 0
+    for row in range(OUT_DIM):
+        for col in range(OUT_DIM):
+            acc = 0
+            for kr in range(3):
+                for kc in range(3):
+                    pixel = pixels[(row + kr) * DIM + (col + kc)]
+                    acc += KERNEL[kr * 3 + kc] * pixel
+            acc >>= 4
+            checksum = (checksum + acc * (row + col + 1)) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ DIM, {DIM}
+.equ ODIM, {OUT_DIM}
+.equ IMG, 64
+.equ KTAB, {64 + 8 * DIM * DIM}
+_start:
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, IMG
+fill:
+{lcg_step('t2', shift=SHIFT)}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, DIM*DIM
+    blt t0, t3, fill
+    # copy the kernel constants into the private arena (compiled code
+    # would have them in .data); 9 dwords
+    la t0, kernel_tab
+    li t1, KTAB
+    add t1, gp, t1
+    li t2, 0
+kcopy:
+    ld t3, 0(t0)
+    sd t3, 0(t1)
+    addi t0, t0, 8
+    addi t1, t1, 8
+    addi t2, t2, 1
+    li t4, 9
+    blt t2, t4, kcopy
+
+    li s0, 0            # checksum
+    li s1, 0            # row
+row_loop:
+    li s2, 0            # col
+col_loop:
+    li s3, 0            # acc
+    li s4, 0            # kr
+kr_loop:
+    li s5, 0            # kc
+kc_loop:
+    add t0, s1, s4      # row+kr
+    li t1, DIM
+    mul t0, t0, t1
+    add t0, t0, s2
+    add t0, t0, s5      # + col+kc
+    slli t0, t0, 3
+    addi t1, gp, IMG
+    add t1, t1, t0
+    ld t2, 0(t1)        # pixel
+    # kernel[kr*3+kc]
+    slli t3, s4, 1
+    add t3, t3, s4      # kr*3
+    add t3, t3, s5
+    slli t3, t3, 3
+    li t4, KTAB
+    add t4, gp, t4
+    add t4, t4, t3
+    ld t5, 0(t4)
+    mul t2, t2, t5
+    add s3, s3, t2
+    addi s5, s5, 1
+    li t6, 3
+    blt s5, t6, kc_loop
+    addi s4, s4, 1
+    li t6, 3
+    blt s4, t6, kr_loop
+    srai s3, s3, 4
+    add t0, s1, s2
+    addi t0, t0, 1
+    mul t1, s3, t0
+    add s0, s0, t1
+    addi s2, s2, 1
+    li t2, ODIM
+    blt s2, t2, col_loop
+    addi s1, s1, 1
+    li t2, ODIM
+    blt s1, t2, row_loop
+{store_result('s0')}
+
+.align 3
+kernel_tab:
+    .dword {", ".join(str(k) for k in KERNEL)}
+"""

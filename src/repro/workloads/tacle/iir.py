@@ -1,0 +1,133 @@
+"""iir — cascaded biquad IIR filter.
+
+Two direct-form-I biquad sections in Q16.16 over 800 samples.
+Coefficients are chosen for stability; state lives in memory like the
+compiled TACLe version (loads/stores every sample).
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "iir"
+CATEGORY = "dsp"
+DESCRIPTION = "2-section Q16.16 biquad IIR over 800 samples"
+
+SAMPLES = 800
+SEED = 0x112
+SHIFT = 50  # 14-bit inputs
+
+# Q16.16 coefficients (b0, b1, b2, a1, a2) per section; |poles| < 1.
+SECTIONS = (
+    (13107, 26214, 13107, -19661, 6554),   # lowpass-ish
+    (19661, -13107, 19661, 13107, -9830),  # another stable section
+)
+
+MASK = (1 << 64) - 1
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def _sra16(value: int) -> int:
+    return (_signed(value & MASK) >> 16) & MASK
+
+
+def _reference() -> int:
+    stream = lcg_reference(SEED, SAMPLES, shift=SHIFT)
+    checksum = 0
+    state = [[0, 0, 0, 0] for _ in SECTIONS]  # x1 x2 y1 y2
+    for sample in stream:
+        value = sample & MASK
+        for index, (b0, b1, b2, a1, a2) in enumerate(SECTIONS):
+            x1, x2, y1, y2 = state[index]
+            acc = (b0 * _signed(value) + b1 * _signed(x1)
+                   + b2 * _signed(x2) - a1 * _signed(y1)
+                   - a2 * _signed(y2))
+            y = _sra16(acc & MASK)
+            state[index] = [value, x1, y, y1]
+            value = y
+        checksum = (checksum + value) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+
+def _section_asm(index: int, coeffs) -> str:
+    """One biquad section: value in a0, state at STATE+32*index(gp)."""
+    b0, b1, b2, a1, a2 = coeffs
+    base = "STATE+%d" % (32 * index)
+    return f"""
+    # --- section {index}: state x1 x2 y1 y2 at {base} ---
+    li t5, {base}
+    add t5, gp, t5
+    ld t0, 0(t5)        # x1
+    ld t1, 8(t5)        # x2
+    ld t2, 16(t5)       # y1
+    ld t3, 24(t5)       # y2
+    li t4, {b0}
+    mul a1, a0, t4
+    li t4, {b1}
+    mul t6, t0, t4
+    add a1, a1, t6
+    li t4, {b2}
+    mul t6, t1, t4
+    add a1, a1, t6
+    li t4, {a1}
+    mul t6, t2, t4
+    sub a1, a1, t6
+    li t4, {a2}
+    mul t6, t3, t4
+    sub a1, a1, t6
+    srai a1, a1, 16     # y
+    sd a0, 0(t5)        # x1 = value
+    sd t0, 8(t5)        # x2 = old x1
+    sd a1, 16(t5)       # y1 = y
+    sd t2, 24(t5)       # y2 = old y1
+    mv a0, a1
+"""
+
+
+SOURCE = f"""
+.equ S, {SAMPLES}
+.equ STATE, 64
+.equ IN, 192
+_start:
+{lcg_setup(SEED)}
+    # zero filter state (4 dwords x 2 sections)
+    li t0, 0
+    li t1, STATE
+    add t1, gp, t1
+zero:
+    sd x0, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t2, 8
+    blt t0, t2, zero
+    # fill input samples
+    li t0, 0
+    li t1, IN
+    add t1, gp, t1
+fill:
+{lcg_step('t2', shift=SHIFT)}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, S
+    blt t0, t3, fill
+
+    li s0, 0            # checksum
+    li s1, 0            # sample index
+    li s2, IN
+    add s2, gp, s2
+sample_loop:
+    ld a0, 0(s2)
+{_section_asm(0, SECTIONS[0])}
+{_section_asm(1, SECTIONS[1])}
+    add s0, s0, a0
+    addi s2, s2, 8
+    addi s1, s1, 1
+    li t0, S
+    blt s1, t0, sample_loop
+{store_result('s0')}
+"""

@@ -1,0 +1,76 @@
+"""insertsort — insertion sort."""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "insertsort"
+CATEGORY = "sort"
+DESCRIPTION = "insertion sort of 96 LCG-generated values"
+
+N = 96
+SEED = 0x1452
+
+MASK = (1 << 64) - 1
+
+
+def _reference() -> int:
+    arr = list(lcg_reference(SEED, N))
+    arr.sort()
+    checksum = 0
+    for index, value in enumerate(arr):
+        checksum = (checksum + (index + 1) * value) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ N, {N}
+.equ ARR, 64
+_start:
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, ARR
+fill:
+{lcg_step('t2')}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, N
+    blt t0, t3, fill
+
+    # --- insertion sort ---
+    li s1, 1            # i
+outer:
+    slli t0, s1, 3
+    addi t1, gp, ARR
+    add t0, t1, t0
+    ld s2, 0(t0)        # key = arr[i]
+    addi s3, t0, -8     # ptr to arr[j], j = i-1
+inner:
+    blt s3, t1, place   # j < 0
+    ld t2, 0(s3)
+    bleu t2, s2, place  # arr[j] <= key
+    sd t2, 8(s3)        # shift right
+    addi s3, s3, -8
+    j inner
+place:
+    sd s2, 8(s3)
+    addi s1, s1, 1
+    li t3, N
+    blt s1, t3, outer
+
+    # --- weighted checksum ---
+    li s0, 0
+    li t0, 0
+    addi t1, gp, ARR
+check:
+    ld t2, 0(t1)
+    addi t3, t0, 1
+    mul t2, t2, t3
+    add s0, s0, t2
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t4, N
+    blt t0, t4, check
+{store_result('s0')}
+"""

@@ -1,0 +1,91 @@
+"""isqrt — integer square root (digit-by-digit method).
+
+250 values of 32 bits, 16 iterations each, array-based.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "isqrt"
+CATEGORY = "math"
+DESCRIPTION = "digit-by-digit integer sqrt of 250 32-bit values"
+
+COUNT = 250
+SEED = 0x1534
+SHIFT = 32  # 32-bit values
+
+MASK = (1 << 64) - 1
+
+
+def _isqrt(value: int) -> int:
+    op = value
+    res = 0
+    one = 1 << 30
+    while one > op:
+        one >>= 2
+    while one != 0:
+        if op >= res + one:
+            op -= res + one
+            res = (res >> 1) + one
+        else:
+            res >>= 1
+        one >>= 2
+    return res
+
+
+def _reference() -> int:
+    checksum = 0
+    for value in lcg_reference(SEED, COUNT, shift=SHIFT):
+        checksum = (checksum + _isqrt(value)) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ K, {COUNT}
+.equ IN, 64
+_start:
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, IN
+fill:
+{lcg_step('t2', shift=SHIFT)}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, K
+    blt t0, t3, fill
+
+    li s0, 0            # checksum
+    li s1, 0            # index
+    addi s2, gp, IN
+val_loop:
+    ld t0, 0(s2)        # op
+    li t1, 0            # res
+    li t2, 1
+    slli t2, t2, 30     # one
+shrink:
+    bleu t2, t0, bits   # while one > op
+    srli t2, t2, 2
+    j shrink
+bits:
+    beqz t2, done
+    add t3, t1, t2      # res + one
+    bltu t0, t3, no_bit
+    sub t0, t0, t3
+    srli t1, t1, 1
+    add t1, t1, t2
+    j next_bit
+no_bit:
+    srli t1, t1, 1
+next_bit:
+    srli t2, t2, 2
+    j bits
+done:
+    add s0, s0, t1
+    addi s2, s2, 8
+    addi s1, s1, 1
+    li t4, K
+    blt s1, t4, val_loop
+{store_result('s0')}
+"""

@@ -1,0 +1,173 @@
+"""jfdctint — integer 8x8 forward DCT over pixel blocks.
+
+The JPEG forward DCT expressed as two 8x8 matrix products
+(out = C . block . C^T) in Q14 arithmetic, over 3 blocks.  The cosine
+matrix lives in rodata like the compiled version's constant tables.
+"""
+
+import math
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "jfdctint"
+CATEGORY = "media"
+DESCRIPTION = "integer 8x8 forward DCT of 3 pixel blocks"
+
+BLOCKS = 3
+SEED = 0x3FDC
+SHIFT = 56  # 8-bit pixels
+
+MASK = (1 << 64) - 1
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def _cos_matrix():
+    mat = []
+    for k in range(8):
+        scale = math.sqrt(0.25) if k else math.sqrt(0.125)
+        for n in range(8):
+            mat.append(round(scale * math.cos(math.pi * (2 * n + 1) * k
+                                              / 16) * 16384))
+    return mat
+
+
+C = _cos_matrix()
+
+
+def _reference() -> int:
+    checksum = 0
+    stream = lcg_reference(SEED, BLOCKS * 64, shift=SHIFT)
+    for b in range(BLOCKS):
+        block = stream[b * 64:(b + 1) * 64]
+        # tmp = C . block  (Q14 * int -> >>14)
+        tmp = [0] * 64
+        for i in range(8):
+            for j in range(8):
+                acc = 0
+                for k in range(8):
+                    acc += C[i * 8 + k] * block[k * 8 + j]
+                tmp[i * 8 + j] = (acc >> 14) & MASK
+        # out = tmp . C^T
+        for i in range(8):
+            for j in range(8):
+                acc = 0
+                for k in range(8):
+                    acc += _signed(tmp[i * 8 + k]) * C[j * 8 + k]
+                out = (acc >> 14) & MASK
+                checksum = (checksum + out * (i + 2 * j + 1)) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ BLOCKS, {BLOCKS}
+.equ BLK, 64
+.equ TMP, {64 + 8 * 64}
+_start:
+{lcg_setup(SEED)}
+    li s0, 0                # checksum
+    li s8, 0                # block counter
+block_loop:
+    # --- fill one 8x8 block with 8-bit pixels ---
+    li t0, 0
+    addi t1, gp, BLK
+fill:
+{lcg_step('t2', shift=SHIFT)}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, 64
+    blt t0, t3, fill
+
+    # --- tmp = C . block, >>14 ---
+    li s1, 0                # i
+t_i:
+    li s2, 0                # j
+t_j:
+    li s4, 0                # acc
+    li s3, 0                # k
+t_k:
+    slli t0, s1, 3
+    add t0, t0, s3          # i*8+k
+    slli t0, t0, 3
+    la t1, cos_tab
+    add t1, t1, t0
+    ld t2, 0(t1)            # C[i][k]
+    slli t3, s3, 3
+    add t3, t3, s2          # k*8+j
+    slli t3, t3, 3
+    addi t4, gp, BLK
+    add t4, t4, t3
+    ld t5, 0(t4)            # block[k][j]
+    mul t2, t2, t5
+    add s4, s4, t2
+    addi s3, s3, 1
+    li t6, 8
+    blt s3, t6, t_k
+    srai s4, s4, 14
+    slli t0, s1, 3
+    add t0, t0, s2
+    slli t0, t0, 3
+    li t1, TMP
+    add t1, gp, t1
+    add t1, t1, t0
+    sd s4, 0(t1)
+    addi s2, s2, 1
+    li t6, 8
+    blt s2, t6, t_j
+    addi s1, s1, 1
+    li t6, 8
+    blt s1, t6, t_i
+
+    # --- out = tmp . C^T, >>14, accumulate checksum in s0 ---
+    li s1, 0                # i
+o_i:
+    li s2, 0                # j
+o_j:
+    li s4, 0                # acc
+    li s3, 0                # k
+o_k:
+    slli t0, s1, 3
+    add t0, t0, s3          # i*8+k
+    slli t0, t0, 3
+    li t1, TMP
+    add t1, gp, t1
+    add t1, t1, t0
+    ld t2, 0(t1)            # tmp[i][k]
+    slli t3, s2, 3
+    add t3, t3, s3          # j*8+k
+    slli t3, t3, 3
+    la t4, cos_tab
+    add t4, t4, t3
+    ld t5, 0(t4)            # C[j][k]
+    mul t2, t2, t5
+    add s4, s4, t2
+    addi s3, s3, 1
+    li t6, 8
+    blt s3, t6, o_k
+    srai s4, s4, 14
+    slli t0, s2, 1
+    add t0, t0, s1
+    addi t0, t0, 1          # i + 2*j + 1
+    mul t0, s4, t0
+    add s0, s0, t0
+    addi s2, s2, 1
+    li t6, 8
+    blt s2, t6, o_j
+    addi s1, s1, 1
+    li t6, 8
+    blt s1, t6, o_i
+
+    addi s8, s8, 1
+    li t0, BLOCKS
+    blt s8, t0, block_loop
+{store_result('s0')}
+
+.align 3
+cos_tab:
+    .dword {", ".join(str(v & MASK) for v in C)}
+"""

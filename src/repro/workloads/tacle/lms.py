@@ -1,0 +1,126 @@
+"""lms — least-mean-squares adaptive filter.
+
+8-tap LMS predictor over 250 samples in Q16.16: the filter predicts the
+next sample from the previous 8 and adapts its weights by the error.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "lms"
+CATEGORY = "dsp"
+DESCRIPTION = "8-tap Q16.16 LMS adaptive predictor over 250 samples"
+
+TAPS = 8
+SAMPLES = 250
+SEED = 0x735
+SHIFT = 50  # 14-bit samples
+MU_SHIFT = 12  # weight update uses (e * x) >> MU_SHIFT >> 16
+
+MASK = (1 << 64) - 1
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def _reference() -> int:
+    x = lcg_reference(SEED, SAMPLES, shift=SHIFT)
+    w = [0] * TAPS
+    checksum = 0
+    for i in range(TAPS, SAMPLES):
+        y = 0
+        for t in range(TAPS):
+            y += _signed(w[t]) * x[i - 1 - t]
+        y = (_signed((y & MASK)) >> 16)
+        e = x[i] - y
+        for t in range(TAPS):
+            delta = (e * x[i - 1 - t]) >> (16 + MU_SHIFT)
+            w[t] = (_signed(w[t]) + delta) & MASK
+        checksum = (checksum + (e & MASK)) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ T, {TAPS}
+.equ S, {SAMPLES}
+.equ X, 64
+.equ W, {64 + 8 * SAMPLES}
+_start:
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, X
+fill:
+{lcg_step('t2', shift=SHIFT)}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, S
+    blt t0, t3, fill
+    # zero weights
+    li t0, 0
+    li t1, W
+    add t1, gp, t1
+zero_w:
+    sd x0, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t2, T
+    blt t0, t2, zero_w
+
+    li s0, 0            # checksum
+    li s1, T            # i
+sample_loop:
+    # --- y = sum w[t]*x[i-1-t] ---
+    li s2, 0            # y accumulator
+    li s3, 0            # t
+    li t0, W
+    add s4, gp, t0      # &w[0]
+    addi t0, s1, -1
+    slli t0, t0, 3
+    addi t1, gp, X
+    add s5, t1, t0      # &x[i-1]
+predict:
+    ld t2, 0(s4)
+    ld t3, 0(s5)
+    mul t4, t2, t3
+    add s2, s2, t4
+    addi s4, s4, 8
+    addi s5, s5, -8
+    addi s3, s3, 1
+    li t5, T
+    blt s3, t5, predict
+    srai s2, s2, 16     # y
+    # --- e = x[i] - y ---
+    slli t0, s1, 3
+    addi t1, gp, X
+    add t1, t1, t0
+    ld t2, 0(t1)        # x[i]
+    sub s6, t2, s2      # e
+    # --- weight update ---
+    li s3, 0
+    li t0, W
+    add s4, gp, t0
+    addi t0, s1, -1
+    slli t0, t0, 3
+    addi t1, gp, X
+    add s5, t1, t0
+update:
+    ld t3, 0(s5)        # x[i-1-t]
+    mul t4, s6, t3
+    srai t4, t4, {16 + MU_SHIFT}
+    ld t2, 0(s4)
+    add t2, t2, t4
+    sd t2, 0(s4)
+    addi s4, s4, 8
+    addi s5, s5, -8
+    addi s3, s3, 1
+    li t5, T
+    blt s3, t5, update
+    add s0, s0, s6
+    addi s1, s1, 1
+    li t6, S
+    blt s1, t6, sample_loop
+{store_result('s0')}
+"""

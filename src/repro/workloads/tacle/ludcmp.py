@@ -1,0 +1,264 @@
+"""ludcmp — LU decomposition and solve.
+
+In-place Doolittle LU of a 10x10 diagonally-dominant Q16.16 matrix,
+followed by forward/backward substitution against an LCG right-hand
+side.  Division-heavy (one divide per eliminated element).
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "ludcmp"
+CATEGORY = "linear-algebra"
+DESCRIPTION = "Q16.16 LU decomposition + solve of a 10x10 system"
+
+N = 10
+SEED = 0x74DC
+SHIFT = 46  # 18-bit entries
+
+MASK = (1 << 64) - 1
+ONE = 1 << 16
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def _sra16(value: int) -> int:
+    return (_signed(value & MASK) >> 16) & MASK
+
+
+def _sdiv(a: int, b: int) -> int:
+    a, b = _signed(a), _signed(b)
+    if b == 0:
+        return MASK
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return q & MASK
+
+
+def _reference() -> int:
+    stream = lcg_reference(SEED, N * N + N, shift=SHIFT)
+    a = [[stream[i * N + j] for j in range(N)] for i in range(N)]
+    b = list(stream[N * N:])
+    # Diagonal dominance: a[i][i] += N * 2^18 (matches the asm).
+    for i in range(N):
+        a[i][i] = (a[i][i] + N * (1 << 18)) & MASK
+    # Doolittle elimination.
+    for k in range(N):
+        for i in range(k + 1, N):
+            factor = _sdiv((_signed(a[i][k]) << 16) & MASK, a[k][k])
+            a[i][k] = factor
+            for j in range(k + 1, N):
+                prod = _sra16(_signed(factor) * _signed(a[k][j]))
+                a[i][j] = (a[i][j] - prod) & MASK
+    # Forward substitution: y = L^-1 b (L has unit diagonal).
+    y = [0] * N
+    for i in range(N):
+        acc = _signed(b[i])
+        for j in range(i):
+            acc -= _signed(_sra16(_signed(a[i][j]) * _signed(y[j])))
+        y[i] = acc & MASK
+    # Backward substitution: x = U^-1 y.
+    x = [0] * N
+    for i in range(N - 1, -1, -1):
+        acc = _signed(y[i])
+        for j in range(i + 1, N):
+            acc -= _signed(_sra16(_signed(a[i][j]) * _signed(x[j])))
+        x[i] = _sdiv((acc << 16) & MASK, a[i][i])
+    checksum = 0
+    for i in range(N):
+        checksum = (checksum + (i + 1) * _signed(x[i])) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ N, {N}
+.equ A, 64
+.equ B, {64 + 8 * N * N}
+.equ Y, {64 + 8 * N * N + 8 * N}
+.equ XV, {64 + 8 * N * N + 16 * N}
+_start:
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, A
+fill:                       # matrix then rhs, contiguous
+{lcg_step('t2', shift=SHIFT)}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, N*N+N
+    blt t0, t3, fill
+    # diagonal dominance
+    li t0, 0
+diag:
+    li t1, N+1
+    mul t1, t0, t1
+    slli t1, t1, 3
+    addi t2, gp, A
+    add t2, t2, t1
+    ld t3, 0(t2)
+    li t4, {N * (1 << 18)}
+    add t3, t3, t4
+    sd t3, 0(t2)
+    addi t0, t0, 1
+    li t5, N
+    blt t0, t5, diag
+
+    # --- elimination ---
+    li s1, 0                # k
+k_loop:
+    addi s2, s1, 1          # i
+i_loop:
+    li t6, N
+    bge s2, t6, k_next
+    # factor = (a[i][k] << 16) / a[k][k]
+    li t0, N
+    mul t1, s2, t0
+    add t1, t1, s1
+    slli t1, t1, 3
+    addi t2, gp, A
+    add s4, t2, t1          # &a[i][k]
+    ld t3, 0(s4)
+    slli t3, t3, 16
+    mul t4, s1, t0
+    add t4, t4, s1
+    slli t4, t4, 3
+    add t4, t2, t4
+    ld t5, 0(t4)            # a[k][k]
+    div s5, t3, t5          # factor
+    sd s5, 0(s4)
+    # row update
+    addi s3, s1, 1          # j
+j_loop:
+    li t6, N
+    bge s3, t6, i_next
+    li t0, N
+    mul t1, s1, t0
+    add t1, t1, s3
+    slli t1, t1, 3
+    addi t2, gp, A
+    add t3, t2, t1
+    ld t4, 0(t3)            # a[k][j]
+    mul t4, s5, t4
+    srai t4, t4, 16
+    mul t1, s2, t0
+    add t1, t1, s3
+    slli t1, t1, 3
+    add t3, t2, t1
+    ld t5, 0(t3)            # a[i][j]
+    sub t5, t5, t4
+    sd t5, 0(t3)
+    addi s3, s3, 1
+    j j_loop
+i_next:
+    addi s2, s2, 1
+    j i_loop
+k_next:
+    addi s1, s1, 1
+    li t6, N-1
+    ble s1, t6, k_loop
+
+    # --- forward substitution ---
+    li s1, 0                # i
+fw_loop:
+    li t0, B
+    add t0, gp, t0
+    slli t1, s1, 3
+    add t0, t0, t1
+    ld s4, 0(t0)            # acc = b[i]
+    li s2, 0                # j
+fw_j:
+    bge s2, s1, fw_store
+    li t0, N
+    mul t1, s1, t0
+    add t1, t1, s2
+    slli t1, t1, 3
+    addi t2, gp, A
+    add t2, t2, t1
+    ld t3, 0(t2)            # a[i][j]
+    li t0, Y
+    add t0, gp, t0
+    slli t1, s2, 3
+    add t0, t0, t1
+    ld t4, 0(t0)            # y[j]
+    mul t3, t3, t4
+    srai t3, t3, 16
+    sub s4, s4, t3
+    addi s2, s2, 1
+    j fw_j
+fw_store:
+    li t0, Y
+    add t0, gp, t0
+    slli t1, s1, 3
+    add t0, t0, t1
+    sd s4, 0(t0)
+    addi s1, s1, 1
+    li t6, N
+    blt s1, t6, fw_loop
+
+    # --- backward substitution ---
+    li s1, N-1              # i
+bw_loop:
+    li t0, Y
+    add t0, gp, t0
+    slli t1, s1, 3
+    add t0, t0, t1
+    ld s4, 0(t0)            # acc = y[i]
+    addi s2, s1, 1          # j
+bw_j:
+    li t6, N
+    bge s2, t6, bw_div
+    li t0, N
+    mul t1, s1, t0
+    add t1, t1, s2
+    slli t1, t1, 3
+    addi t2, gp, A
+    add t2, t2, t1
+    ld t3, 0(t2)            # a[i][j]
+    li t0, XV
+    add t0, gp, t0
+    slli t1, s2, 3
+    add t0, t0, t1
+    ld t4, 0(t0)            # x[j]
+    mul t3, t3, t4
+    srai t3, t3, 16
+    sub s4, s4, t3
+    addi s2, s2, 1
+    j bw_j
+bw_div:
+    slli s4, s4, 16
+    li t0, N
+    mul t1, s1, t0
+    add t1, t1, s1
+    slli t1, t1, 3
+    addi t2, gp, A
+    add t2, t2, t1
+    ld t3, 0(t2)            # a[i][i]
+    div s4, s4, t3
+    li t0, XV
+    add t0, gp, t0
+    slli t1, s1, 3
+    add t0, t0, t1
+    sd s4, 0(t0)
+    addi s1, s1, -1
+    bgez s1, bw_loop
+
+    # --- checksum sum (i+1)*x[i] ---
+    li s0, 0
+    li s1, 0
+    li t0, XV
+    add s2, gp, t0
+cs_loop:
+    ld t0, 0(s2)
+    addi t1, s1, 1
+    mul t0, t0, t1
+    add s0, s0, t0
+    addi s2, s2, 8
+    addi s1, s1, 1
+    li t2, N
+    blt s1, t2, cs_loop
+{store_result('s0')}
+"""

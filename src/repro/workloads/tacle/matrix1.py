@@ -1,0 +1,100 @@
+"""matrix1 — dense integer matrix multiply.
+
+C = A x B over 14x14 integer matrices.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "matrix1"
+CATEGORY = "linear-algebra"
+DESCRIPTION = "14x14 integer matrix multiplication"
+
+N = 14
+SEED = 0x3A71
+SHIFT = 48  # 16-bit entries
+
+MASK = (1 << 64) - 1
+
+
+def _reference() -> int:
+    stream = lcg_reference(SEED, 2 * N * N, shift=SHIFT)
+    a = stream[:N * N]
+    b = stream[N * N:]
+    checksum = 0
+    for i in range(N):
+        for j in range(N):
+            acc = 0
+            for k in range(N):
+                acc = (acc + a[i * N + k] * b[k * N + j]) & MASK
+            checksum = (checksum + acc * (i + j + 1)) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ N, {N}
+.equ A, 64
+.equ B, {64 + 8 * N * N}
+.equ C, {64 + 16 * N * N}
+_start:
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, A
+fill:                       # A then B, contiguous
+{lcg_step('t2', shift=SHIFT)}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, 2*N*N
+    blt t0, t3, fill
+
+    li s0, 0                # checksum
+    li s1, 0                # i
+mi_loop:
+    li s2, 0                # j
+mj_loop:
+    li s4, 0                # acc
+    li s3, 0                # k
+mk_loop:
+    li t0, N
+    mul t1, s1, t0
+    add t1, t1, s3
+    slli t1, t1, 3
+    addi t2, gp, A
+    add t2, t2, t1
+    ld t3, 0(t2)            # a[i][k]
+    li t0, N
+    mul t1, s3, t0
+    add t1, t1, s2
+    slli t1, t1, 3
+    li t4, B
+    add t2, gp, t4
+    add t2, t2, t1
+    ld t4, 0(t2)            # b[k][j]
+    mul t3, t3, t4
+    add s4, s4, t3
+    addi s3, s3, 1
+    li t5, N
+    blt s3, t5, mk_loop
+    # store c[i][j] and fold into checksum
+    li t0, N
+    mul t1, s1, t0
+    add t1, t1, s2
+    slli t1, t1, 3
+    li t2, C
+    add t2, gp, t2
+    add t2, t2, t1
+    sd s4, 0(t2)
+    add t0, s1, s2
+    addi t0, t0, 1
+    mul t0, s4, t0
+    add s0, s0, t0
+    addi s2, s2, 1
+    li t6, N
+    blt s2, t6, mj_loop
+    addi s1, s1, 1
+    li t6, N
+    blt s1, t6, mi_loop
+{store_result('s0')}
+"""

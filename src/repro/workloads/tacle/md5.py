@@ -1,0 +1,202 @@
+"""md5 — the MD5 message digest over a pseudo-random message.
+
+Full 64-round MD5 compression, 12 blocks (768 message bytes).  The
+round constants K, per-round rotations R and message-index table G live
+in rodata; the message buffer is rebuilt per block in the private arena.
+"""
+
+import math
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "md5"
+CATEGORY = "crypto"
+DESCRIPTION = "MD5 compression of 12 LCG-generated 64-byte blocks"
+
+BLOCKS = 12
+SEED = 0x3D5
+SHIFT = 32  # 32-bit message words
+
+M32 = 0xFFFFFFFF
+MASK = (1 << 64) - 1
+
+K_TAB = [int(abs(math.sin(i + 1)) * (1 << 32)) & M32 for i in range(64)]
+R_TAB = ([7, 12, 17, 22] * 4) + ([5, 9, 14, 20] * 4) \
+    + ([4, 11, 16, 23] * 4) + ([6, 10, 15, 21] * 4)
+G_TAB = ([i for i in range(16)]
+         + [(5 * i + 1) % 16 for i in range(16, 32)]
+         + [(3 * i + 5) % 16 for i in range(32, 48)]
+         + [(7 * i) % 16 for i in range(48, 64)])
+
+INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+
+def _rotl32(x: int, s: int) -> int:
+    x &= M32
+    return ((x << s) | (x >> (32 - s))) & M32
+
+
+def _reference() -> int:
+    stream = lcg_reference(SEED, BLOCKS * 16, shift=SHIFT)
+    h0, h1, h2, h3 = INIT
+    for blk in range(BLOCKS):
+        m = [v & M32 for v in stream[blk * 16:(blk + 1) * 16]]
+        a, b, c, d = h0, h1, h2, h3
+        for i in range(64):
+            if i < 16:
+                f = (b & c) | (~b & d)
+            elif i < 32:
+                f = (d & b) | (~d & c)
+            elif i < 48:
+                f = b ^ c ^ d
+            else:
+                f = c ^ (b | ~d)
+            f &= M32
+            x = (a + f + K_TAB[i] + m[G_TAB[i]]) & M32
+            a, d, c, b = d, c, b, (b + _rotl32(x, R_TAB[i])) & M32
+        h0 = (h0 + a) & M32
+        h1 = (h1 + b) & M32
+        h2 = (h2 + c) & M32
+        h3 = (h3 + d) & M32
+    return (h0 + 3 * h1 + 5 * h2 + 7 * h3) & MASK
+
+
+EXPECTED_CHECKSUM = _reference()
+
+
+def _dwords(values):
+    return ", ".join(str(v & MASK) for v in values)
+
+
+SOURCE = f"""
+.equ BLOCKS, {BLOCKS}
+.equ MSG, 64            # 16 message words (dword slots)
+.equ M32HI, 0xFFFFFFFF
+_start:
+{lcg_setup(SEED)}
+    # h0..h3 in s1..s4
+    li s1, {INIT[0]}
+    li s2, {INIT[1]}
+    li s3, {INIT[2]}
+    li s4, {INIT[3]}
+    li s8, 0            # block counter
+block_loop:
+    # --- fill 16 message words ---
+    li t0, 0
+    addi t1, gp, MSG
+fill:
+{lcg_step('t2', shift=SHIFT)}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, 16
+    blt t0, t3, fill
+
+    # --- 64 rounds; a,b,c,d in a0..a3 ---
+    mv a0, s1
+    mv a1, s2
+    mv a2, s3
+    mv a3, s4
+    li s5, 0            # round i
+round_loop:
+    li t5, 16
+    blt s5, t5, f_round0
+    li t5, 32
+    blt s5, t5, f_round1
+    li t5, 48
+    blt s5, t5, f_round2
+    # round 3: f = c ^ (b | ~d)
+    not t0, a3
+    or t0, a1, t0
+    xor t0, a2, t0
+    j f_done
+f_round0:               # f = (b & c) | (~b & d)
+    and t0, a1, a2
+    not t1, a1
+    and t1, t1, a3
+    or t0, t0, t1
+    j f_done
+f_round1:               # f = (d & b) | (~d & c)
+    and t0, a3, a1
+    not t1, a3
+    and t1, t1, a2
+    or t0, t0, t1
+    j f_done
+f_round2:               # f = b ^ c ^ d
+    xor t0, a1, a2
+    xor t0, t0, a3
+f_done:
+    li t6, M32HI
+    and t0, t0, t6
+    # x = a + f + K[i] + M[G[i]]
+    slli t1, s5, 3
+    la t2, k_tab
+    add t2, t2, t1
+    ld t3, 0(t2)        # K[i]
+    la t2, g_tab
+    add t2, t2, t1
+    ld t4, 0(t2)        # G[i]
+    slli t4, t4, 3
+    addi t2, gp, MSG
+    add t2, t2, t4
+    ld t4, 0(t2)        # M[G[i]]
+    add t0, t0, a0
+    add t0, t0, t3
+    add t0, t0, t4
+    and t0, t0, t6      # x (32-bit)
+    # rot = R[i]; b' = b + rotl32(x, rot)
+    la t2, r_tab
+    add t2, t2, t1
+    ld t3, 0(t2)        # rot
+    sll t4, t0, t3
+    li t5, 32
+    sub t5, t5, t3
+    srl t0, t0, t5
+    or t0, t4, t0
+    and t0, t0, t6
+    add t0, a1, t0
+    and t0, t0, t6      # new b
+    # rotate (a,b,c,d) <- (d, new_b, b, c)
+    mv t4, a3           # temp = d
+    mv a3, a2
+    mv a2, a1
+    mv a1, t0
+    mv a0, t4
+    addi s5, s5, 1
+    li t5, 64
+    blt s5, t5, round_loop
+
+    li t6, M32HI
+    add s1, s1, a0
+    and s1, s1, t6
+    add s2, s2, a1
+    and s2, s2, t6
+    add s3, s3, a2
+    and s3, s3, t6
+    add s4, s4, a3
+    and s4, s4, t6
+    addi s8, s8, 1
+    li t0, BLOCKS
+    blt s8, t0, block_loop
+
+    # checksum = h0 + 3*h1 + 5*h2 + 7*h3
+    mv s0, s1
+    li t0, 3
+    mul t1, s2, t0
+    add s0, s0, t1
+    li t0, 5
+    mul t1, s3, t0
+    add s0, s0, t1
+    li t0, 7
+    mul t1, s4, t0
+    add s0, s0, t1
+{store_result('s0')}
+
+.align 3
+k_tab:
+    .dword {_dwords(K_TAB)}
+r_tab:
+    .dword {_dwords(R_TAB)}
+g_tab:
+    .dword {_dwords(G_TAB)}
+"""

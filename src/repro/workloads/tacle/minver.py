@@ -1,0 +1,218 @@
+"""minver — small matrix inversion (Gauss-Jordan).
+
+Inverts a 6x6 diagonally-dominant Q16.16 matrix via Gauss-Jordan on an
+augmented [A | I] matrix, repeated for 3 matrices.  Division per pivot
+column, mul/sub row updates — the TACLe ``minver`` profile.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "minver"
+CATEGORY = "linear-algebra"
+DESCRIPTION = "Gauss-Jordan inversion of 3 6x6 Q16.16 matrices"
+
+N = 6
+MATRICES = 3
+SEED = 0x319E6
+SHIFT = 47  # 17-bit entries
+
+MASK = (1 << 64) - 1
+ONE = 1 << 16
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def _sra16(value: int) -> int:
+    return (_signed(value & MASK) >> 16) & MASK
+
+
+def _sdiv(a: int, b: int) -> int:
+    a, b = _signed(a), _signed(b)
+    if b == 0:
+        return MASK
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return q & MASK
+
+
+def _reference() -> int:
+    checksum = 0
+    stream = lcg_reference(SEED, MATRICES * N * N, shift=SHIFT)
+    for m in range(MATRICES):
+        vals = stream[m * N * N:(m + 1) * N * N]
+        # Augmented [A | I], row-major, 2N columns.
+        aug = [[0] * (2 * N) for _ in range(N)]
+        for i in range(N):
+            for j in range(N):
+                aug[i][j] = vals[i * N + j]
+            aug[i][i] = (aug[i][i] + N * (1 << 19)) & MASK
+            aug[i][N + i] = ONE
+        for k in range(N):
+            piv = aug[k][k]
+            for j in range(2 * N):
+                aug[k][j] = _sdiv((_signed(aug[k][j]) << 16) & MASK, piv)
+            for i in range(N):
+                if i == k:
+                    continue
+                factor = aug[i][k]
+                for j in range(2 * N):
+                    prod = _sra16(_signed(factor) * _signed(aug[k][j]))
+                    aug[i][j] = (aug[i][j] - prod) & MASK
+        for i in range(N):
+            for j in range(N):
+                checksum = (checksum
+                            + (i + 2 * j + 1)
+                            * _signed(aug[i][N + j])) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ N, {N}
+.equ N2, {2 * N}
+.equ MATS, {MATRICES}
+.equ AUG, 64            # N x 2N dwords
+_start:
+{lcg_setup(SEED)}
+    li s0, 0            # checksum
+    li s8, 0            # matrix counter
+mat_loop:
+    # --- build augmented [A|I] with a dominant diagonal ---
+    li t0, 0            # i
+build_i:
+    li t1, 0            # j
+build_j:
+    li t2, N2
+    mul t3, t0, t2
+    add t3, t3, t1
+    slli t3, t3, 3
+    addi t4, gp, AUG
+    add t4, t4, t3      # &aug[i][j]
+    li t5, N
+    bge t1, t5, ident_part
+{lcg_step('t6', shift=SHIFT)}
+    bne t0, t1, store_elem
+    li t5, {N * (1 << 19)}
+    add t6, t6, t5      # diagonal dominance
+store_elem:
+    sd t6, 0(t4)
+    j build_next
+ident_part:
+    sub t5, t1, t0
+    li t6, N
+    bne t5, t6, store_zero
+    li t5, {ONE}
+    sd t5, 0(t4)
+    j build_next
+store_zero:
+    sd x0, 0(t4)
+build_next:
+    addi t1, t1, 1
+    li t2, N2
+    blt t1, t2, build_j
+    addi t0, t0, 1
+    li t2, N
+    blt t0, t2, build_i
+
+    # --- Gauss-Jordan ---
+    li s1, 0            # k
+gj_k:
+    # pivot = aug[k][k]
+    li t0, N2
+    mul t1, s1, t0
+    add t1, t1, s1
+    slli t1, t1, 3
+    addi t2, gp, AUG
+    add t1, t2, t1
+    ld s5, 0(t1)        # pivot
+    # normalise row k
+    li s2, 0            # j
+norm_j:
+    li t0, N2
+    mul t1, s1, t0
+    add t1, t1, s2
+    slli t1, t1, 3
+    addi t2, gp, AUG
+    add t1, t2, t1
+    ld t3, 0(t1)
+    slli t3, t3, 16
+    div t3, t3, s5
+    sd t3, 0(t1)
+    addi s2, s2, 1
+    li t0, N2
+    blt s2, t0, norm_j
+    # eliminate other rows
+    li s3, 0            # i
+elim_i:
+    beq s3, s1, elim_next
+    li t0, N2
+    mul t1, s3, t0
+    add t1, t1, s1
+    slli t1, t1, 3
+    addi t2, gp, AUG
+    add t1, t2, t1
+    ld s6, 0(t1)        # factor = aug[i][k]
+    li s2, 0            # j
+elim_j:
+    li t0, N2
+    mul t1, s1, t0
+    add t1, t1, s2
+    slli t1, t1, 3
+    addi t2, gp, AUG
+    add t1, t2, t1
+    ld t3, 0(t1)        # aug[k][j]
+    mul t3, s6, t3
+    srai t3, t3, 16
+    li t0, N2
+    mul t1, s3, t0
+    add t1, t1, s2
+    slli t1, t1, 3
+    add t1, t2, t1
+    ld t4, 0(t1)
+    sub t4, t4, t3
+    sd t4, 0(t1)
+    addi s2, s2, 1
+    li t0, N2
+    blt s2, t0, elim_j
+elim_next:
+    addi s3, s3, 1
+    li t0, N
+    blt s3, t0, elim_i
+    addi s1, s1, 1
+    li t0, N
+    blt s1, t0, gj_k
+
+    # --- fold the inverse (right half) into the checksum ---
+    li t0, 0            # i
+cs_i:
+    li t1, 0            # j
+cs_j:
+    li t2, N2
+    mul t3, t0, t2
+    add t3, t3, t1
+    addi t3, t3, N
+    slli t3, t3, 3
+    addi t4, gp, AUG
+    add t4, t4, t3
+    ld t5, 0(t4)
+    slli t6, t1, 1
+    add t6, t6, t0
+    addi t6, t6, 1      # i + 2j + 1
+    mul t5, t5, t6
+    add s0, s0, t5
+    addi t1, t1, 1
+    li t2, N
+    blt t1, t2, cs_j
+    addi t0, t0, 1
+    li t2, N
+    blt t0, t2, cs_i
+
+    addi s8, s8, 1
+    li t0, MATS
+    blt s8, t0, mat_loop
+{store_result('s0')}
+"""

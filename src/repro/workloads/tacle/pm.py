@@ -1,0 +1,201 @@
+"""pm — pattern matching over a byte text.
+
+Horspool search of 4 patterns over a 1 KiB text, preceded by the
+store-burst phases that give ``pm`` its character in the paper: the
+text build and a normalization copy produce long runs of stores whose
+same-line coalescing in the store buffer is exactly the mechanism
+behind the paper's ``pm`` timing anomaly.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "pm"
+CATEGORY = "search"
+DESCRIPTION = "Horspool search of 4 patterns over a 1 KiB text"
+
+TEXT_LEN = 1024
+PAT_LEN = 8
+NUM_PATS = 4
+SEED = 0x93A7
+ALPHABET = 16  # text bytes in [0,16): guarantees frequent matches
+
+MASK = (1 << 64) - 1
+
+
+def _text():
+    return [v & (ALPHABET - 1)
+            for v in lcg_reference(SEED, TEXT_LEN, shift=57)]
+
+
+def _reference() -> int:
+    text = _text()
+    # Normalization copy (matches the asm: t2 = (t + 1) & 0xF).
+    norm = [(b + 1) & 0xF for b in text]
+    checksum = 0
+    for p in range(NUM_PATS):
+        start = 97 * p + 11
+        pattern = norm[start:start + PAT_LEN]
+        # Horspool bad-character table.
+        shift = [PAT_LEN] * 256
+        for i in range(PAT_LEN - 1):
+            shift[pattern[i]] = PAT_LEN - 1 - i
+        pos = 0
+        matches = 0
+        first = -1
+        while pos <= TEXT_LEN - PAT_LEN:
+            i = PAT_LEN - 1
+            while i >= 0 and norm[pos + i] == pattern[i]:
+                i -= 1
+            if i < 0:
+                matches += 1
+                if first < 0:
+                    first = pos
+                pos += 1
+            else:
+                pos += shift[norm[pos + PAT_LEN - 1]]
+        checksum = (checksum + matches * 1000003 + first) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+# Layout (byte arrays): TEXT, NORM, SHIFT table (256 dwords), PATTERN.
+SOURCE = f"""
+.equ TLEN, {TEXT_LEN}
+.equ PLEN, {PAT_LEN}
+.equ NPATS, {NUM_PATS}
+.equ TEXT, 64
+.equ NORM, {64 + TEXT_LEN}
+.equ SHIFTT, {64 + 2 * TEXT_LEN}
+.equ PAT, {64 + 2 * TEXT_LEN + 8 * 256}
+_start:
+{lcg_setup(SEED)}
+    # --- build text: store burst no.1 ---
+    li t0, 0
+    addi t1, gp, TEXT
+tfill:
+{lcg_step('t2', shift=57)}
+    andi t2, t2, {ALPHABET - 1}
+    sb t2, 0(t1)
+    addi t1, t1, 1
+    addi t0, t0, 1
+    li t4, TLEN
+    blt t0, t4, tfill
+
+    # --- normalization copy: store burst no.2 ---
+    li t0, 0
+    addi t1, gp, TEXT
+    li t5, NORM
+    add t5, gp, t5
+nfill:
+    lbu t2, 0(t1)
+    addi t2, t2, 1
+    andi t2, t2, 0xF
+    sb t2, 0(t5)
+    addi t1, t1, 1
+    addi t5, t5, 1
+    addi t0, t0, 1
+    li t4, TLEN
+    blt t0, t4, nfill
+
+    li s0, 0            # checksum
+    li s8, 0            # pattern index
+pat_loop:
+    # --- copy the pattern from norm[97p+11 ..] ---
+    li t0, 97
+    mul t0, t0, s8
+    addi t0, t0, 11
+    li t1, NORM
+    add t1, gp, t1
+    add t1, t1, t0      # &norm[start]
+    li t2, PAT
+    add t2, gp, t2
+    li t3, 0
+pcopy:
+    lbu t4, 0(t1)
+    sb t4, 0(t2)
+    addi t1, t1, 1
+    addi t2, t2, 1
+    addi t3, t3, 1
+    li t5, PLEN
+    blt t3, t5, pcopy
+
+    # --- bad-character table: store burst no.3 (256 dwords) ---
+    li t0, 0
+    li t1, SHIFTT
+    add t1, gp, t1
+    li t2, PLEN
+sinit:
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, 256
+    blt t0, t3, sinit
+    li t0, 0            # i
+supd:
+    li t1, PAT
+    add t1, gp, t1
+    add t1, t1, t0
+    lbu t2, 0(t1)       # pattern[i]
+    slli t2, t2, 3
+    li t3, SHIFTT
+    add t3, gp, t3
+    add t3, t3, t2
+    li t4, PLEN-1
+    sub t4, t4, t0
+    sd t4, 0(t3)
+    addi t0, t0, 1
+    li t5, PLEN-1
+    blt t0, t5, supd
+
+    # --- Horspool scan ---
+    li s1, 0            # pos
+    li s2, 0            # matches
+    li s3, -1           # first match position
+scan:
+    li t0, TLEN-PLEN
+    bgt s1, t0, scan_done
+    li s4, PLEN-1       # i
+cmp_loop:
+    bltz s4, hit
+    li t1, NORM
+    add t1, gp, t1
+    add t1, t1, s1
+    add t1, t1, s4
+    lbu t2, 0(t1)       # norm[pos+i]
+    li t3, PAT
+    add t3, gp, t3
+    add t3, t3, s4
+    lbu t4, 0(t3)       # pattern[i]
+    bne t2, t4, miss
+    addi s4, s4, -1
+    j cmp_loop
+hit:
+    addi s2, s2, 1
+    bgez s3, hit_not_first
+    mv s3, s1
+hit_not_first:
+    addi s1, s1, 1
+    j scan
+miss:
+    li t1, NORM
+    add t1, gp, t1
+    add t1, t1, s1
+    lbu t2, PLEN-1(t1)  # norm[pos+PLEN-1]
+    slli t2, t2, 3
+    li t3, SHIFTT
+    add t3, gp, t3
+    add t3, t3, t2
+    ld t4, 0(t3)
+    add s1, s1, t4
+    j scan
+scan_done:
+    li t0, 1000003
+    mul t0, s2, t0
+    add t0, t0, s3
+    add s0, s0, t0
+    addi s8, s8, 1
+    li t1, NPATS
+    blt s8, t1, pat_loop
+{store_result('s0')}
+"""

@@ -1,0 +1,86 @@
+"""prime — primality counting by trial division.
+
+Counts primes below 600 with odd-divisor trial division; dominated by
+the iterative divider (``rem``), like the TACLe original.
+"""
+
+from ..dsl import store_result
+
+NAME = "prime"
+CATEGORY = "math"
+DESCRIPTION = "count primes < 600 via trial division"
+
+LIMIT = 600
+
+MASK = (1 << 64) - 1
+
+
+def _reference() -> int:
+    count = 0
+    total = 0
+    for n in range(2, LIMIT):
+        if n == 2:
+            prime = True
+        elif n % 2 == 0:
+            prime = False
+        else:
+            prime = True
+            d = 3
+            while d * d <= n:
+                if n % d == 0:
+                    prime = False
+                    break
+                d += 2
+        if prime:
+            count += 1
+            total = (total + n) & MASK
+    return (total + count * 1000003) & MASK
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ LIMIT, {LIMIT}
+.equ PRIMES, 64
+_start:
+    li s1, 0            # count
+    li s2, 2            # n
+    addi s4, gp, PRIMES # output cursor
+n_loop:
+    li t0, 2
+    bne s2, t0, check_even
+    j is_prime          # 2 is prime
+check_even:
+    andi t0, s2, 1
+    beqz t0, not_prime
+    li s3, 3            # d
+d_loop:
+    mul t0, s3, s3
+    bgt t0, s2, is_prime
+    rem t1, s2, s3
+    beqz t1, not_prime
+    addi s3, s3, 2
+    j d_loop
+is_prime:
+    addi s1, s1, 1
+    sd s2, 0(s4)        # record the prime
+    addi s4, s4, 8
+not_prime:
+    addi s2, s2, 1
+    li t0, LIMIT
+    blt s2, t0, n_loop
+    # total = sum of recorded primes (read back from memory)
+    li s0, 0
+    li t0, 0
+    addi t1, gp, PRIMES
+sum_loop:
+    ld t2, 0(t1)
+    add s0, s0, t2
+    addi t1, t1, 8
+    addi t0, t0, 1
+    blt t0, s1, sum_loop
+    li t0, 1000003
+    mul t0, s1, t0
+    add s0, s0, t0
+{store_result('s0')}
+"""

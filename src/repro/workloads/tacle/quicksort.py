@@ -1,0 +1,126 @@
+"""quicksort — iterative quicksort with an explicit stack.
+
+Lomuto partition over 192 values; the work-list stack lives in the
+private arena (pointer-heavy, like the compiled recursive original).
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "quicksort"
+CATEGORY = "sort"
+DESCRIPTION = "iterative quicksort of 192 LCG-generated values"
+
+N = 192
+SEED = 0x95011
+
+MASK = (1 << 64) - 1
+
+
+def _reference() -> int:
+    arr = list(lcg_reference(SEED, N))
+    arr.sort()
+    checksum = 0
+    for index, value in enumerate(arr):
+        checksum = (checksum + (index + 1) * value) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+# Layout: ARR then a stack of (lo, hi) dword pairs.
+SOURCE = f"""
+.equ N, {N}
+.equ ARR, 64
+.equ STK, {64 + 8 * N}
+_start:
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, ARR
+fill:
+{lcg_step('t2')}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, N
+    blt t0, t3, fill
+
+    # --- push (0, N-1) ---
+    li t0, STK
+    add s7, gp, t0      # stack pointer (grows up)
+    sd x0, 0(s7)
+    li t1, N-1
+    sd t1, 8(s7)
+    addi s7, s7, 16
+
+work_loop:
+    li t0, STK
+    add t0, gp, t0
+    bleu s7, t0, done   # stack empty
+    addi s7, s7, -16
+    ld s1, 0(s7)        # lo
+    ld s2, 8(s7)        # hi
+    bge s1, s2, work_loop
+
+    # --- Lomuto partition: pivot = arr[hi] ---
+    addi t0, gp, ARR
+    slli t1, s2, 3
+    add t1, t0, t1
+    ld s3, 0(t1)        # pivot
+    addi s4, s1, -1     # i
+    mv s5, s1           # j
+part_loop:
+    bge s5, s2, part_done
+    slli t1, s5, 3
+    add t1, t0, t1
+    ld t2, 0(t1)        # arr[j]
+    bgtu t2, s3, part_next
+    addi s4, s4, 1
+    slli t3, s4, 3
+    add t3, t0, t3
+    ld t4, 0(t3)        # arr[i]
+    sd t2, 0(t3)
+    sd t4, 0(t1)
+part_next:
+    addi s5, s5, 1
+    j part_loop
+part_done:
+    addi s4, s4, 1      # p = i+1
+    slli t1, s4, 3
+    add t1, t0, t1
+    ld t2, 0(t1)        # arr[p]
+    slli t3, s2, 3
+    add t3, t0, t3
+    ld t4, 0(t3)        # arr[hi]
+    sd t4, 0(t1)
+    sd t2, 0(t3)
+    # --- push (lo, p-1) and (p+1, hi) ---
+    addi t5, s4, -1
+    blt t5, s1, skip_left
+    sd s1, 0(s7)
+    sd t5, 8(s7)
+    addi s7, s7, 16
+skip_left:
+    addi t5, s4, 1
+    bgt t5, s2, skip_right
+    sd t5, 0(s7)
+    sd s2, 8(s7)
+    addi s7, s7, 16
+skip_right:
+    j work_loop
+done:
+
+    # --- weighted checksum ---
+    li s0, 0
+    li t0, 0
+    addi t1, gp, ARR
+check:
+    ld t2, 0(t1)
+    addi t3, t0, 1
+    mul t2, t2, t3
+    add s0, s0, t2
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t4, N
+    blt t0, t4, check
+{store_result('s0')}
+"""

@@ -1,0 +1,63 @@
+"""rad2deg — radian-to-degree conversion over an array.
+
+Counterpart of :mod:`repro.workloads.tacle.deg2rad`; array-based like
+the compiled TACLe version.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "rad2deg"
+CATEGORY = "math"
+DESCRIPTION = "Q16.16 radian-to-degree conversion of a 1000-entry array"
+
+COUNT = 1000
+SEED = 0x6AD2
+DEG_PER_RAD_Q16 = 3754936  # round(180/pi * 65536)
+TWO_PI_Q16 = 411775
+
+MASK = (1 << 64) - 1
+
+
+def _reference() -> int:
+    checksum = 0
+    for raw in lcg_reference(SEED, COUNT):
+        rad = raw & 0x3FFFF  # 18-bit range (0..4 rad, Q16.16)
+        deg = (rad * DEG_PER_RAD_Q16) >> 16
+        checksum = (checksum + deg) & MASK
+    return checksum
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ K, {COUNT}
+.equ IN, 64
+_start:
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, IN
+fill:
+{lcg_step('t2')}
+    li t3, 0x3FFFF
+    and t2, t2, t3
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t4, K
+    blt t0, t4, fill
+
+    li s0, 0
+    li s1, 0
+    addi s2, gp, IN
+    li s4, {DEG_PER_RAD_Q16}
+conv_loop:
+    ld t0, 0(s2)
+    mul t1, t0, s4
+    srli t1, t1, 16
+    add s0, s0, t1
+    addi s2, s2, 8
+    addi s1, s1, 1
+    li t2, K
+    blt s1, t2, conv_loop
+{store_result('s0')}
+"""

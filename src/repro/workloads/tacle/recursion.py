@@ -1,0 +1,51 @@
+"""recursion — naive recursive Fibonacci.
+
+fib(14) by double recursion: ~1,200 calls through the core-private
+stack, the deepest call tree in the suite.
+"""
+
+from ..dsl import store_result
+
+NAME = "recursion"
+CATEGORY = "recursion"
+DESCRIPTION = "naive recursive fib(14)"
+
+ARG = 14
+
+MASK = (1 << 64) - 1
+
+
+def _fib(n: int) -> int:
+    return n if n < 2 else _fib(n - 1) + _fib(n - 2)
+
+
+EXPECTED_CHECKSUM = _fib(ARG) & MASK
+
+SOURCE = f"""
+.equ ARG, {ARG}
+_start:
+    li a0, ARG
+    call fib
+    mv s0, a0
+{store_result('s0')}
+
+fib:                    # a0 = n -> a0 = fib(n)
+    li t0, 2
+    blt a0, t0, fib_base
+    addi sp, sp, -24
+    sd ra, 16(sp)
+    sd a0, 8(sp)
+    addi a0, a0, -1
+    call fib
+    sd a0, 0(sp)        # fib(n-1)
+    ld a0, 8(sp)
+    addi a0, a0, -2
+    call fib
+    ld t1, 0(sp)
+    add a0, a0, t1
+    ld ra, 16(sp)
+    addi sp, sp, 24
+    ret
+fib_base:
+    ret
+"""

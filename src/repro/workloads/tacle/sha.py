@@ -1,0 +1,217 @@
+"""sha — SHA-1 compression over a pseudo-random message.
+
+Full 80-round SHA-1 with the 16-to-80-word message schedule kept in the
+private arena, over 3 blocks.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "sha"
+CATEGORY = "crypto"
+DESCRIPTION = "SHA-1 compression of 3 LCG-generated 64-byte blocks"
+
+BLOCKS = 3
+SEED = 0x54A1
+SHIFT = 32
+
+M32 = 0xFFFFFFFF
+MASK = (1 << 64) - 1
+
+H_INIT = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+K_ROUND = (0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6)
+
+
+def _rotl32(x: int, s: int) -> int:
+    x &= M32
+    return ((x << s) | (x >> (32 - s))) & M32
+
+
+def _reference() -> int:
+    stream = lcg_reference(SEED, BLOCKS * 16, shift=SHIFT)
+    h = list(H_INIT)
+    for blk in range(BLOCKS):
+        w = [v & M32 for v in stream[blk * 16:(blk + 1) * 16]]
+        for t in range(16, 80):
+            w.append(_rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16],
+                             1))
+        a, b, c, d, e = h
+        for t in range(80):
+            if t < 20:
+                f = (b & c) | (~b & d)
+            elif t < 40:
+                f = b ^ c ^ d
+            elif t < 60:
+                f = (b & c) | (b & d) | (c & d)
+            else:
+                f = b ^ c ^ d
+            f &= M32
+            temp = (_rotl32(a, 5) + f + e + K_ROUND[t // 20] + w[t]) & M32
+            e, d, c, b, a = d, c, _rotl32(b, 30), a, temp
+        h = [(x + y) & M32 for x, y in zip(h, (a, b, c, d, e))]
+    return (h[0] + 3 * h[1] + 5 * h[2] + 7 * h[3] + 11 * h[4]) & MASK
+
+
+EXPECTED_CHECKSUM = _reference()
+
+SOURCE = f"""
+.equ BLOCKS, {BLOCKS}
+.equ W, 64              # 80 dword slots
+.equ M32HI, 0xFFFFFFFF
+_start:
+{lcg_setup(SEED)}
+    li s1, {H_INIT[0]}
+    li s2, {H_INIT[1]}
+    li s3, {H_INIT[2]}
+    li s4, {H_INIT[3]}
+    li s5, {H_INIT[4]}
+    li s8, 0            # block counter
+block_loop:
+    # --- 16 message words ---
+    li t0, 0
+    addi t1, gp, W
+fill:
+{lcg_step('t2', shift=SHIFT)}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, 16
+    blt t0, t3, fill
+    # --- schedule expansion w[16..79] ---
+    li t0, 16
+expand:
+    slli t1, t0, 3
+    addi t2, gp, W
+    add t1, t2, t1      # &w[t]
+    ld t3, -24(t1)      # w[t-3]
+    ld t4, -64(t1)      # w[t-8]
+    xor t3, t3, t4
+    ld t4, -112(t1)     # w[t-14]
+    xor t3, t3, t4
+    ld t4, -128(t1)     # w[t-16]
+    xor t3, t3, t4
+    li t6, M32HI
+    and t3, t3, t6
+    slli t4, t3, 1
+    srli t3, t3, 31
+    or t3, t4, t3
+    and t3, t3, t6      # rotl1
+    sd t3, 0(t1)
+    addi t0, t0, 1
+    li t5, 80
+    blt t0, t5, expand
+
+    # --- 80 rounds; a..e in a0..a4 ---
+    mv a0, s1
+    mv a1, s2
+    mv a2, s3
+    mv a3, s4
+    mv a4, s5
+    li s6, 0            # t
+round_loop:
+    li t5, 20
+    blt s6, t5, f_ch
+    li t5, 40
+    blt s6, t5, f_parity
+    li t5, 60
+    blt s6, t5, f_maj
+f_parity:               # f = b ^ c ^ d (rounds 20-39 and 60-79)
+    xor t0, a1, a2
+    xor t0, t0, a3
+    j f_done
+f_ch:                   # f = (b & c) | (~b & d)
+    and t0, a1, a2
+    not t1, a1
+    and t1, t1, a3
+    or t0, t0, t1
+    j f_done
+f_maj:                  # f = (b&c) | (b&d) | (c&d)
+    and t0, a1, a2
+    and t1, a1, a3
+    or t0, t0, t1
+    and t1, a2, a3
+    or t0, t0, t1
+f_done:
+    li t6, M32HI
+    and t0, t0, t6
+    # K for this quarter (branch ladder; no divider on this path)
+    li t5, 20
+    blt s6, t5, k_q0
+    li t5, 40
+    blt s6, t5, k_q1
+    li t5, 60
+    blt s6, t5, k_q2
+    li t3, {K_ROUND[3]}
+    j k_done
+k_q0:
+    li t3, {K_ROUND[0]}
+    j k_done
+k_q1:
+    li t3, {K_ROUND[1]}
+    j k_done
+k_q2:
+    li t3, {K_ROUND[2]}
+k_done:
+    # temp = rotl5(a) + f + e + K + w[t]
+    and t4, a0, t6
+    slli t1, t4, 5
+    srli t4, t4, 27
+    or t1, t1, t4
+    and t1, t1, t6      # rotl5(a)
+    add t0, t0, t1
+    add t0, t0, a4
+    add t0, t0, t3
+    slli t1, s6, 3
+    addi t2, gp, W
+    add t2, t2, t1
+    ld t3, 0(t2)        # w[t]
+    add t0, t0, t3
+    and t0, t0, t6      # temp
+    # rotate registers
+    mv a4, a3           # e = d
+    mv a3, a2           # d = c
+    and t4, a1, t6
+    slli t1, t4, 30
+    srli t4, t4, 2
+    or t1, t1, t4
+    and a2, t1, t6      # c = rotl30(b)
+    mv a1, a0           # b = a
+    mv a0, t0           # a = temp
+    addi s6, s6, 1
+    li t5, 80
+    blt s6, t5, round_loop
+
+    li t6, M32HI
+    add s1, s1, a0
+    and s1, s1, t6
+    add s2, s2, a1
+    and s2, s2, t6
+    add s3, s3, a2
+    and s3, s3, t6
+    add s4, s4, a3
+    and s4, s4, t6
+    add s5, s5, a4
+    and s5, s5, t6
+    addi s8, s8, 1
+    li t0, BLOCKS
+    blt s8, t0, block_loop
+
+    # checksum = h0 + 3h1 + 5h2 + 7h3 + 11h4
+    mv s0, s1
+    li t0, 3
+    mul t1, s2, t0
+    add s0, s0, t1
+    li t0, 5
+    mul t1, s3, t0
+    add s0, s0, t1
+    li t0, 7
+    mul t1, s4, t0
+    add s0, s0, t1
+    li t0, 11
+    mul t1, s5, t0
+    add s0, s0, t1
+{store_result('s0')}
+
+.align 3
+k_tab:
+    .dword {K_ROUND[0]}, {K_ROUND[1]}, {K_ROUND[2]}, {K_ROUND[3]}
+"""

@@ -1,0 +1,123 @@
+"""st — statistics: mean, variance, covariance of two series.
+
+Two 400-element series; integer means (div), sum of squared deviations
+(mul), covariance accumulation — the TACLe ``st`` pipeline.
+"""
+
+from ..dsl import lcg_reference, lcg_setup, lcg_step, store_result
+
+NAME = "st"
+CATEGORY = "math"
+DESCRIPTION = "mean/variance/covariance of two 400-element series"
+
+N = 400
+SEED = 0x57A7
+SHIFT = 48  # 16-bit samples
+
+MASK = (1 << 64) - 1
+
+
+def _reference() -> int:
+    stream = lcg_reference(SEED, 2 * N, shift=SHIFT)
+    a = stream[0::2]
+    b = stream[1::2]
+    mean_a = sum(a) // N
+    mean_b = sum(b) // N
+    var_a = 0
+    var_b = 0
+    cov = 0
+    for i in range(N):
+        da = a[i] - mean_a
+        db = b[i] - mean_b
+        var_a = (var_a + da * da) & MASK
+        var_b = (var_b + db * db) & MASK
+        cov = (cov + da * db) & MASK
+    var_a = (var_a // N) & MASK
+    var_b = (var_b // N) & MASK
+    # Signed cov // N with RISC-V truncation.
+    cov_s = cov - (1 << 64) if cov & (1 << 63) else cov
+    q = abs(cov_s) // N
+    if cov_s < 0:
+        q = -q
+    cov = q & MASK
+    return (mean_a + 3 * mean_b + 5 * var_a + 7 * var_b + 11 * cov) & MASK
+
+
+EXPECTED_CHECKSUM = _reference()
+
+# Layout: interleaved (a, b) dword pairs.
+SOURCE = f"""
+.equ N, {N}
+.equ DATA, 64
+_start:
+{lcg_setup(SEED)}
+    li t0, 0
+    addi t1, gp, DATA
+fill:                   # interleaved a[i], b[i]
+{lcg_step('t2', shift=SHIFT)}
+    sd t2, 0(t1)
+    addi t1, t1, 8
+    addi t0, t0, 1
+    li t3, 2*N
+    blt t0, t3, fill
+
+    # --- means ---
+    li s1, 0            # sum a
+    li s2, 0            # sum b
+    li t0, 0
+    addi t1, gp, DATA
+sum_loop:
+    ld t2, 0(t1)
+    add s1, s1, t2
+    ld t3, 8(t1)
+    add s2, s2, t3
+    addi t1, t1, 16
+    addi t0, t0, 1
+    li t4, N
+    blt t0, t4, sum_loop
+    li t5, N
+    div s1, s1, t5      # mean a
+    div s2, s2, t5      # mean b
+
+    # --- variances and covariance ---
+    li s3, 0            # var a acc
+    li s4, 0            # var b acc
+    li s5, 0            # cov acc
+    li t0, 0
+    addi t1, gp, DATA
+dev_loop:
+    ld t2, 0(t1)
+    sub t2, t2, s1      # da
+    ld t3, 8(t1)
+    sub t3, t3, s2      # db
+    mul t4, t2, t2
+    add s3, s3, t4
+    mul t4, t3, t3
+    add s4, s4, t4
+    mul t4, t2, t3
+    add s5, s5, t4
+    addi t1, t1, 16
+    addi t0, t0, 1
+    li t5, N
+    blt t0, t5, dev_loop
+    li t5, N
+    div s3, s3, t5
+    div s4, s4, t5
+    div s5, s5, t5
+
+    # checksum = mean_a + 3*mean_b + 5*var_a + 7*var_b + 11*cov
+    mv s0, s1
+    li t0, 3
+    mul t1, s2, t0
+    add s0, s0, t1
+    li t0, 5
+    mul t1, s3, t0
+    add s0, s0, t1
+    li t0, 7
+    mul t1, s4, t0
+    add s0, s0, t1
+    li t0, 11
+    mul t1, s5, t0
+    add s0, s0, t1
+{store_result('s0')}
+"""

@@ -1,0 +1,99 @@
+"""Analysis-layer tests: table formatting and sweep statistics."""
+
+from repro.analysis.stats import (
+    monotonic_decay,
+    run_statistics,
+    summarize_sweep,
+)
+from repro.analysis.tables import (
+    TABLE2_CLASSES,
+    format_table1,
+    format_table1_csv,
+    format_table2,
+)
+from repro.soc.experiment import CellResult, RunResult
+
+
+def cell(benchmark, nops, zero, nodiv):
+    return CellResult(benchmark=benchmark, stagger_nops=nops,
+                      zero_staggering_cycles=zero,
+                      no_diversity_cycles=nodiv)
+
+
+def fake_rows():
+    return {
+        "alpha": [cell("alpha", 0, 100, 10), cell("alpha", 100, 20, 0),
+                  cell("alpha", 1000, 0, 0), cell("alpha", 10000, 0, 0)],
+        "beta": [cell("beta", 0, 0, 0), cell("beta", 100, 0, 0),
+                 cell("beta", 1000, 5, 0), cell("beta", 10000, 0, 0)],
+    }
+
+
+class TestTable1Formatting:
+    def test_text_table_contains_all_cells(self):
+        text = format_table1(fake_rows())
+        assert "alpha" in text and "beta" in text
+        assert "100" in text and "Zero stag" in text
+
+    def test_csv_structure(self):
+        csv = format_table1_csv(fake_rows())
+        lines = csv.splitlines()
+        assert lines[0].startswith("benchmark,zero_stag_0,no_div_0")
+        assert lines[1].startswith("alpha,100,10,20,0,0,0,0,0")
+        assert len(lines) == 3
+
+    def test_missing_cell_rendering(self):
+        rows = {"gamma": [cell("gamma", 0, 1, 1)]}
+        text = format_table1(rows)
+        assert "?" in text  # missing stagger columns marked
+
+
+class TestTable2Formatting:
+    def test_three_classes_present(self):
+        text = format_table2()
+        for klass in TABLE2_CLASSES:
+            assert klass in text
+        assert "SafeDM" in text
+        assert "this work" in text
+
+    def test_measured_annotations(self):
+        text = format_table2({"Diversity enforced (intrusive)":
+                              {"intrusiveness": "12.5%"}})
+        assert "measured intrusiveness: 12.5%" in text
+
+
+class TestSweepStatistics:
+    def test_summary_counts(self):
+        summary = summarize_sweep(fake_rows(), 0)
+        assert summary.benchmarks == 2
+        assert summary.total_zero_staggering == 100
+        assert summary.max_no_diversity == 10
+        assert summary.benchmarks_with_zero_stag == 1
+        assert summary.mean_no_diversity == 5.0
+
+    def test_monotonic_decay_flags_exceptions(self):
+        verdicts = monotonic_decay(fake_rows())
+        assert verdicts["alpha"] is True
+        assert verdicts["beta"] is True  # 0 -> 0 is non-increasing
+
+    def test_decay_detects_anomaly(self):
+        rows = {"pm": [cell("pm", 0, 10, 0), cell("pm", 100, 5, 0),
+                       cell("pm", 1000, 400000, 0),
+                       cell("pm", 10000, 900000, 0)]}
+        assert monotonic_decay(rows)["pm"] is False
+
+    def test_run_statistics(self):
+        runs = [RunResult(benchmark="x", stagger_nops=0, late_core=1,
+                          cycles=100, committed=200,
+                          zero_staggering_cycles=10,
+                          no_diversity_cycles=5,
+                          no_data_diversity_cycles=6,
+                          no_instruction_diversity_cycles=7,
+                          interrupts=0, finished=True, ipc=1.0)] * 2
+        stats = run_statistics(runs)
+        assert stats["runs"] == 2
+        assert stats["mean_cycles"] == 100
+        assert stats["all_finished"] == 1.0
+
+    def test_empty_runs(self):
+        assert run_statistics([]) == {}

@@ -1,0 +1,142 @@
+"""Baseline-technique tests: lockstep, SafeDE, software staggering."""
+
+import pytest
+
+from repro.baselines.lockstep import LockstepComparator
+from repro.baselines.safede import SafeDeEnforcer, run_with_enforcement
+from repro.baselines.sw_stagger import (
+    SoftwareStaggerer,
+    run_with_sw_staggering,
+)
+from repro.baselines.unaware import compare_outputs
+from repro.soc.mpsoc import MPSoC
+from repro.workloads import program
+
+
+class TestLockstep:
+    def test_matching_streams_no_error(self):
+        cmp_ = LockstepComparator(stagger=2)
+        stream = [(0x13,), (0x33, 0x13), (), (0x67,)]
+        for cycle, commits in enumerate(stream):
+            cmp_.sample(cycle, commits, ())
+        for cycle, commits in enumerate(stream, start=len(stream)):
+            # shadow delivers the same stream two cycles later
+            cmp_.sample(cycle, (), stream[cycle - len(stream)])
+        assert not cmp_.error_detected
+        assert cmp_.stats.compared > 0
+
+    def test_diverging_stream_detected(self):
+        cmp_ = LockstepComparator(stagger=1)
+        cmp_.sample(0, (0x13,), ())
+        cmp_.sample(1, (), (0x33,))  # shadow differs
+        assert cmp_.error_detected
+        assert cmp_.stats.first_mismatch_cycle == 1
+
+    def test_stagger_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LockstepComparator(stagger=0)
+
+    def test_describe_is_fig1(self):
+        text = LockstepComparator().describe()
+        assert "shadow core" in text
+        assert "compare" in text
+
+
+class TestSafeDeEnforcer:
+    def test_stalls_until_threshold(self):
+        enforcer = SafeDeEnforcer(threshold=3)
+        assert enforcer.sample(1, 0) is True   # diff 1 < 3
+        assert enforcer.sample(1, 0) is True   # diff 2 < 3
+        assert enforcer.sample(1, 0) is False  # diff 3 >= 3
+        assert enforcer.stats.stall_cycles == 2
+
+    def test_trail_catching_up_restalls(self):
+        enforcer = SafeDeEnforcer(threshold=2)
+        enforcer.sample(2, 0)
+        assert enforcer.sample(0, 1) is True  # diff back to 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SafeDeEnforcer(threshold=0)
+
+    def test_intrusiveness_metric(self):
+        enforcer = SafeDeEnforcer(threshold=5)
+        for _ in range(10):
+            enforcer.sample(0, 0)
+        assert enforcer.stats.intrusiveness == 1.0
+
+
+class TestSafeDeOnSoc:
+    def test_enforcement_maintains_staggering(self):
+        soc = MPSoC()
+        soc.start_redundant(program("countnegative"))
+        enforcer = run_with_enforcement(soc, threshold=20)
+        assert all(soc.cores[i].finished for i in soc.monitored)
+        # After warm-up the trail core never gets within the threshold.
+        assert soc.safedm.instruction_diff.stats.zero_staggering_cycles \
+            <= enforcer.stats.cycles * 0.01
+        assert enforcer.stats.stall_cycles > 0
+
+    def test_enforcement_is_intrusive(self):
+        """SafeDE slows the run down relative to free-running SafeDM."""
+        free = MPSoC()
+        free.start_redundant(program("countnegative"))
+        free.run()
+        enforced = MPSoC()
+        enforced.start_redundant(program("countnegative"))
+        run_with_enforcement(enforced, threshold=200)
+        assert enforced.cycle > free.cycle
+
+    def test_outputs_still_correct_under_enforcement(self):
+        soc = MPSoC()
+        soc.start_redundant(program("countnegative"))
+        run_with_enforcement(soc, threshold=20)
+        from repro.workloads import workload
+        expected = workload("countnegative").expected_checksum
+        assert soc.memory.read(soc.config.data_bases[0], 8) == expected
+        assert soc.memory.read(soc.config.data_bases[1], 8) == expected
+
+
+class TestSoftwareStaggerer:
+    def test_checkpoint_granularity(self):
+        staggerer = SoftwareStaggerer(threshold=10, check_interval=5)
+        # Trail progresses freely for a full check interval before the
+        # software monitor notices and holds it.
+        stalls_before_checkpoint = 0
+        for _ in range(4):
+            stalls_before_checkpoint += staggerer.sample(0, 1)
+        assert stalls_before_checkpoint == 0  # not yet checked
+        assert staggerer.sample(0, 1) is True  # 5th commit: checkpoint
+        assert staggerer.stats.checkpoints == 1
+        assert staggerer.stats.stall_cycles == 1
+
+    def test_spin_wait_until_lag_restored(self):
+        staggerer = SoftwareStaggerer(threshold=3, check_interval=1)
+        staggerer.sample(0, 1)  # checkpoint: diff -1 < 3 -> hold
+        assert staggerer._holding
+        assert staggerer.sample(2, 0) is True   # diff 1, still waiting
+        assert staggerer.sample(2, 0) is False  # diff 3: released
+
+    def test_on_soc(self):
+        soc = MPSoC()
+        soc.start_redundant(program("countnegative"))
+        staggerer = run_with_sw_staggering(soc, threshold=50,
+                                           check_interval=100)
+        assert all(soc.cores[i].finished for i in soc.monitored)
+        assert staggerer.stats.checkpoints > 0
+
+
+class TestUnawareRedundancy:
+    def test_correct_outputs(self):
+        outcome = compare_outputs(5, 5, 5)
+        assert outcome.correct and not outcome.detected
+        assert not outcome.silent_failure
+
+    def test_detected_mismatch(self):
+        outcome = compare_outputs(5, 6, 5)
+        assert outcome.detected and not outcome.correct
+
+    def test_silent_failure_is_the_ccf_escape(self):
+        outcome = compare_outputs(7, 7, 5)
+        assert outcome.silent_failure
+        assert not outcome.detected

@@ -1,0 +1,77 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_kernels(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "binarysearch" in out
+        assert "cubic" in out
+        assert out.count("\n") >= 30
+
+
+class TestRun:
+    def test_run_kernel(self, capsys):
+        assert main(["run", "countnegative"]) == 0
+        out = capsys.readouterr().out
+        assert "zero_stag=" in out
+        assert "finished=True" in out
+
+    def test_run_with_stagger(self, capsys):
+        assert main(["run", "countnegative", "--stagger", "100",
+                     "--late-core", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "nops=100" in out
+        assert "late=0" in out
+
+
+class TestRow:
+    def test_row_prints_all_columns(self, capsys):
+        assert main(["row", "bitonic"]) == 0
+        out = capsys.readouterr().out
+        assert "bitonic" in out
+        assert "10000 nops" in out
+
+
+class TestStaticCommands:
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for figure in ("Fig. 1", "Fig. 2a", "Fig. 2b", "Fig. 3",
+                       "Fig. 4"):
+            assert figure in out
+
+    def test_overheads(self, capsys):
+        assert main(["overheads"]) == 0
+        out = capsys.readouterr().out
+        assert "4000 LUTs" in out
+        assert "3.4%" in out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "fac"]) == 0
+        out = capsys.readouterr().out
+        assert "_start:" in out
+        assert "jalr" in out  # the ret
+
+
+class TestVcd:
+    def test_vcd_output(self, tmp_path, capsys):
+        out_path = tmp_path / "run.vcd"
+        assert main(["vcd", "bitonic", str(out_path)]) == 0
+        content = out_path.read_text()
+        assert content.startswith("$date")
+        assert "no_diversity" in content
+
+
+class TestErrors:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            main(["run", "nosuchkernel"])

@@ -1,0 +1,91 @@
+"""Configuration validation and microarchitectural-knob tests."""
+
+import pytest
+
+from repro.cpu.core import CoreConfig
+from repro.soc.config import SocConfig
+from repro.soc.experiment import run_redundant
+from repro.workloads import program, workload
+
+
+class TestSocConfigValidation:
+    def test_too_few_cores_rejected(self):
+        with pytest.raises(ValueError):
+            SocConfig(num_cores=1)
+
+    def test_missing_data_base_rejected(self):
+        with pytest.raises(ValueError):
+            SocConfig(num_cores=3)  # only two default data bases
+
+    def test_misaligned_text_base_rejected(self):
+        with pytest.raises(ValueError):
+            SocConfig(text_base=0x10001)
+
+    def test_three_cores_with_bases_accepted(self):
+        cfg = SocConfig(num_cores=3,
+                        data_bases=(0x4000_0000, 0x5000_0000,
+                                    0x6000_0000))
+        assert cfg.data_base(2) == 0x6000_0000
+
+
+class TestPredictorKnob:
+    def _run(self, enabled):
+        cfg = SocConfig(core=CoreConfig(predictor_enabled=enabled))
+        return run_redundant(program("bsort"), benchmark="bsort",
+                             config=cfg)
+
+    def test_results_identical_with_and_without_predictor(self):
+        with_bp = self._run(True)
+        without_bp = self._run(False)
+        assert with_bp.finished and without_bp.finished
+        assert with_bp.committed == without_bp.committed
+
+    def test_predictor_saves_cycles(self):
+        """Static not-taken pays the full penalty on every taken
+        branch; the 2-bit predictor learns the loops."""
+        with_bp = self._run(True)
+        without_bp = self._run(False)
+        assert with_bp.cycles < without_bp.cycles
+
+
+class TestCacheGeometryKnobs:
+    def test_tiny_l1d_increases_runtime(self):
+        from repro.mem.cache import CacheConfig
+        small = SocConfig(core=CoreConfig(
+            l1d=CacheConfig(size=256, line_size=32, ways=2, name="l1d")))
+        baseline = run_redundant(program("binarysearch"),
+                                 benchmark="binarysearch")
+        constrained = run_redundant(program("binarysearch"),
+                                    benchmark="binarysearch",
+                                    config=small)
+        assert constrained.finished
+        assert constrained.cycles > baseline.cycles
+
+    def test_results_invariant_to_cache_geometry(self):
+        from repro.mem.cache import CacheConfig
+        small = SocConfig(core=CoreConfig(
+            l1d=CacheConfig(size=256, line_size=32, ways=2, name="l1d"),
+            l1i=CacheConfig(size=512, line_size=32, ways=2,
+                            name="l1i")))
+        from repro.soc.mpsoc import MPSoC
+        soc = MPSoC(config=small)
+        soc.start_redundant(program("bitonic"))
+        soc.run()
+        expected = workload("bitonic").expected_checksum
+        assert soc.memory.read(small.data_bases[0], 8) == expected
+
+
+class TestStoreBufferKnobs:
+    def test_coalescing_disabled_still_correct(self):
+        cfg = SocConfig(core=CoreConfig(store_buffer_coalesce=False))
+        result = run_redundant(program("pm"), benchmark="pm",
+                               config=cfg)
+        assert result.finished
+
+    def test_coalescing_speeds_up_store_bursts(self):
+        base = run_redundant(program("pm"), benchmark="pm")
+        no_coalesce = run_redundant(
+            program("pm"), benchmark="pm",
+            config=SocConfig(core=CoreConfig(
+                store_buffer_coalesce=False)))
+        assert base.cycles <= no_coalesce.cycles

@@ -1,0 +1,140 @@
+"""SafeDM APB register file tests (paper Section IV-B.2)."""
+
+import pytest
+
+from repro.core import apb_regs
+from repro.core.apb_regs import SafeDmApbSlave, make_monitored_slave
+from repro.core.monitor import ReportingMode
+from repro.mem.apb import ApbBridge, ApbError
+
+IDLE = [(0, 0)] * 6
+EMPTY_STAGES = [[(0, 0), (0, 0)]] * 7
+
+
+def make_system(**kwargs):
+    monitor, slave = make_monitored_slave(**kwargs)
+    bridge = ApbBridge()
+    base = bridge.attach(slave, 0, "safedm")
+    return monitor, bridge, base
+
+
+def lose_diversity(monitor, cycles=1, commits=(0, 0)):
+    for _ in range(cycles):
+        for index in (0, 1):
+            monitor.clock_core(index, IDLE, stage_slots=EMPTY_STAGES)
+        monitor.compare(0, *commits)
+
+
+class TestControlRegister:
+    def test_default_ctrl_value(self):
+        monitor, bridge, base = make_system()
+        assert bridge.read(base + apb_regs.CTRL) == 1  # enabled, polling
+
+    def test_mode_programming(self):
+        monitor, bridge, base = make_system()
+        bridge.write(base + apb_regs.CTRL, 0b011)  # enable + irq-first
+        assert monitor.mode is ReportingMode.INTERRUPT_FIRST
+        bridge.write(base + apb_regs.CTRL, 0b101)  # enable + threshold
+        assert monitor.mode is ReportingMode.INTERRUPT_THRESHOLD
+        bridge.write(base + apb_regs.CTRL, 0b001)
+        assert monitor.mode is ReportingMode.POLLING
+
+    def test_disable(self):
+        monitor, bridge, base = make_system()
+        bridge.write(base + apb_regs.CTRL, 0)
+        assert not monitor.enabled
+
+    def test_bad_mode_rejected(self):
+        monitor, bridge, base = make_system()
+        with pytest.raises(ApbError):
+            bridge.write(base + apb_regs.CTRL, 0b111)
+
+    def test_threshold_register(self):
+        monitor, bridge, base = make_system()
+        bridge.write(base + apb_regs.THRESHOLD, 500)
+        assert monitor.threshold == 500
+        assert bridge.read(base + apb_regs.THRESHOLD) == 500
+
+
+class TestCounters:
+    def test_no_diversity_counters_visible(self):
+        monitor, bridge, base = make_system()
+        lose_diversity(monitor, cycles=3)
+        assert bridge.read(base + apb_regs.NODIV) == 3
+        assert bridge.read(base + apb_regs.DATA_NODIV) == 3
+        assert bridge.read(base + apb_regs.INSTR_NODIV) == 3
+
+    def test_staggering_two_complement(self):
+        monitor, bridge, base = make_system()
+        lose_diversity(monitor, commits=(0, 3))
+        raw = bridge.read(base + apb_regs.STAG_DIFF)
+        assert raw == 0xFFFFFFFD  # -3
+
+    def test_zero_staggering_counter(self):
+        monitor, bridge, base = make_system()
+        lose_diversity(monitor, cycles=2)           # diff stays 0
+        lose_diversity(monitor, commits=(1, 0))     # diff 1
+        assert bridge.read(base + apb_regs.ZERO_STAG) == 2
+
+    def test_cycle_counter_64_bit(self):
+        monitor, bridge, base = make_system()
+        lose_diversity(monitor, cycles=5)
+        low = bridge.read(base + apb_regs.CYCLES_LO)
+        high = bridge.read(base + apb_regs.CYCLES_HI)
+        assert (high << 32) | low == 5
+
+
+class TestStatusAndIrq:
+    def test_status_reflects_last_cycle(self):
+        monitor, bridge, base = make_system()
+        lose_diversity(monitor)
+        status = bridge.read(base + apb_regs.STATUS)
+        assert status & (1 << 1)  # lack of diversity
+        assert status & (1 << 2)  # zero staggering
+
+    def test_irq_ack_via_register(self):
+        monitor, bridge, base = make_system(
+            mode=ReportingMode.INTERRUPT_FIRST)
+        lose_diversity(monitor)
+        assert bridge.read(base + apb_regs.STATUS) & 1
+        bridge.write(base + apb_regs.IRQ_ACK, 1)
+        assert not bridge.read(base + apb_regs.STATUS) & 1
+
+
+class TestHistogramAccess:
+    def test_histogram_readout(self):
+        monitor, bridge, base = make_system(bin_size=1, num_bins=8)
+        lose_diversity(monitor, cycles=3)
+        monitor.finish()
+        # condition 2 (no_diversity), bin 2 (length-3 episode)
+        bridge.write(base + apb_regs.HIST_SEL, (2 << 8) | 2)
+        assert bridge.read(base + apb_regs.HIST_DATA) == 1
+        bridge.write(base + apb_regs.HIST_SEL, (2 << 8) | 0)
+        assert bridge.read(base + apb_regs.HIST_DATA) == 0
+
+    def test_histogram_config_register(self):
+        monitor, bridge, base = make_system(bin_size=4, num_bins=16)
+        cfg = bridge.read(base + apb_regs.HIST_CFG)
+        assert cfg & 0xFFFF == 4
+        assert cfg >> 16 == 16
+
+    def test_out_of_range_bin_reads_zero(self):
+        monitor, bridge, base = make_system(num_bins=8)
+        bridge.write(base + apb_regs.HIST_SEL, 200)
+        assert bridge.read(base + apb_regs.HIST_DATA) == 0
+
+
+class TestReset:
+    def test_reset_register(self):
+        monitor, bridge, base = make_system()
+        lose_diversity(monitor, cycles=4)
+        bridge.write(base + apb_regs.RESET, 1)
+        assert bridge.read(base + apb_regs.NODIV) == 0
+        assert bridge.read(base + apb_regs.CYCLES_LO) == 0
+
+    def test_unmapped_register_raises(self):
+        monitor, bridge, base = make_system()
+        with pytest.raises(ApbError):
+            bridge.read(base + 0x3C)
+        with pytest.raises(ApbError):
+            bridge.write(base + apb_regs.NODIV, 1)  # read-only

@@ -1,0 +1,85 @@
+"""HardwareFifo unit tests."""
+
+import pytest
+
+from repro.core.fifo import HardwareFifo
+
+
+class TestBasics:
+    def test_resets_to_zeroed_entries(self):
+        fifo = HardwareFifo(4)
+        assert fifo.contents() == (0, 0, 0, 0)
+
+    def test_custom_reset_value(self):
+        fifo = HardwareFifo(3, reset_value=(0, 0))
+        assert fifo.contents() == ((0, 0),) * 3
+
+    def test_push_shifts_oldest_out(self):
+        fifo = HardwareFifo(3)
+        for value in (1, 2, 3, 4):
+            fifo.push(value)
+        assert fifo.contents() == (2, 3, 4)
+        assert fifo.oldest == 2
+        assert fifo.newest == 4
+
+    def test_depth_invariant(self):
+        fifo = HardwareFifo(5)
+        for value in range(100):
+            fifo.push(value)
+        assert len(fifo) == 5
+        assert len(fifo.contents()) == 5
+
+    def test_minimum_depth(self):
+        with pytest.raises(ValueError):
+            HardwareFifo(0)
+
+
+class TestHold:
+    def test_hold_freezes_contents(self):
+        fifo = HardwareFifo(3)
+        fifo.push(1)
+        snapshot = fifo.contents()
+        fifo.push(2, hold=True)
+        assert fifo.contents() == snapshot
+        assert fifo.held_cycles == 1
+
+    def test_push_counter_excludes_held(self):
+        fifo = HardwareFifo(3)
+        fifo.push(1)
+        fifo.push(2, hold=True)
+        fifo.push(3)
+        assert fifo.pushes == 2
+
+
+class TestComparison:
+    def test_equal_fifos(self):
+        a, b = HardwareFifo(3), HardwareFifo(3)
+        for value in (1, 2, 3):
+            a.push(value)
+            b.push(value)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_order_matters(self):
+        a, b = HardwareFifo(2), HardwareFifo(2)
+        a.push(1)
+        a.push(2)
+        b.push(2)
+        b.push(1)
+        assert a != b
+
+    def test_timing_matters(self):
+        """Same values pushed with different timing differ — the
+        rationale for sampling every cycle (paper III-B.1)."""
+        a, b = HardwareFifo(4), HardwareFifo(4)
+        a.push((1, 5))
+        a.push((0, 0))
+        b.push((0, 0))
+        b.push((1, 5))
+        assert a != b
+
+    def test_reset_restores_initial_state(self):
+        fifo = HardwareFifo(3)
+        fifo.push(42)
+        fifo.reset()
+        assert fifo.contents() == (0, 0, 0)

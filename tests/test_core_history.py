@@ -1,0 +1,98 @@
+"""History module (episode histogram) unit tests."""
+
+import pytest
+
+from repro.core.history import EpisodeHistogram, HistoryModule
+
+
+class TestEpisodeHistogram:
+    def test_single_episode(self):
+        hist = EpisodeHistogram(bin_size=1, num_bins=8)
+        for _ in range(3):
+            hist.sample(True)
+        hist.sample(False)
+        assert hist.episodes == 1
+        assert hist.total_cycles == 3
+        assert hist.longest == 3
+        assert hist.bins[2] == 1  # length-3 episode in bin index 2
+
+    def test_multiple_episodes(self):
+        hist = EpisodeHistogram(bin_size=1, num_bins=8)
+        pattern = [True, False, True, True, False, True, True, True]
+        for value in pattern:
+            hist.sample(value)
+        hist.finish()
+        assert hist.episodes == 3
+        assert hist.bins[0] == 1
+        assert hist.bins[1] == 1
+        assert hist.bins[2] == 1
+
+    def test_finish_closes_open_episode(self):
+        hist = EpisodeHistogram()
+        hist.sample(True)
+        assert hist.episodes == 0  # still open
+        hist.finish()
+        assert hist.episodes == 1
+
+    def test_configurable_bin_size(self):
+        hist = EpisodeHistogram(bin_size=4, num_bins=4)
+        for length in (1, 4, 5, 8, 9):
+            for _ in range(length):
+                hist.sample(True)
+            hist.sample(False)
+        # lengths 1..4 -> bin 0; 5..8 -> bin 1; 9..12 -> bin 2
+        assert hist.bins[0] == 2
+        assert hist.bins[1] == 2
+        assert hist.bins[2] == 1
+
+    def test_overflow_bin_clamps(self):
+        hist = EpisodeHistogram(bin_size=1, num_bins=4)
+        for _ in range(100):
+            hist.sample(True)
+        hist.finish()
+        assert hist.bins[3] == 1  # clamped to the last bin
+
+    def test_bin_ranges(self):
+        hist = EpisodeHistogram(bin_size=2, num_bins=3)
+        ranges = hist.bin_ranges()
+        assert ranges[0] == (1, 2)
+        assert ranges[1] == (3, 4)
+        assert ranges[2] == (5, None)  # open-ended overflow bin
+
+    def test_bad_bin_size(self):
+        with pytest.raises(ValueError):
+            EpisodeHistogram(bin_size=0)
+
+    def test_reset(self):
+        hist = EpisodeHistogram()
+        hist.sample(True)
+        hist.finish()
+        hist.reset()
+        assert hist.episodes == 0
+        assert hist.total_cycles == 0
+        assert sum(hist.bins) == 0
+
+
+class TestHistoryModule:
+    def test_all_conditions_tracked(self):
+        history = HistoryModule(bin_size=1, num_bins=8)
+        history.sample(no_data_diversity=True,
+                       no_instruction_diversity=False,
+                       no_diversity=False, zero_staggering=True)
+        history.finish()
+        assert history.histograms["no_data_diversity"].total_cycles == 1
+        assert history.histograms["zero_staggering"].total_cycles == 1
+        assert history.histograms["no_diversity"].total_cycles == 0
+
+    def test_condition_names(self):
+        history = HistoryModule()
+        assert set(history.histograms) == set(HistoryModule.CONDITIONS)
+
+    def test_reset_all(self):
+        history = HistoryModule()
+        history.sample(no_data_diversity=True,
+                       no_instruction_diversity=True,
+                       no_diversity=True, zero_staggering=True)
+        history.reset()
+        for hist in history.histograms.values():
+            assert hist.total_cycles == 0

@@ -1,0 +1,59 @@
+"""Instruction-diff (staggering counter) unit tests."""
+
+from repro.core.instruction_diff import InstructionDiff
+
+
+class TestCounting:
+    def test_starts_at_zero(self):
+        diff = InstructionDiff()
+        assert diff.diff == 0
+        assert diff.zero_staggering
+
+    def test_counts_commit_difference(self):
+        diff = InstructionDiff()
+        diff.sample(2, 0)
+        assert diff.diff == 2
+        diff.sample(0, 1)
+        assert diff.diff == 1
+        diff.sample(0, 1)
+        assert diff.zero_staggering
+
+    def test_negative_diff_when_core1_leads(self):
+        diff = InstructionDiff()
+        diff.sample(0, 2)
+        assert diff.diff == -2
+        assert not diff.zero_staggering
+
+    def test_zero_staggering_cycles_counted(self):
+        diff = InstructionDiff()
+        diff.sample(0, 0)  # 0
+        diff.sample(1, 0)  # 1
+        diff.sample(0, 1)  # 0
+        diff.sample(0, 0)  # 0
+        assert diff.stats.zero_staggering_cycles == 3
+        assert diff.stats.sampled_cycles == 4
+
+    def test_min_max_tracking(self):
+        diff = InstructionDiff()
+        diff.sample(2, 0)
+        diff.sample(0, 2)
+        diff.sample(0, 2)
+        assert diff.stats.max_diff == 2
+        assert diff.stats.min_diff == -2
+
+    def test_preload_models_sled_commits(self):
+        """The experiment preloads the counter to compensate the nop
+        sled so zero means equal *program* progress."""
+        diff = InstructionDiff()
+        diff.diff = 101  # 100 nops + sled jump
+        # trailing core runs 101 sled instructions
+        for _ in range(101):
+            diff.sample(0, 1)
+        assert diff.zero_staggering
+
+    def test_reset(self):
+        diff = InstructionDiff()
+        diff.sample(5, 0)
+        diff.reset()
+        assert diff.diff == 0
+        assert diff.stats.sampled_cycles == 0

@@ -1,0 +1,172 @@
+"""DiversityMonitor unit tests: comparison logic and reporting modes."""
+
+import pytest
+
+from repro.core.history import HistoryModule
+from repro.core.monitor import DiversityMonitor, ReportingMode
+from repro.core.signatures import SignatureConfig
+
+IDLE = [(0, 0)] * 6
+EMPTY_STAGES = [[(0, 0), (0, 0)]] * 7
+
+
+def clock_identical(monitor, cycles=1, commits=(0, 0)):
+    report = None
+    for _ in range(cycles):
+        for index in (0, 1):
+            monitor.clock_core(index, IDLE, stage_slots=EMPTY_STAGES)
+        report = monitor.compare(0, *commits)
+    return report
+
+
+def clock_divergent(monitor, cycles=1):
+    report = None
+    for _ in range(cycles):
+        monitor.clock_core(0, [(1, 0xAAAA)] + IDLE[:5],
+                           stage_slots=EMPTY_STAGES)
+        monitor.clock_core(1, [(1, 0xBBBB)] + IDLE[:5],
+                           stage_slots=EMPTY_STAGES)
+        report = monitor.compare(0)
+    return report
+
+
+class TestComparison:
+    def test_identical_cores_lack_diversity(self):
+        monitor = DiversityMonitor()
+        report = clock_identical(monitor)
+        assert not report.diversity
+        assert monitor.stats.no_diversity_cycles == 1
+
+    def test_data_difference_is_diversity(self):
+        monitor = DiversityMonitor()
+        report = clock_divergent(monitor)
+        assert report.data_diversity
+        assert report.diversity
+        assert monitor.stats.no_diversity_cycles == 0
+
+    def test_instruction_difference_is_diversity(self):
+        monitor = DiversityMonitor()
+        monitor.clock_core(0, IDLE, stage_slots=[[(1, 0x33), (0, 0)]]
+                           + [[(0, 0), (0, 0)]] * 6)
+        monitor.clock_core(1, IDLE, stage_slots=EMPTY_STAGES)
+        report = monitor.compare(0)
+        assert report.instruction_diversity
+        assert not report.data_diversity
+        assert report.diversity  # either signature differing suffices
+
+    def test_lack_requires_both_matching(self):
+        """No diversity is reported only when DS and IS both match."""
+        monitor = DiversityMonitor()
+        # DS matches, IS differs
+        monitor.clock_core(0, IDLE, stage_slots=[[(1, 1), (0, 0)]]
+                           + [[(0, 0), (0, 0)]] * 6)
+        monitor.clock_core(1, IDLE, stage_slots=EMPTY_STAGES)
+        monitor.compare(0)
+        assert monitor.stats.no_diversity_cycles == 0
+        assert monitor.stats.no_data_diversity_cycles == 1
+        assert monitor.stats.no_instruction_diversity_cycles == 0
+
+    def test_counters_accumulate(self):
+        monitor = DiversityMonitor()
+        clock_identical(monitor, cycles=5)
+        clock_divergent(monitor, cycles=3)
+        assert monitor.stats.sampled_cycles == 8
+        assert monitor.stats.no_diversity_cycles == 5
+        assert monitor.stats.diversity_cycles == 3
+
+
+class TestReportingModes:
+    def test_polling_never_interrupts(self):
+        monitor = DiversityMonitor(mode=ReportingMode.POLLING)
+        clock_identical(monitor, cycles=10)
+        assert monitor.stats.interrupts_raised == 0
+        assert not monitor.irq.pending
+
+    def test_interrupt_first_fires_once(self):
+        monitor = DiversityMonitor(mode=ReportingMode.INTERRUPT_FIRST)
+        clock_identical(monitor, cycles=5)
+        assert monitor.stats.interrupts_raised == 1
+        assert monitor.irq.pending
+
+    def test_interrupt_first_refires_after_ack(self):
+        monitor = DiversityMonitor(mode=ReportingMode.INTERRUPT_FIRST)
+        clock_identical(monitor)
+        monitor.irq.acknowledge()
+        clock_identical(monitor)
+        assert monitor.stats.interrupts_raised == 2
+
+    def test_threshold_mode_waits(self):
+        monitor = DiversityMonitor(
+            mode=ReportingMode.INTERRUPT_THRESHOLD, threshold=4)
+        clock_identical(monitor, cycles=3)
+        assert not monitor.irq.pending
+        clock_identical(monitor)
+        assert monitor.irq.pending
+        assert monitor.stats.interrupts_raised == 1
+
+    def test_interrupt_handler_subscription(self):
+        fired = []
+        monitor = DiversityMonitor(mode=ReportingMode.INTERRUPT_FIRST)
+        monitor.irq.subscribe(fired.append)
+        clock_identical(monitor)
+        assert len(fired) == 1
+
+    def test_disabled_monitor_observes_nothing(self):
+        monitor = DiversityMonitor()
+        monitor.enabled = False
+
+        class FakeCore:
+            hold = False
+            commits_this_cycle = 0
+        monitor.observe(0, FakeCore(), FakeCore())
+        assert monitor.stats.sampled_cycles == 0
+
+
+class TestStaggeringIntegration:
+    def test_staggering_tracked(self):
+        monitor = DiversityMonitor()
+        clock_identical(monitor, commits=(2, 0))
+        assert monitor.last_report.staggering == 2
+        assert not monitor.last_report.zero_staggering
+        clock_identical(monitor, commits=(0, 2))
+        assert monitor.last_report.zero_staggering
+
+    def test_history_attached(self):
+        history = HistoryModule(bin_size=1, num_bins=8)
+        monitor = DiversityMonitor(history=history)
+        clock_identical(monitor, cycles=3)
+        clock_divergent(monitor, cycles=1)
+        monitor.finish()
+        hist = history.histograms["no_diversity"]
+        assert hist.total_cycles == 3
+        assert hist.episodes == 1
+
+
+class TestManagement:
+    def test_reset_clears_everything(self):
+        monitor = DiversityMonitor(mode=ReportingMode.INTERRUPT_FIRST,
+                                   history=HistoryModule())
+        clock_identical(monitor, cycles=3)
+        monitor.reset()
+        assert monitor.stats.sampled_cycles == 0
+        assert not monitor.irq.pending
+        assert monitor.instruction_diff.diff == 0
+
+    def test_block_diagram_mentions_components(self):
+        monitor = DiversityMonitor(history=HistoryModule())
+        text = monitor.block_diagram()
+        assert "Signature generator" in text
+        assert "Comparators" in text
+        assert "Instruction diff" in text
+        assert "History module" in text
+        assert "APB" in text
+
+    def test_custom_geometry(self):
+        config = SignatureConfig(num_ports=2, ds_depth=3)
+        monitor = DiversityMonitor(config=config)
+        monitor.clock_core(0, [(1, 1), (0, 0)],
+                           stage_slots=EMPTY_STAGES)
+        monitor.clock_core(1, [(1, 1), (0, 0)],
+                           stage_slots=EMPTY_STAGES)
+        report = monitor.compare(0)
+        assert not report.data_diversity

@@ -1,0 +1,60 @@
+"""Area/power model tests (paper Section V-D)."""
+
+from repro.core.overheads import (
+    BASELINE_MPSOC_LUTS,
+    PAPER_CONFIG,
+    PAPER_SAFEDM_LUTS,
+    PAPER_SAFEDM_WATTS,
+    estimate,
+    sweep_ds_depth,
+)
+from repro.core.signatures import IsVariant, SignatureConfig
+
+
+class TestPaperDesignPoint:
+    def test_luts_match_paper(self):
+        report = estimate(PAPER_CONFIG)
+        assert report.luts == PAPER_SAFEDM_LUTS == 4000
+
+    def test_area_percent_matches_paper(self):
+        report = estimate(PAPER_CONFIG)
+        assert abs(report.area_percent - 3.4) < 0.05
+
+    def test_power_matches_paper(self):
+        report = estimate(PAPER_CONFIG)
+        assert abs(report.watts - PAPER_SAFEDM_WATTS) < 1e-9
+        assert report.power_percent < 1.0  # "less than 1% extra power"
+
+    def test_baseline_implied_by_percentage(self):
+        assert BASELINE_MPSOC_LUTS == round(4000 / 0.034)
+
+
+class TestScaling:
+    def test_area_grows_with_ds_depth(self):
+        reports = sweep_ds_depth([4, 7, 14, 28])
+        luts = [r.luts for r in reports]
+        assert luts == sorted(luts)
+        assert luts[-1] > luts[0]
+
+    def test_area_grows_with_ports(self):
+        small = estimate(SignatureConfig(num_ports=2))
+        large = estimate(SignatureConfig(num_ports=8))
+        assert large.luts > small.luts
+
+    def test_inflight_variant_costs_differently(self):
+        per_stage = estimate(SignatureConfig())
+        inflight = estimate(SignatureConfig(
+            is_variant=IsVariant.INFLIGHT, inflight_depth=14))
+        assert per_stage.is_bits_per_core == 7 * 2 * 33
+        assert inflight.is_bits_per_core == 14 * 33
+        assert per_stage.luts == inflight.luts  # same bit budget here
+
+    def test_power_scales_with_storage(self):
+        small = estimate(SignatureConfig(ds_depth=4))
+        large = estimate(SignatureConfig(ds_depth=16))
+        assert large.watts > small.watts
+
+    def test_report_structure(self):
+        report = estimate()
+        assert report.ds_bits_per_core == 4 * 7 * 65
+        assert report.config is PAPER_CONFIG

@@ -1,0 +1,167 @@
+"""Functional-semantics tests for the execution unit."""
+
+import pytest
+
+from repro.isa.opcodes import SPECS
+from repro.isa.instruction import Instruction
+from repro.cpu.exec_unit import (
+    branch_taken,
+    effective_address,
+    execute_alu,
+    sign_extend_load,
+)
+
+MASK = (1 << 64) - 1
+
+
+def alu(name, rs1=0, rs2=0, imm=0):
+    return execute_alu(Instruction(SPECS[name], rd=1, rs1=2, rs2=3,
+                                   imm=imm), rs1 & MASK, rs2 & MASK)
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert alu("add", MASK, 1) == 0
+
+    def test_sub_wraps(self):
+        assert alu("sub", 0, 1) == MASK
+
+    def test_addi_negative(self):
+        assert alu("addi", 10, imm=-3) == 7
+
+    def test_addw_truncates_and_extends(self):
+        assert alu("addw", 0x7FFFFFFF, 1) == 0xFFFFFFFF80000000
+
+    def test_subw(self):
+        assert alu("subw", 0, 1) == MASK
+
+    def test_addiw(self):
+        assert alu("addiw", 0xFFFFFFFF, imm=1) == 0
+
+
+class TestLogic:
+    def test_xor_or_and(self):
+        assert alu("xor", 0b1100, 0b1010) == 0b0110
+        assert alu("or", 0b1100, 0b1010) == 0b1110
+        assert alu("and", 0b1100, 0b1010) == 0b1000
+
+    def test_immediates(self):
+        assert alu("xori", 0, imm=-1) == MASK
+        assert alu("ori", 0b01, imm=0b10) == 0b11
+        assert alu("andi", MASK, imm=0xF) == 0xF
+
+
+class TestShifts:
+    def test_sll_uses_low_six_bits(self):
+        assert alu("sll", 1, 64) == 1
+        assert alu("sll", 1, 65) == 2
+
+    def test_srl_logical(self):
+        assert alu("srl", MASK, 63) == 1
+
+    def test_sra_arithmetic(self):
+        assert alu("sra", MASK, 63) == MASK  # -1 >> 63 == -1
+
+    def test_slli_srli_srai(self):
+        assert alu("slli", 1, imm=63) == 1 << 63
+        assert alu("srli", 1 << 63, imm=63) == 1
+        assert alu("srai", 1 << 63, imm=63) == MASK
+
+    def test_word_shifts(self):
+        assert alu("sllw", 1, 31) == 0xFFFFFFFF80000000
+        assert alu("srlw", 0x80000000, 31) == 1
+        assert alu("sraw", 0x80000000, 31) == MASK
+        assert alu("srliw", 0x80000000, imm=31) == 1
+        assert alu("sraiw", 0x80000000, imm=31) == MASK
+
+
+class TestComparisons:
+    def test_slt_signed(self):
+        assert alu("slt", MASK, 0) == 1  # -1 < 0
+        assert alu("slt", 0, MASK) == 0
+
+    def test_sltu_unsigned(self):
+        assert alu("sltu", MASK, 0) == 0
+        assert alu("sltu", 0, MASK) == 1
+
+    def test_slti_sltiu(self):
+        assert alu("slti", MASK, imm=0) == 1
+        assert alu("sltiu", 0, imm=-1) == 1  # imm treated unsigned
+
+
+class TestMultiply:
+    def test_mul_wraps(self):
+        assert alu("mul", 1 << 63, 2) == 0
+
+    def test_mulh_signed(self):
+        assert alu("mulh", MASK, MASK) == 0  # (-1)*(-1) high = 0
+
+    def test_mulhu(self):
+        assert alu("mulhu", MASK, MASK) == MASK - 1
+
+    def test_mulhsu(self):
+        assert alu("mulhsu", MASK, MASK) == MASK  # -1 * huge
+
+    def test_mulw(self):
+        assert alu("mulw", 0x10000, 0x10000) == 0
+
+
+class TestDivide:
+    def test_div_truncates_toward_zero(self):
+        assert alu("div", -7 & MASK, 2) == -3 & MASK
+        assert alu("div", 7, -2 & MASK) == -3 & MASK
+
+    def test_div_by_zero(self):
+        assert alu("div", 42, 0) == MASK
+        assert alu("divu", 42, 0) == MASK
+
+    def test_rem_sign_follows_dividend(self):
+        assert alu("rem", -7 & MASK, 2) == -1 & MASK
+        assert alu("rem", 7, -2 & MASK) == 1
+
+    def test_rem_by_zero_returns_dividend(self):
+        assert alu("rem", 42, 0) == 42
+        assert alu("remu", 42, 0) == 42
+
+    def test_div_overflow_case(self):
+        # most-negative / -1 wraps to itself per the RISC-V spec
+        assert alu("div", 1 << 63, MASK) == 1 << 63
+
+    def test_word_division(self):
+        assert alu("divw", 7, 2) == 3
+        assert alu("divuw", 0xFFFFFFFF, 1) == MASK  # sign-extended
+        assert alu("remw", -7 & MASK, 2) == MASK  # -1
+        assert alu("divw", 1, 0) == MASK
+        assert alu("remuw", 10, 3) == 1
+
+
+class TestBranches:
+    @pytest.mark.parametrize("name,rs1,rs2,expected", [
+        ("beq", 5, 5, True), ("beq", 5, 6, False),
+        ("bne", 5, 6, True), ("bne", 5, 5, False),
+        ("blt", MASK, 0, True), ("blt", 0, MASK, False),
+        ("bge", 0, MASK, True), ("bge", MASK, 0, False),
+        ("bltu", 0, MASK, True), ("bltu", MASK, 0, False),
+        ("bgeu", MASK, 0, True), ("bgeu", 0, MASK, False),
+    ])
+    def test_branch_conditions(self, name, rs1, rs2, expected):
+        instr = Instruction(SPECS[name], rs1=1, rs2=2)
+        assert branch_taken(instr, rs1, rs2) is expected
+
+
+class TestMemoryHelpers:
+    def test_effective_address_wraps(self):
+        instr = Instruction(SPECS["ld"], rd=1, rs1=2, imm=-8)
+        assert effective_address(instr, 4) == (4 - 8) & MASK
+
+    def test_sign_extend_load(self):
+        assert sign_extend_load(0xFF, 1, True) == MASK
+        assert sign_extend_load(0xFF, 1, False) == 0xFF
+        assert sign_extend_load(0x8000, 2, True) == MASK - 0x7FFF
+        assert sign_extend_load(0x7FFF, 2, True) == 0x7FFF
+        assert sign_extend_load(0xFFFFFFFF, 4, True) == MASK
+        assert sign_extend_load(0xFFFFFFFF, 4, False) == 0xFFFFFFFF
+
+    def test_lui(self):
+        value = alu("lui", imm=0x12345000)
+        assert value == 0x12345000

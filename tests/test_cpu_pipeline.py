@@ -1,0 +1,134 @@
+"""Pipeline building-block tests: groups, pairing rules, predictor."""
+
+import pytest
+
+from repro.cpu.pipeline import BranchPredictor, Group, can_pair
+from repro.isa.decoder import decode
+from repro.isa.encoder import encode
+from repro.isa.instruction import FetchedInstruction, Instruction
+from repro.isa.opcodes import SPECS
+
+
+def fi(name, rd=None, rs1=None, rs2=None, imm=0, pc=0):
+    instr = Instruction(SPECS[name], rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+    word = encode(instr)
+    return FetchedInstruction(instr=decode(word), pc=pc)
+
+
+class TestCanPair:
+    def test_independent_alu_pair(self):
+        assert can_pair(fi("add", rd=5, rs1=1, rs2=2),
+                        fi("add", rd=6, rs1=3, rs2=4))
+
+    def test_raw_dependency_blocks(self):
+        assert not can_pair(fi("add", rd=5, rs1=1, rs2=2),
+                            fi("add", rd=6, rs1=5, rs2=4))
+
+    def test_waw_blocks(self):
+        assert not can_pair(fi("add", rd=5, rs1=1, rs2=2),
+                            fi("add", rd=5, rs1=3, rs2=4))
+
+    def test_x0_not_a_dependency(self):
+        # both write x0: no WAW, no RAW
+        assert can_pair(fi("add", rd=0, rs1=1, rs2=2),
+                        fi("add", rd=0, rs1=3, rs2=4))
+
+    def test_two_memory_ops_block(self):
+        assert not can_pair(fi("ld", rd=5, rs1=1),
+                            fi("sd", rs1=2, rs2=3))
+
+    def test_memory_plus_alu_ok(self):
+        assert can_pair(fi("ld", rd=5, rs1=1),
+                        fi("add", rd=6, rs1=2, rs2=3))
+
+    def test_two_muldiv_block(self):
+        assert not can_pair(fi("mul", rd=5, rs1=1, rs2=2),
+                            fi("div", rd=6, rs1=3, rs2=4))
+
+    def test_control_flow_must_be_last(self):
+        assert not can_pair(fi("beq", rs1=1, rs2=2, imm=8),
+                            fi("add", rd=5, rs1=3, rs2=4))
+        assert can_pair(fi("add", rd=5, rs1=3, rs2=4),
+                        fi("beq", rs1=1, rs2=2, imm=8))
+
+
+class TestGroup:
+    def test_words_cache(self):
+        group = Group(instrs=[fi("add", rd=1, rs1=2, rs2=3),
+                              fi("sub", rd=4, rs1=5, rs2=6)])
+        assert len(group) == 2
+        assert group.words() == group.words_cache
+        assert len(group.words()) == 2
+
+    def test_truncate_updates_cache(self):
+        group = Group(instrs=[fi("add", rd=1, rs1=2, rs2=3),
+                              fi("sub", rd=4, rs1=5, rs2=6)])
+        group.truncate(0)
+        assert len(group) == 1
+        assert len(group.words_cache) == 1
+
+
+class TestBranchPredictor:
+    def test_initially_predicts_not_taken(self):
+        predictor = BranchPredictor()
+        assert not predictor.predict_taken(0x1000)
+
+    def test_learns_taken_branch(self):
+        predictor = BranchPredictor()
+        pc = 0x1000
+        predictor.update(pc, taken=True, mispredicted=True)
+        assert predictor.predict_taken(pc)  # weak-NT + 1 = weak-T
+
+    def test_hysteresis(self):
+        predictor = BranchPredictor()
+        pc = 0x1000
+        for _ in range(3):
+            predictor.update(pc, taken=True, mispredicted=False)
+        predictor.update(pc, taken=False, mispredicted=True)
+        # One not-taken from strong-taken: still predicts taken.
+        assert predictor.predict_taken(pc)
+
+    def test_saturation(self):
+        predictor = BranchPredictor()
+        pc = 0x1000
+        for _ in range(10):
+            predictor.update(pc, taken=False, mispredicted=False)
+        predictor.update(pc, taken=True, mispredicted=True)
+        assert not predictor.predict_taken(pc)  # strong-NT + 1 = weak-NT
+
+    def test_disabled_predictor_is_static_not_taken(self):
+        predictor = BranchPredictor(enabled=False)
+        pc = 0x1000
+        for _ in range(5):
+            predictor.update(pc, taken=True, mispredicted=True)
+        assert not predictor.predict_taken(pc)
+
+    def test_mispredict_counter(self):
+        predictor = BranchPredictor()
+        predictor.update(0, taken=True, mispredicted=True)
+        predictor.update(0, taken=True, mispredicted=False)
+        assert predictor.mispredictions == 1
+
+    def test_identical_streams_identical_state(self):
+        """Two predictors fed the same history agree forever — the
+        predictor must not create artificial cross-core diversity."""
+        p0, p1 = BranchPredictor(), BranchPredictor()
+        history = [(0x1000, True), (0x1004, False), (0x1000, True),
+                   (0x2000, True), (0x1000, False)] * 10
+        for pc, taken in history:
+            assert p0.predict_taken(pc) == p1.predict_taken(pc)
+            mis0 = p0.predict_taken(pc) != taken
+            p0.update(pc, taken, mis0)
+            p1.update(pc, taken, mis0)
+        assert p0._table == p1._table
+
+    def test_entries_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            BranchPredictor(entries=100)
+
+    def test_reset(self):
+        predictor = BranchPredictor()
+        predictor.update(0x1000, taken=True, mispredicted=True)
+        predictor.reset()
+        assert not predictor.predict_taken(0x1000)
+        assert predictor.mispredictions == 0

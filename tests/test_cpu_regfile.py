@@ -1,0 +1,100 @@
+"""Register file tests: architectural state, scoreboard, port taps."""
+
+from repro.cpu.regfile import IDLE_SAMPLE, RegisterFile
+
+
+class TestArchitectural:
+    def test_x0_reads_zero(self):
+        rf = RegisterFile()
+        rf.write(0, 123)
+        assert rf.read(0) == 0
+
+    def test_write_read(self):
+        rf = RegisterFile()
+        rf.write(5, 42)
+        assert rf.read(5) == 42
+
+    def test_values_masked_to_64_bits(self):
+        rf = RegisterFile()
+        rf.write(5, 1 << 64)
+        assert rf.read(5) == 0
+
+    def test_reset(self):
+        rf = RegisterFile()
+        rf.write(5, 42)
+        rf.set_ready(5, 100)
+        rf.reset()
+        assert rf.read(5) == 0
+        assert rf.ready(5, 0)
+
+
+class TestScoreboard:
+    def test_initially_ready(self):
+        rf = RegisterFile()
+        assert all(rf.ready(r, 0) for r in range(32))
+
+    def test_set_ready_delays_consumers(self):
+        rf = RegisterFile()
+        rf.set_ready(7, 10)
+        assert not rf.ready(7, 9)
+        assert rf.ready(7, 10)
+
+    def test_x0_always_ready(self):
+        rf = RegisterFile()
+        rf.set_ready(0, 10**9)  # dropped: x0 untouched
+        assert rf.ready(0, 0)
+
+    def test_mark_pending(self):
+        rf = RegisterFile()
+        rf.mark_pending(9)
+        assert not rf.ready(9, 10**6)
+        rf.set_ready(9, 5)
+        assert rf.ready(9, 5)
+
+    def test_none_destination_is_noop(self):
+        rf = RegisterFile()
+        rf.set_ready(None, 10)
+        rf.mark_pending(None)
+        assert all(rf.ready(r, 0) for r in range(32))
+
+
+class TestPortTaps:
+    def test_idle_cycle_has_no_activity(self):
+        rf = RegisterFile(num_read_ports=4, num_write_ports=2)
+        rf.begin_cycle()
+        assert rf.port_samples() == [IDLE_SAMPLE] * 6
+
+    def test_read_tap_records_value(self):
+        rf = RegisterFile()
+        rf.write(5, 99)
+        rf.begin_cycle()
+        rf.record_read(0, 5)
+        assert rf.port_samples()[0] == (1, 99)
+
+    def test_x0_read_taps_as_zero(self):
+        rf = RegisterFile()
+        rf.begin_cycle()
+        rf.record_read(1, 0)
+        assert rf.port_samples()[1] == (1, 0)
+
+    def test_write_tap_records_value(self):
+        rf = RegisterFile(num_read_ports=4, num_write_ports=2)
+        rf.begin_cycle()
+        rf.record_write(0, 5, 0x1234)
+        samples = rf.port_samples()
+        assert samples[4] == (1, 0x1234)
+
+    def test_begin_cycle_clears_previous_activity(self):
+        rf = RegisterFile()
+        rf.begin_cycle()
+        rf.record_read(0, 1)
+        rf.begin_cycle()
+        assert rf.port_samples()[0] == IDLE_SAMPLE
+
+    def test_sample_order_reads_then_writes(self):
+        rf = RegisterFile(num_read_ports=2, num_write_ports=1)
+        rf.begin_cycle()
+        rf.write(3, 7)
+        rf.record_read(0, 3)
+        rf.record_write(0, 3, 8)
+        assert rf.port_samples() == [(1, 7), IDLE_SAMPLE, (1, 8)]

@@ -1,0 +1,114 @@
+"""Validate the crypto kernels' round structure against hashlib.
+
+The md5/sha kernel reference models mirror the assembly exactly; this
+file independently validates that the *round structure itself* (tables,
+rotations, state rotation) is the real MD5/SHA-1 — by running the same
+compression over a standard padded message and comparing with hashlib.
+"""
+
+import hashlib
+import struct
+
+from repro.workloads.tacle.md5 import G_TAB, INIT, K_TAB, R_TAB, _rotl32
+from repro.workloads.tacle import sha as sha_mod
+
+M32 = 0xFFFFFFFF
+
+
+def md5_compress(state, block_words):
+    a, b, c, d = state
+    for i in range(64):
+        if i < 16:
+            f = (b & c) | (~b & d)
+        elif i < 32:
+            f = (d & b) | (~d & c)
+        elif i < 48:
+            f = b ^ c ^ d
+        else:
+            f = c ^ (b | ~d)
+        f &= M32
+        x = (a + f + K_TAB[i] + block_words[G_TAB[i]]) & M32
+        a, d, c, b = d, c, b, (b + _rotl32(x, R_TAB[i])) & M32
+    return [(s + v) & M32 for s, v in zip(state, (a, b, c, d))]
+
+
+def md5_digest(message: bytes) -> bytes:
+    length = len(message)
+    message += b"\x80"
+    message += b"\x00" * ((56 - len(message)) % 64)
+    message += struct.pack("<Q", 8 * length)
+    state = list(INIT)
+    for offset in range(0, len(message), 64):
+        words = list(struct.unpack("<16I",
+                                   message[offset:offset + 64]))
+        state = md5_compress(state, words)
+    return struct.pack("<4I", *state)
+
+
+def sha1_compress(state, block_words):
+    w = list(block_words)
+    for t in range(16, 80):
+        w.append(sha_mod._rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14]
+                                 ^ w[t - 16], 1))
+    a, b, c, d, e = state
+    for t in range(80):
+        if t < 20:
+            f = (b & c) | (~b & d)
+        elif t < 40:
+            f = b ^ c ^ d
+        elif t < 60:
+            f = (b & c) | (b & d) | (c & d)
+        else:
+            f = b ^ c ^ d
+        f &= M32
+        temp = (sha_mod._rotl32(a, 5) + f + e
+                + sha_mod.K_ROUND[t // 20] + w[t]) & M32
+        e, d, c, b, a = d, c, sha_mod._rotl32(b, 30), a, temp
+    return [(s + v) & M32 for s, v in zip(state, (a, b, c, d, e))]
+
+
+def sha1_digest(message: bytes) -> bytes:
+    length = len(message)
+    message += b"\x80"
+    message += b"\x00" * ((56 - len(message)) % 64)
+    message += struct.pack(">Q", 8 * length)
+    state = list(sha_mod.H_INIT)
+    for offset in range(0, len(message), 64):
+        words = list(struct.unpack(">16I",
+                                   message[offset:offset + 64]))
+        state = sha1_compress(state, words)
+    return struct.pack(">5I", *state)
+
+
+class TestMd5RoundStructure:
+    def test_empty_message(self):
+        assert md5_digest(b"") == hashlib.md5(b"").digest()
+
+    def test_abc(self):
+        assert md5_digest(b"abc") == hashlib.md5(b"abc").digest()
+
+    def test_multi_block(self):
+        message = b"The quick brown fox jumps over the lazy dog" * 3
+        assert md5_digest(message) == hashlib.md5(message).digest()
+
+    def test_table_values(self):
+        # First four K constants from RFC 1321.
+        assert K_TAB[:4] == [0xd76aa478, 0xe8c7b756, 0x242070db,
+                             0xc1bdceee]
+
+
+class TestSha1RoundStructure:
+    def test_empty_message(self):
+        assert sha1_digest(b"") == hashlib.sha1(b"").digest()
+
+    def test_abc(self):
+        assert sha1_digest(b"abc") == hashlib.sha1(b"abc").digest()
+
+    def test_multi_block(self):
+        message = bytes(range(256))
+        assert sha1_digest(message) == hashlib.sha1(message).digest()
+
+    def test_constants(self):
+        assert sha_mod.H_INIT[0] == 0x67452301
+        assert sha_mod.K_ROUND == (0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC,
+                                   0xCA62C1D6)

@@ -1,0 +1,223 @@
+"""Assembler unit tests: syntax, labels, pseudo-instructions, data."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.assembler import AssemblerError
+from repro.isa.decoder import decode
+
+
+def words_of(program):
+    return [w for _, w in program.words()]
+
+
+def decoded(program):
+    return [decode(w) for _, w in program.words()]
+
+
+class TestBasicSyntax:
+    def test_empty_source(self):
+        program = assemble("")
+        assert program.size == 0
+
+    def test_comments_ignored(self):
+        program = assemble("""
+            # full-line comment
+            addi a0, a0, 1   # trailing comment
+            addi a0, a0, 2   ; semicolon comment
+        """)
+        assert len(words_of(program)) == 2
+
+    def test_label_addresses(self):
+        program = assemble("""
+_start:
+    addi a0, a0, 1
+mid:
+    addi a0, a0, 2
+end:
+""", base=0x1000)
+        assert program.symbol("_start") == 0x1000
+        assert program.symbol("mid") == 0x1004
+        assert program.symbol("end") == 0x1008
+
+    def test_entry_point(self):
+        program = assemble("nop\n_start:\n  nop\n", base=0x100)
+        assert program.entry == 0x104
+
+    def test_entry_defaults_to_base(self):
+        program = assemble("nop\n", base=0x200)
+        assert program.entry == 0x200
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\n nop\na:\n nop\n")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate a0, a1\n")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble("nop\nnop\nbadop x0\n")
+        assert "line 3" in str(exc.value)
+
+
+class TestBranchesAndJumps:
+    def test_backward_branch_offset(self):
+        program = assemble("""
+loop:
+    addi a0, a0, -1
+    bnez a0, loop
+""", base=0)
+        branch = decoded(program)[1]
+        assert branch.mnemonic == "bne"
+        assert branch.imm == -4
+
+    def test_forward_branch_offset(self):
+        program = assemble("""
+    beqz a0, skip
+    nop
+skip:
+""", base=0)
+        branch = decoded(program)[0]
+        assert branch.imm == 8
+
+    def test_call_and_ret(self):
+        program = assemble("""
+_start:
+    call fn
+    ebreak
+fn:
+    ret
+""", base=0)
+        instrs = decoded(program)
+        assert instrs[0].mnemonic == "jal"
+        assert instrs[0].rd == 1
+        assert instrs[0].imm == 8
+        assert instrs[2].mnemonic == "jalr"
+        assert instrs[2].rd == 0
+        assert instrs[2].rs1 == 1
+
+
+class TestLi:
+    @pytest.mark.parametrize("value", [
+        0, 1, -1, 2047, -2048, 2048, 0x12345, -0x12345,
+        0x7FFFFFFF, -0x80000000, 0x123456789, 0x123456789ABCDEF0,
+        -0x123456789ABCDEF0, (1 << 63) - 1, -(1 << 63),
+    ])
+    def test_li_values(self, value):
+        program = assemble("li a0, %d\nebreak\n" % value, base=0)
+        # Interpret the expansion to verify the materialised constant.
+        reg = 0
+        for instr in decoded(program):
+            if instr.mnemonic == "ebreak":
+                break
+            from repro.cpu.exec_unit import execute_alu
+            reg = execute_alu(instr, reg, 0)
+        expected = value & ((1 << 64) - 1)
+        assert reg == expected
+
+    def test_li_hex_and_equ(self):
+        program = assemble(".equ FOO, 0x40\nli a0, FOO\n", base=0)
+        instr = decoded(program)[0]
+        assert instr.imm == 0x40
+
+
+class TestPseudoInstructions:
+    def test_nop_encoding(self):
+        program = assemble("nop\n", base=0)
+        assert words_of(program) == [0x00000013]
+
+    def test_mv(self):
+        instr = decoded(assemble("mv a0, a1\n"))[0]
+        assert instr.mnemonic == "addi" and instr.imm == 0
+
+    def test_not_neg(self):
+        instrs = decoded(assemble("not a0, a1\nneg a2, a3\n"))
+        assert instrs[0].mnemonic == "xori" and instrs[0].imm == -1
+        assert instrs[1].mnemonic == "sub" and instrs[1].rs1 == 0
+
+    def test_seqz_snez(self):
+        instrs = decoded(assemble("seqz a0, a1\nsnez a2, a3\n"))
+        assert instrs[0].mnemonic == "sltiu" and instrs[0].imm == 1
+        assert instrs[1].mnemonic == "sltu" and instrs[1].rs1 == 0
+
+    def test_branch_aliases_swap_operands(self):
+        instrs = decoded(assemble("""
+t:
+    ble a0, a1, t
+    bgt a0, a1, t
+    bleu a0, a1, t
+    bgtu a0, a1, t
+"""))
+        assert [i.mnemonic for i in instrs] == ["bge", "blt", "bgeu",
+                                                "bltu"]
+        assert instrs[0].rs1 == 11 and instrs[0].rs2 == 10
+
+    def test_la_materialises_address(self):
+        program = assemble("""
+_start:
+    la a0, table
+    ebreak
+table:
+    .dword 42
+""", base=0x10000)
+        from repro.cpu.exec_unit import execute_alu
+        reg = 0
+        for _, word in list(program.words())[:2]:  # lui + addi only
+            instr = decode(word)
+            reg = execute_alu(instr, reg, 0)
+        assert reg == program.symbol("table")
+
+
+class TestDirectives:
+    def test_word_and_dword(self):
+        program = assemble(".word 1, 2\n.dword 3\n", base=0)
+        blob = program.image[0]
+        assert blob[:4] == (1).to_bytes(4, "little")
+        assert blob[4:8] == (2).to_bytes(4, "little")
+        assert blob[8:16] == (3).to_bytes(8, "little")
+
+    def test_space(self):
+        program = assemble("nop\n.space 12\nnop\n", base=0)
+        assert program.size == 4 + 12 + 4
+
+    def test_align(self):
+        program = assemble(".byte 1\n.align 3\nmark:\n nop\n", base=0)
+        assert program.symbol("mark") == 8
+
+    def test_equ_arithmetic(self):
+        program = assemble("""
+.equ N, 10
+.equ SIZE, N*8+4
+li a0, SIZE
+""", base=0)
+        assert decoded(program)[0].imm == 84
+
+    def test_equ_in_memory_offset(self):
+        program = assemble(".equ OFF, 16\nld a0, OFF(sp)\n", base=0)
+        assert decoded(program)[0].imm == 16
+
+    def test_negative_dword(self):
+        program = assemble(".dword -1\n", base=0)
+        assert program.image[0] == b"\xff" * 8
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError):
+            assemble(".bogus 1\n")
+
+
+class TestProgramModel:
+    def test_size_and_end(self):
+        program = assemble("nop\nnop\n.dword 0\n", base=0x100)
+        assert program.size == 16
+        assert program.end() == 0x110
+
+    def test_words_are_address_ordered(self):
+        program = assemble("nop\nnop\nnop\n", base=0x40)
+        addresses = [a for a, _ in program.words()]
+        assert addresses == [0x40, 0x44, 0x48]

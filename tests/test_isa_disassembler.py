@@ -1,0 +1,61 @@
+"""Disassembler tests: rendering and encode/decode round trips."""
+
+from repro.isa import assemble
+from repro.isa.disassembler import (
+    disassemble_program,
+    disassemble_word,
+    format_listing,
+)
+
+
+class TestDisassembleWord:
+    def test_known_word(self):
+        assert disassemble_word(0x00C58533) == "add a0, a1, a2"
+
+    def test_unknown_word_renders_as_data(self):
+        assert disassemble_word(0xFFFFFFFF) == ".word 0xffffffff"
+
+    def test_nop(self):
+        assert disassemble_word(0x00000013) == "addi zero, zero, 0"
+
+
+class TestRoundTrip:
+    SOURCE = """
+_start:
+    li t0, 42
+    la t1, data
+loop:
+    ld t2, 0(t1)
+    add t0, t0, t2
+    addi t1, t1, 8
+    bnez t2, loop
+    sd t0, 0(gp)
+    ebreak
+data:
+    .dword 7, 0
+"""
+
+    def test_reassembly_round_trip(self):
+        """Disassembled text reassembles to the identical image."""
+        program = assemble(self.SOURCE, base=0x10000)
+        listing = disassemble_program(program)
+        # Rebuild source from instruction rows only (data needs .dword).
+        text_rows = [t for _, _, t in listing if not t.startswith(".word")]
+        data_words = [w for _, w, t in listing if t.startswith(".word")]
+        rebuilt_src = "\n".join(text_rows) + "\n" \
+            + "\n".join(".word %d" % w for w in data_words)
+        rebuilt = assemble(rebuilt_src, base=0x10000)
+        assert list(rebuilt.words()) == list(program.words())
+
+    def test_listing_format_includes_labels(self):
+        program = assemble(self.SOURCE, base=0x10000)
+        rows = disassemble_program(program)
+        text = format_listing(rows, symbols=program.symbols)
+        assert "_start:" in text
+        assert "loop:" in text
+        assert "0x00010000" in text
+
+    def test_listing_row_count(self):
+        program = assemble(self.SOURCE, base=0x10000)
+        rows = disassemble_program(program)
+        assert len(rows) == program.size // 4

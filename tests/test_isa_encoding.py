@@ -1,0 +1,160 @@
+"""Encoder/decoder unit tests, including reference encodings."""
+
+import pytest
+
+from repro.isa.decoder import DecodeError, decode
+from repro.isa.encoder import EncodingError, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import NOP_WORD, SPECS
+
+
+def _encode(name, **kwargs):
+    return encode(Instruction(SPECS[name], **kwargs))
+
+
+class TestReferenceEncodings:
+    """Golden encodings cross-checked against the RISC-V spec."""
+
+    def test_nop(self):
+        assert _encode("addi", rd=0, rs1=0, imm=0) == NOP_WORD
+
+    def test_addi(self):
+        # addi a0, a1, 32 -> 0x02058513
+        assert _encode("addi", rd=10, rs1=11, imm=32) == 0x02058513
+
+    def test_add(self):
+        # add a0, a1, a2 -> 0x00C58533
+        assert _encode("add", rd=10, rs1=11, rs2=12) == 0x00C58533
+
+    def test_sub(self):
+        # sub t0, t1, t2 -> 0x407302B3
+        assert _encode("sub", rd=5, rs1=6, rs2=7) == 0x407302B3
+
+    def test_lui(self):
+        # lui a0, 0x12345 -> 0x12345537
+        assert _encode("lui", rd=10, imm=0x12345 << 12) == 0x12345537
+
+    def test_ld(self):
+        # ld a0, 8(sp) -> 0x00813503
+        assert _encode("ld", rd=10, rs1=2, imm=8) == 0x00813503
+
+    def test_sd(self):
+        # sd a0, 8(sp) -> 0x00A13423
+        assert _encode("sd", rs1=2, rs2=10, imm=8) == 0x00A13423
+
+    def test_beq(self):
+        # beq a0, a1, +16 -> 0x00B50863
+        assert _encode("beq", rs1=10, rs2=11, imm=16) == 0x00B50863
+
+    def test_jal(self):
+        # jal ra, +2048 -> 0x001000EF
+        assert _encode("jal", rd=1, imm=2048) == 0x001000EF
+
+    def test_jalr(self):
+        # jalr zero, 0(ra) (ret) -> 0x00008067
+        assert _encode("jalr", rd=0, rs1=1, imm=0) == 0x00008067
+
+    def test_srai_rv64_shamt(self):
+        # srai a0, a0, 33 uses the 6-bit shamt encoding
+        word = _encode("srai", rd=10, rs1=10, imm=33)
+        assert word == 0x42155513
+
+    def test_mul(self):
+        # mul a0, a1, a2 -> 0x02C58533
+        assert _encode("mul", rd=10, rs1=11, rs2=12) == 0x02C58533
+
+    def test_ecall_ebreak_fence(self):
+        assert _encode("ecall") == 0x00000073
+        assert _encode("ebreak") == 0x00100073
+        assert _encode("fence") == 0x0000000F
+
+
+class TestEncodeErrors:
+    def test_immediate_out_of_range(self):
+        with pytest.raises(EncodingError):
+            _encode("addi", rd=1, rs1=1, imm=2048)
+        with pytest.raises(EncodingError):
+            _encode("addi", rd=1, rs1=1, imm=-2049)
+
+    def test_branch_offset_must_be_even(self):
+        with pytest.raises(EncodingError):
+            _encode("beq", rs1=0, rs2=0, imm=3)
+
+    def test_branch_offset_range(self):
+        with pytest.raises(EncodingError):
+            _encode("beq", rs1=0, rs2=0, imm=1 << 12)
+
+    def test_jump_offset_range(self):
+        with pytest.raises(EncodingError):
+            _encode("jal", rd=0, imm=1 << 20)
+
+    def test_shift_amount_range(self):
+        with pytest.raises(EncodingError):
+            _encode("slli", rd=1, rs1=1, imm=64)
+        with pytest.raises(EncodingError):
+            _encode("slliw", rd=1, rs1=1, imm=32)
+
+    def test_missing_register(self):
+        with pytest.raises(EncodingError):
+            _encode("add", rd=1, rs1=2, rs2=None)
+
+    def test_u_type_low_bits(self):
+        with pytest.raises(EncodingError):
+            _encode("lui", rd=1, imm=0x1001)
+
+
+class TestDecode:
+    def test_decode_unknown_word(self):
+        with pytest.raises(DecodeError):
+            decode(0xFFFFFFFF)
+
+    def test_decode_zero_word(self):
+        with pytest.raises(DecodeError):
+            decode(0)
+
+    def test_decode_preserves_word(self):
+        instr = decode(0x02C58533)
+        assert instr.word == 0x02C58533
+        assert instr.mnemonic == "mul"
+
+    def test_decode_negative_immediate(self):
+        # addi a0, a0, -1
+        instr = decode(_encode("addi", rd=10, rs1=10, imm=-1))
+        assert instr.imm == -1
+
+    def test_decode_branch_negative_offset(self):
+        instr = decode(_encode("bne", rs1=10, rs2=0, imm=-4))
+        assert instr.imm == -4
+        assert instr.mnemonic == "bne"
+
+    def test_sraiw_vs_srliw(self):
+        sraiw = decode(_encode("sraiw", rd=1, rs1=2, imm=5))
+        srliw = decode(_encode("srliw", rd=1, rs1=2, imm=5))
+        assert sraiw.mnemonic == "sraiw"
+        assert srliw.mnemonic == "srliw"
+
+    def test_sys_words(self):
+        assert decode(0x00000073).mnemonic == "ecall"
+        assert decode(0x00100073).mnemonic == "ebreak"
+        assert decode(0x0000000F).mnemonic == "fence"
+
+
+class TestInstructionModel:
+    def test_sources_and_destination(self):
+        instr = decode(_encode("add", rd=10, rs1=11, rs2=12))
+        assert instr.sources() == (11, 12)
+        assert instr.destination() == 10
+
+    def test_x0_destination_is_none(self):
+        instr = decode(NOP_WORD)
+        assert instr.destination() is None
+        assert instr.is_nop
+
+    def test_store_has_no_destination(self):
+        instr = decode(_encode("sd", rs1=2, rs2=10, imm=0))
+        assert instr.destination() is None
+        assert instr.sources() == (2, 10)
+
+    def test_text_rendering(self):
+        assert decode(0x00C58533).text() == "add a0, a1, a2"
+        assert decode(NOP_WORD).text() == "addi zero, zero, 0"

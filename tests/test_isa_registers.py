@@ -1,0 +1,79 @@
+"""Unit tests for repro.isa.registers."""
+
+import pytest
+
+from repro.isa.registers import (
+    ABI_NAMES,
+    NUM_REGISTERS,
+    XLEN,
+    XMASK,
+    RegisterError,
+    parse_register,
+    register_name,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestParseRegister:
+    def test_abi_names_round_trip(self):
+        for index, name in enumerate(ABI_NAMES):
+            assert parse_register(name) == index
+
+    def test_numeric_names(self):
+        for index in range(NUM_REGISTERS):
+            assert parse_register("x%d" % index) == index
+
+    def test_fp_alias_is_s0(self):
+        assert parse_register("fp") == parse_register("s0") == 8
+
+    def test_case_insensitive(self):
+        assert parse_register("A0") == 10
+        assert parse_register(" sp ") == 2
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(RegisterError):
+            parse_register("q7")
+
+    def test_out_of_range_numeric_raises(self):
+        with pytest.raises(RegisterError):
+            parse_register("x32")
+
+
+class TestRegisterName:
+    def test_canonical_names(self):
+        assert register_name(0) == "zero"
+        assert register_name(1) == "ra"
+        assert register_name(2) == "sp"
+        assert register_name(31) == "t6"
+
+    def test_out_of_range(self):
+        with pytest.raises(RegisterError):
+            register_name(32)
+        with pytest.raises(RegisterError):
+            register_name(-1)
+
+    def test_full_round_trip(self):
+        for index in range(NUM_REGISTERS):
+            assert parse_register(register_name(index)) == index
+
+
+class TestSignConversions:
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(XMASK) == -1
+        assert to_signed(1 << (XLEN - 1)) == -(1 << (XLEN - 1))
+
+    def test_to_signed_narrow(self):
+        assert to_signed(0xFF, bits=8) == -1
+        assert to_signed(0x7F, bits=8) == 127
+
+    def test_to_unsigned_wraps(self):
+        assert to_unsigned(-1) == XMASK
+        assert to_unsigned(1 << XLEN) == 0
+
+    def test_round_trip(self):
+        for value in (0, 1, -1, 2**63 - 1, -2**63, 12345, -99999):
+            assert to_signed(to_unsigned(value)) == value

@@ -1,0 +1,80 @@
+"""APB bridge and slave protocol tests."""
+
+import pytest
+
+from repro.mem.apb import ApbBridge, ApbError, ApbSlave
+
+
+class ScratchSlave(ApbSlave):
+    """A tiny RW register file for protocol testing."""
+
+    window = 0x10
+
+    def __init__(self):
+        self.regs = {0x0: 0, 0x4: 0, 0x8: 0, 0xC: 0}
+
+    def read_register(self, offset):
+        if offset not in self.regs:
+            raise ApbError("bad offset")
+        return self.regs[offset]
+
+    def write_register(self, offset, value):
+        if offset not in self.regs:
+            raise ApbError("bad offset")
+        self.regs[offset] = value
+
+
+class TestBridge:
+    def test_attach_and_access(self):
+        bridge = ApbBridge(base=0xFC000000)
+        base = bridge.attach(ScratchSlave(), 0x100, "scratch")
+        assert base == 0xFC000100
+        bridge.write(base + 4, 0xAB)
+        assert bridge.read(base + 4) == 0xAB
+
+    def test_values_masked_to_32_bits(self):
+        bridge = ApbBridge()
+        base = bridge.attach(ScratchSlave(), 0)
+        bridge.write(base, 0x1_2345_6789)
+        assert bridge.read(base) == 0x2345_6789
+
+    def test_unmapped_address_raises(self):
+        bridge = ApbBridge()
+        bridge.attach(ScratchSlave(), 0)
+        with pytest.raises(ApbError):
+            bridge.read(bridge.base + 0x1000)
+
+    def test_misaligned_access_raises(self):
+        bridge = ApbBridge()
+        base = bridge.attach(ScratchSlave(), 0)
+        with pytest.raises(ApbError):
+            bridge.read(base + 2)
+        with pytest.raises(ApbError):
+            bridge.write(base + 1, 0)
+
+    def test_overlapping_windows_rejected(self):
+        bridge = ApbBridge()
+        bridge.attach(ScratchSlave(), 0)
+        with pytest.raises(ApbError):
+            bridge.attach(ScratchSlave(), 0x8)  # inside first window
+
+    def test_multiple_slaves_decode_independently(self):
+        bridge = ApbBridge()
+        base_a = bridge.attach(ScratchSlave(), 0x00, "a")
+        base_b = bridge.attach(ScratchSlave(), 0x40, "b")
+        bridge.write(base_a, 1)
+        bridge.write(base_b, 2)
+        assert bridge.read(base_a) == 1
+        assert bridge.read(base_b) == 2
+
+    def test_slaves_listing(self):
+        bridge = ApbBridge()
+        bridge.attach(ScratchSlave(), 0x00, "a")
+        bridge.attach(ScratchSlave(), 0x40, "b")
+        assert set(bridge.slaves()) == {"a", "b"}
+
+    def test_base_slave_errors_propagate(self):
+        bridge = ApbBridge()
+        base = bridge.attach(ApbSlave(), 0)
+        with pytest.raises(ApbError):
+            bridge.read(base)

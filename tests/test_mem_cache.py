@@ -1,0 +1,108 @@
+"""Unit tests for the tag-only cache model."""
+
+import pytest
+
+from repro.mem.cache import Cache, CacheConfig
+
+
+def small_cache(ways=2, sets=4, line=32):
+    return Cache(CacheConfig(size=line * ways * sets, line_size=line,
+                             ways=ways))
+
+
+class TestConfig:
+    def test_num_sets(self):
+        config = CacheConfig(size=4096, line_size=32, ways=2)
+        assert config.num_sets == 64
+
+    def test_bad_line_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=4096, line_size=24, ways=2)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=4097, line_size=32, ways=2)
+
+
+class TestLookupFill:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.lookup(0x100)
+        cache.fill(0x100)
+        assert cache.lookup(0x100)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_different_offsets_hit(self):
+        cache = small_cache()
+        cache.fill(0x100)
+        assert cache.lookup(0x11F)  # same 32-byte line
+        assert not cache.lookup(0x120)  # next line
+
+    def test_line_address(self):
+        cache = small_cache()
+        assert cache.line_address(0x11F) == 0x100
+        assert cache.line_address(0x120) == 0x120
+
+    def test_probe_has_no_side_effects(self):
+        cache = small_cache()
+        cache.fill(0x100)
+        hits, misses = cache.stats.hits, cache.stats.misses
+        assert cache.probe(0x100)
+        assert not cache.probe(0x200)
+        assert cache.stats.hits == hits
+        assert cache.stats.misses == misses
+
+
+class TestLru:
+    def test_eviction_order(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.fill(0x000)
+        cache.fill(0x020)
+        cache.fill(0x040)  # evicts 0x000 (LRU)
+        assert not cache.probe(0x000)
+        assert cache.probe(0x020)
+        assert cache.probe(0x040)
+
+    def test_lookup_refreshes_lru(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.fill(0x000)
+        cache.fill(0x020)
+        cache.lookup(0x000)  # 0x000 becomes MRU
+        cache.fill(0x040)    # evicts 0x020
+        assert cache.probe(0x000)
+        assert not cache.probe(0x020)
+
+    def test_set_isolation(self):
+        cache = small_cache(ways=1, sets=2)
+        cache.fill(0x000)  # set 0
+        cache.fill(0x020)  # set 1
+        assert cache.probe(0x000)
+        assert cache.probe(0x020)
+        cache.fill(0x040)  # set 0 again: evicts 0x000 only
+        assert not cache.probe(0x000)
+        assert cache.probe(0x020)
+
+
+class TestManagement:
+    def test_invalidate_all(self):
+        cache = small_cache()
+        cache.fill(0x100)
+        cache.fill(0x200)
+        cache.invalidate_all()
+        assert cache.resident_lines() == 0
+        assert not cache.probe(0x100)
+
+    def test_resident_lines(self):
+        cache = small_cache()
+        assert cache.resident_lines() == 0
+        cache.fill(0x100)
+        cache.fill(0x100)  # refill same line: still one resident
+        assert cache.resident_lines() == 1
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.lookup(0x100)
+        cache.fill(0x100)
+        cache.lookup(0x100)
+        assert cache.stats.miss_rate == 0.5

@@ -1,0 +1,72 @@
+"""Unit tests for the functional memory."""
+
+import pytest
+
+from repro.mem.memory import Memory, MemoryError_, PAGE_SIZE
+
+
+class TestScalarAccess:
+    def test_uninitialised_reads_zero(self):
+        mem = Memory()
+        assert mem.read(0x1000, 8) == 0
+
+    def test_write_read_round_trip(self):
+        mem = Memory()
+        for size in (1, 2, 4, 8):
+            value = (1 << (8 * size)) - 3
+            mem.write(0x2000, value, size)
+            assert mem.read(0x2000, size) == value
+
+    def test_write_masks_to_size(self):
+        mem = Memory()
+        mem.write(0x100, 0x1_FF, 1)
+        assert mem.read(0x100, 1) == 0xFF
+
+    def test_little_endian_layout(self):
+        mem = Memory()
+        mem.write(0x100, 0x0102030405060708, 8)
+        assert mem.read(0x100, 1) == 0x08
+        assert mem.read(0x107, 1) == 0x01
+        assert mem.read(0x100, 4) == 0x05060708
+
+    def test_misaligned_access_raises(self):
+        mem = Memory()
+        with pytest.raises(MemoryError_):
+            mem.read(0x101, 2)
+        with pytest.raises(MemoryError_):
+            mem.write(0x102, 0, 4)
+        with pytest.raises(MemoryError_):
+            mem.read(0x104, 8)
+
+    def test_byte_access_any_alignment(self):
+        mem = Memory()
+        mem.write(0x103, 7, 1)
+        assert mem.read(0x103, 1) == 7
+
+
+class TestBlobAccess:
+    def test_blob_round_trip(self):
+        mem = Memory()
+        blob = bytes(range(256))
+        mem.load_blob(0x3000, blob)
+        assert mem.read_blob(0x3000, 256) == blob
+
+    def test_blob_spanning_pages(self):
+        mem = Memory()
+        blob = b"\xAB" * (PAGE_SIZE + 100)
+        start = PAGE_SIZE - 50
+        mem.load_blob(start, blob)
+        assert mem.read_blob(start, len(blob)) == blob
+        assert mem.touched_pages() >= 2
+
+    def test_word_read(self):
+        mem = Memory()
+        mem.load_blob(0x1000, (0x00C58533).to_bytes(4, "little"))
+        assert mem.read_word(0x1000) == 0x00C58533
+
+    def test_distinct_regions_are_independent(self):
+        mem = Memory()
+        mem.write(0x4000_0000, 1, 8)
+        mem.write(0x5000_0000, 2, 8)
+        assert mem.read(0x4000_0000, 8) == 1
+        assert mem.read(0x5000_0000, 8) == 2

@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fifo import HardwareFifo
+from repro.core.history import EpisodeHistogram
+from repro.core.signatures import DataSignatureUnit, SignatureConfig
+from repro.cpu.exec_unit import execute_alu
+from repro.isa.decoder import decode
+from repro.isa.encoder import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import SPECS
+from repro.mem.memory import Memory
+
+MASK = (1 << 64) - 1
+
+regs = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+u64 = st.integers(min_value=0, max_value=MASK)
+
+
+# --- encode/decode round trip -------------------------------------------------
+
+@given(rd=regs, rs1=regs, rs2=regs,
+       name=st.sampled_from(["add", "sub", "sll", "slt", "sltu", "xor",
+                             "srl", "sra", "or", "and", "mul", "div",
+                             "rem", "addw", "subw", "mulw"]))
+def test_r_type_round_trip(name, rd, rs1, rs2):
+    instr = Instruction(SPECS[name], rd=rd, rs1=rs1, rs2=rs2)
+    back = decode(encode(instr))
+    assert (back.mnemonic, back.rd, back.rs1, back.rs2) == \
+        (name, rd, rs1, rs2)
+
+
+@given(rd=regs, rs1=regs, imm=imm12,
+       name=st.sampled_from(["addi", "slti", "sltiu", "xori", "ori",
+                             "andi", "addiw", "ld", "lw", "lh", "lb",
+                             "lbu", "lhu", "lwu", "jalr"]))
+def test_i_type_round_trip(name, rd, rs1, imm):
+    instr = Instruction(SPECS[name], rd=rd, rs1=rs1, imm=imm)
+    back = decode(encode(instr))
+    assert (back.mnemonic, back.rd, back.rs1, back.imm) == \
+        (name, rd, rs1, imm)
+
+
+@given(rs1=regs, rs2=regs, imm=imm12,
+       name=st.sampled_from(["sb", "sh", "sw", "sd"]))
+def test_s_type_round_trip(name, rs1, rs2, imm):
+    instr = Instruction(SPECS[name], rs1=rs1, rs2=rs2, imm=imm)
+    back = decode(encode(instr))
+    assert (back.mnemonic, back.rs1, back.rs2, back.imm) == \
+        (name, rs1, rs2, imm)
+
+
+@given(rs1=regs, rs2=regs,
+       imm=st.integers(min_value=-2048, max_value=2047).map(lambda i:
+                                                            i * 2),
+       name=st.sampled_from(["beq", "bne", "blt", "bge", "bltu",
+                             "bgeu"]))
+def test_b_type_round_trip(name, rs1, rs2, imm):
+    instr = Instruction(SPECS[name], rs1=rs1, rs2=rs2, imm=imm)
+    back = decode(encode(instr))
+    assert (back.mnemonic, back.rs1, back.rs2, back.imm) == \
+        (name, rs1, rs2, imm)
+
+
+@given(rd=regs,
+       imm=st.integers(min_value=-(1 << 19),
+                       max_value=(1 << 19) - 1).map(lambda i: i * 2))
+def test_jal_round_trip(rd, imm):
+    instr = Instruction(SPECS["jal"], rd=rd, imm=imm)
+    back = decode(encode(instr))
+    assert (back.rd, back.imm) == (rd, imm)
+
+
+# --- ALU semantics against Python oracles -------------------------------------
+
+@given(a=u64, b=u64)
+def test_add_sub_inverse(a, b):
+    instr_add = Instruction(SPECS["add"], rd=1, rs1=2, rs2=3)
+    instr_sub = Instruction(SPECS["sub"], rd=1, rs1=2, rs2=3)
+    total = execute_alu(instr_add, a, b)
+    assert execute_alu(instr_sub, total, b) == a
+
+
+@given(a=u64, b=u64)
+def test_mul_matches_python(a, b):
+    instr = Instruction(SPECS["mul"], rd=1, rs1=2, rs2=3)
+    assert execute_alu(instr, a, b) == (a * b) & MASK
+
+
+@given(a=u64, b=st.integers(min_value=1, max_value=MASK))
+def test_divu_remu_reconstruct(a, b):
+    divu = Instruction(SPECS["divu"], rd=1, rs1=2, rs2=3)
+    remu = Instruction(SPECS["remu"], rd=1, rs1=2, rs2=3)
+    q = execute_alu(divu, a, b)
+    r = execute_alu(remu, a, b)
+    assert (q * b + r) & MASK == a
+    assert r < b
+
+
+@given(a=u64, b=u64)
+def test_div_rem_signed_reconstruct(a, b):
+    div = Instruction(SPECS["div"], rd=1, rs1=2, rs2=3)
+    rem = Instruction(SPECS["rem"], rd=1, rs1=2, rs2=3)
+    q = execute_alu(div, a, b)
+    r = execute_alu(rem, a, b)
+    if b != 0:
+        assert (q * b + r) & MASK == a
+
+
+@given(a=u64, shamt=st.integers(min_value=0, max_value=63))
+def test_shift_pairs(a, shamt):
+    slli = Instruction(SPECS["slli"], rd=1, rs1=2, imm=shamt)
+    srli = Instruction(SPECS["srli"], rd=1, rs1=2, imm=shamt)
+    assert execute_alu(slli, a, 0) == (a << shamt) & MASK
+    assert execute_alu(srli, a, 0) == a >> shamt
+
+
+# --- FIFO invariants ----------------------------------------------------------
+
+@given(values=st.lists(st.integers(), min_size=0, max_size=50),
+       depth=st.integers(min_value=1, max_value=10))
+def test_fifo_keeps_last_n(values, depth):
+    fifo = HardwareFifo(depth)
+    for value in values:
+        fifo.push(value)
+    expected = ([0] * depth + values)[-depth:]
+    assert fifo.contents() == tuple(expected)
+
+
+@given(values=st.lists(st.tuples(st.integers(), st.booleans()),
+                       max_size=50),
+       depth=st.integers(min_value=1, max_value=8))
+def test_fifo_hold_never_changes_contents(values, depth):
+    fifo = HardwareFifo(depth)
+    for value, hold in values:
+        before = fifo.contents()
+        fifo.push(value, hold=hold)
+        if hold:
+            assert fifo.contents() == before
+    assert len(fifo.contents()) == depth
+
+
+# --- Data-signature invariants -------------------------------------------------
+
+samples = st.lists(
+    st.lists(st.tuples(st.integers(0, 1), st.integers(0, MASK)),
+             min_size=4, max_size=4),
+    min_size=0, max_size=30)
+
+
+@given(stream=samples)
+def test_identical_streams_never_diverse(stream):
+    """No false diversity: identical port streams compare equal."""
+    config = SignatureConfig(num_ports=4, ds_depth=5)
+    a, b = DataSignatureUnit(config), DataSignatureUnit(config)
+    for cycle_samples in stream:
+        a.sample(cycle_samples)
+        b.sample(cycle_samples)
+        assert a.equal(b)
+
+
+@given(stream=samples.filter(lambda s: len(s) >= 1),
+       flip_bit=st.integers(0, 63))
+def test_any_recent_difference_is_diverse(stream, flip_bit):
+    """No false negatives within the window: any difference in the
+    last n samples makes the signatures differ."""
+    config = SignatureConfig(num_ports=4, ds_depth=5)
+    a, b = DataSignatureUnit(config), DataSignatureUnit(config)
+    for cycle_samples in stream[:-1]:
+        a.sample(cycle_samples)
+        b.sample(cycle_samples)
+    last = stream[-1]
+    mutated = [(last[0][0], last[0][1] ^ (1 << flip_bit))] + last[1:]
+    a.sample(last)
+    b.sample(mutated)
+    assert not a.equal(b)
+
+
+@given(stream=samples, extra=st.integers(5, 20))
+def test_difference_expires_after_window(stream, extra):
+    config = SignatureConfig(num_ports=4, ds_depth=5)
+    a, b = DataSignatureUnit(config), DataSignatureUnit(config)
+    a.sample([(1, 1), (0, 0), (0, 0), (0, 0)])
+    b.sample([(1, 2), (0, 0), (0, 0), (0, 0)])
+    idle = [(0, 0)] * 4
+    for _ in range(extra):
+        a.sample(idle)
+        b.sample(idle)
+    assert a.equal(b)
+
+
+# --- histogram invariants --------------------------------------------------------
+
+@given(pattern=st.lists(st.booleans(), max_size=200),
+       bin_size=st.integers(1, 8))
+def test_histogram_cycle_conservation(pattern, bin_size):
+    hist = EpisodeHistogram(bin_size=bin_size, num_bins=16)
+    for value in pattern:
+        hist.sample(value)
+    hist.finish()
+    assert hist.total_cycles == sum(pattern)
+    # episode count equals the number of True-runs
+    runs = 0
+    previous = False
+    for value in pattern:
+        if value and not previous:
+            runs += 1
+        previous = value
+    assert hist.episodes == runs
+    assert sum(hist.bins) == runs
+
+
+# --- memory invariants -------------------------------------------------------------
+
+@given(address=st.integers(0, 1 << 40).map(lambda a: a & ~7),
+       value=u64,
+       size=st.sampled_from([1, 2, 4, 8]))
+def test_memory_write_read_round_trip(address, value, size):
+    mem = Memory()
+    mem.write(address, value, size)
+    assert mem.read(address, size) == value & ((1 << (8 * size)) - 1)
+
+
+@given(address=st.integers(0, 1 << 30).map(lambda a: a & ~7),
+       first=u64, second=u64)
+def test_memory_last_write_wins(address, first, second):
+    mem = Memory()
+    mem.write(address, first, 8)
+    mem.write(address, second, 8)
+    assert mem.read(address, 8) == second

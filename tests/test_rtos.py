@@ -1,0 +1,101 @@
+"""Safety-concept tests: FTTI arithmetic and the redundant job runner."""
+
+import pytest
+
+from repro.core.monitor import ReportingMode
+from repro.rtos.safety import FttiTracker
+from repro.rtos.scheduler import PeriodicTask, RedundantJobRunner
+from repro.workloads import program
+
+
+class TestFttiTracker:
+    def test_budget_arithmetic(self):
+        tracker = FttiTracker(period_ms=50, ftti_ms=200)
+        assert tracker.max_consecutive_drops == 3
+
+    def test_ftti_shorter_than_period_rejected(self):
+        with pytest.raises(ValueError):
+            FttiTracker(period_ms=100, ftti_ms=50)
+
+    def test_isolated_drops_are_safe(self):
+        tracker = FttiTracker(period_ms=50, ftti_ms=100)  # 1 drop ok
+        for dropped in (False, True, False, True, False):
+            tracker.record(dropped)
+        assert tracker.safe
+        assert tracker.drop_count == 2
+
+    def test_consecutive_drops_beyond_budget_hazard(self):
+        tracker = FttiTracker(period_ms=50, ftti_ms=100)
+        tracker.record(False)
+        tracker.record(True)
+        tracker.record(True)  # 2 consecutive > budget of 1
+        assert not tracker.safe
+        assert tracker.hazards == [2]
+
+    def test_paper_example_values(self):
+        """50ms period / 200ms FTTI: a single drop preserves safety
+        ('the system still remains safe as long as new job drops do not
+        occur consecutively' beyond the budget)."""
+        tracker = FttiTracker(period_ms=50, ftti_ms=200)
+        pattern = [False, True, True, True, False, True]
+        for dropped in pattern:
+            tracker.record(dropped)
+        assert tracker.safe  # 3 consecutive == budget, not beyond
+        tracker.record(True)
+        tracker.record(True)
+        tracker.record(True)
+        tracker.record(True)
+        assert not tracker.safe
+
+    def test_release_times(self):
+        tracker = FttiTracker(period_ms=50, ftti_ms=200)
+        tracker.record(False)
+        record = tracker.record(False)
+        assert record.release_ms == 50.0
+
+    def test_summary(self):
+        tracker = FttiTracker()
+        tracker.record(True, reason="diversity interrupt")
+        assert "drops=1" in tracker.summary()
+
+
+class TestRedundantJobRunner:
+    @pytest.fixture(scope="class")
+    def task(self):
+        return PeriodicTask(name="brake", program=program("bitonic"),
+                            period_ms=50, ftti_ms=200,
+                            diversity_threshold=1_000_000)
+
+    def test_jobs_complete_without_drops(self, task):
+        runner = RedundantJobRunner(task)
+        outcomes = runner.run(3)
+        assert len(outcomes) == 3
+        assert all(not o.dropped for o in outcomes)
+        assert runner.tracker.safe
+        # deterministic platform: identical job outcomes
+        assert len({o.output for o in outcomes}) == 1
+
+    def test_tight_threshold_drops_jobs(self):
+        """With threshold 1, any no-diversity cycle drops the job —
+        the paper's 'same safety measure as if an error had occurred'
+        strategy."""
+        task = PeriodicTask(name="steer", program=program("bitonic"),
+                            diversity_threshold=1)
+        runner = RedundantJobRunner(task)
+        outcome = runner.run_job(0)
+        assert outcome.dropped
+        assert outcome.interrupts >= 1
+        assert outcome.output is None
+
+    def test_hazard_detection_on_consecutive_drops(self):
+        task = PeriodicTask(name="steer", program=program("bitonic"),
+                            period_ms=50, ftti_ms=100,
+                            diversity_threshold=1)
+        runner = RedundantJobRunner(task)
+        runner.run(3)  # every job drops; budget is 1 consecutive
+        assert not runner.tracker.safe
+
+    def test_summary(self, task):
+        runner = RedundantJobRunner(task)
+        runner.run(1)
+        assert "brake" in runner.summary()

@@ -1,0 +1,92 @@
+"""The pm timing-anomaly mechanism (paper Section V-C).
+
+"... its store operations are kept in its core-local store buffer
+awaiting for the bus to become idle.  However, this allows that
+multiple stores to the same cache line ... are grouped into a single
+transaction in the store buffer, hence reducing the latency to write
+all data."
+
+These tests demonstrate the mechanism in isolation: the same store
+sequence costs *fewer bus transactions* when the bus is busy (stores
+pile up and coalesce) than when the bus is idle (each store drains
+immediately) — so a *delayed* core can complete a store burst with
+less bus work than the head core did.
+"""
+
+from repro.mem.bus import AhbBus, BusTiming
+from repro.mem.cache import CacheConfig
+from repro.mem.store_buffer import StoreBuffer
+
+
+def make_bus():
+    return AhbBus(num_masters=2, timing=BusTiming(),
+                  l2_config=CacheConfig(size=4096, line_size=32, ways=4))
+
+
+def drive_stores(bus, sb, spacing, count, occupy_bus=False,
+                 max_cycles=5000):
+    """Issue ``count`` same-line-pair stores, one every ``spacing``
+    cycles; optionally keep the bus occupied by master 1."""
+    cycle = 0
+    issued = 0
+    hog_request = None
+    while (issued < count or not sb.empty) and cycle < max_cycles:
+        if occupy_bus and (hog_request is None
+                           or hog_request.done(cycle)):
+            hog_request = bus.request_line(1, 0x9000_0000 + cycle * 32,
+                                           cycle)
+        if issued < count and cycle % spacing == 0:
+            assert sb.push(0x1000 + 8 * issued, cycle)
+            issued += 1
+        sb.step(cycle)
+        bus.step(cycle)
+        cycle += 1
+    assert sb.empty, "store buffer failed to drain"
+    return cycle
+
+
+class TestCoalescingAsymmetry:
+    SPACING = 8   # one store every 8 cycles
+    COUNT = 16    # 16 stores over 4 cache lines
+
+    def test_idle_bus_drains_without_coalescing(self):
+        bus = make_bus()
+        sb = StoreBuffer(0, bus, depth=8)
+        drive_stores(bus, sb, self.SPACING, self.COUNT,
+                     occupy_bus=False)
+        # Idle bus: each store drains before the next arrives.
+        assert sb.stats.coalesced == 0
+        assert sb.stats.transactions == self.COUNT
+
+    def test_busy_bus_forces_coalescing(self):
+        bus = make_bus()
+        sb = StoreBuffer(0, bus, depth=8)
+        drive_stores(bus, sb, self.SPACING, self.COUNT,
+                     occupy_bus=True)
+        # Contended bus: stores pile up and merge per line.
+        assert sb.stats.coalesced > 0
+        assert sb.stats.transactions < self.COUNT
+
+    def test_delayed_core_needs_less_bus_work(self):
+        """The anomaly: the delayed ('trail') core finishes the same
+        store burst with fewer bus transactions than the head core —
+        which is how it can catch up and re-synchronise."""
+        idle_bus = make_bus()
+        head = StoreBuffer(0, idle_bus, depth=8)
+        drive_stores(idle_bus, head, self.SPACING, self.COUNT,
+                     occupy_bus=False)
+
+        busy_bus = make_bus()
+        trail = StoreBuffer(0, busy_bus, depth=8)
+        drive_stores(busy_bus, trail, self.SPACING, self.COUNT,
+                     occupy_bus=True)
+
+        assert trail.stats.transactions < head.stats.transactions
+        assert trail.stats.stores_accepted == head.stats.stores_accepted
+
+    def test_coalescing_disabled_removes_the_anomaly(self):
+        bus = make_bus()
+        sb = StoreBuffer(0, bus, depth=16, coalesce=False)
+        drive_stores(bus, sb, self.SPACING, self.COUNT, occupy_bus=True)
+        assert sb.stats.coalesced == 0
+        assert sb.stats.transactions == self.COUNT

@@ -1,0 +1,150 @@
+"""Trace subsystem tests: VCD writer, pipeline tracer, signature trace."""
+
+import pytest
+
+from repro.soc.mpsoc import MPSoC
+from repro.trace.pipeline_trace import PipelineTracer, trace_run
+from repro.trace.signature_trace import (
+    SignatureSample,
+    SignatureTrace,
+    capture_signature_trace,
+)
+from repro.trace.vcd import VcdWriter, monitor_vcd
+from repro.workloads import program
+
+
+class TestVcdWriter:
+    def test_header_and_vars(self):
+        vcd = VcdWriter(module="m")
+        vcd.add_signal("clk", 1)
+        vcd.add_signal("bus", 8)
+        text = vcd.render()
+        assert "$scope module m $end" in text
+        assert "$var wire 1" in text
+        assert "$var wire 8" in text
+        assert "$enddefinitions $end" in text
+
+    def test_changes_rendered_in_time_order(self):
+        vcd = VcdWriter()
+        vcd.add_signal("a", 1)
+        vcd.change(5, "a", 1)
+        vcd.change(2, "a", 0)  # recorded later but earlier time
+        text = vcd.render()
+        assert text.index("#2") < text.index("#5")
+
+    def test_deduplicates_unchanged_values(self):
+        vcd = VcdWriter()
+        vcd.add_signal("a", 1)
+        vcd.change(0, "a", 1)
+        vcd.change(1, "a", 1)  # no change
+        vcd.change(2, "a", 0)
+        assert vcd.render().count("\n1") + vcd.render().count("\n0") >= 1
+        assert len(vcd._changes) == 2
+
+    def test_vector_rendering(self):
+        vcd = VcdWriter()
+        vcd.add_signal("bus", 8)
+        vcd.change(0, "bus", 0xA5)
+        assert "b10100101" in vcd.render()
+
+    def test_duplicate_signal_rejected(self):
+        vcd = VcdWriter()
+        vcd.add_signal("a")
+        with pytest.raises(ValueError):
+            vcd.add_signal("a")
+
+    def test_unknown_signal_rejected(self):
+        vcd = VcdWriter()
+        with pytest.raises(KeyError):
+            vcd.change(0, "ghost", 1)
+
+    def test_save(self, tmp_path):
+        vcd = VcdWriter()
+        vcd.add_signal("a")
+        vcd.change(0, "a", 1)
+        path = tmp_path / "out.vcd"
+        vcd.save(str(path))
+        assert path.read_text().startswith("$date")
+
+
+class TestMonitorVcd:
+    def test_full_run_capture(self):
+        soc = MPSoC()
+        soc.start_redundant(program("countnegative"))
+        vcd = monitor_vcd(soc)
+        text = vcd.render()
+        assert "no_diversity" in text
+        assert "staggering" in text
+        assert "#0" in text or "#1" in text
+
+
+class TestPipelineTracer:
+    def test_trace_lines_have_all_stages(self):
+        soc = MPSoC()
+        soc.start_redundant(program("countnegative"))
+        tracer = trace_run(soc, max_cycles=50)
+        text = tracer.render(last=5)
+        for stage in ("FE", "DE", "RA", "EX", "ME", "XC", "WB"):
+            assert stage + ":" in text
+
+    def test_window_bounds_memory(self):
+        soc = MPSoC()
+        soc.start_redundant(program("countnegative"))
+        tracer = trace_run(soc, max_cycles=200, window=10)
+        assert len(tracer.lines) <= 10 * 2  # two cores
+
+    def test_around_selects_radius(self):
+        soc = MPSoC()
+        soc.start_redundant(program("countnegative"))
+        tracer = trace_run(soc, max_cycles=100)
+        text = tracer.around(50, radius=2)
+        assert "c48" in text and "c52" in text
+        assert "c55" not in text
+
+    def test_hold_flag_rendered(self):
+        soc = MPSoC()
+        soc.start_redundant(program("countnegative"))
+        tracer = trace_run(soc, max_cycles=300)
+        assert any(line.hold for line in tracer.lines)
+
+
+class TestSignatureTrace:
+    def test_capture_and_csv(self):
+        soc = MPSoC()
+        soc.start_redundant(program("countnegative"))
+        trace = capture_signature_trace(soc, max_cycles=500)
+        assert len(trace.samples) == 500
+        csv = trace.to_csv()
+        assert csv.splitlines()[0] == \
+            "cycle,data_diversity,instruction_diversity,diversity," \
+            "staggering"
+        assert len(csv.splitlines()) == 501
+
+    def test_episode_extraction(self):
+        trace = SignatureTrace()
+        # diversity pattern: D D n n n D n D
+        pattern = [True, True, False, False, False, True, False, True]
+        for cycle, diverse in enumerate(pattern):
+            trace.append(SignatureSample(cycle=cycle,
+                                         data_diversity=diverse,
+                                         instruction_diversity=False,
+                                         staggering=0))
+        episodes = trace.no_diversity_episodes()
+        assert episodes == [(2, 3), (6, 1)]
+
+    def test_open_episode_at_end(self):
+        trace = SignatureTrace()
+        for cycle in range(3):
+            trace.append(SignatureSample(cycle=cycle,
+                                         data_diversity=False,
+                                         instruction_diversity=False,
+                                         staggering=0))
+        assert trace.no_diversity_episodes() == [(0, 3)]
+
+    def test_save(self, tmp_path):
+        soc = MPSoC()
+        soc.start_redundant(program("countnegative"))
+        trace = capture_signature_trace(soc, max_cycles=10)
+        path = tmp_path / "sig.csv"
+        trace.save(str(path))
+        assert path.read_text().startswith("cycle,")

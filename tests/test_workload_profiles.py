@@ -1,0 +1,79 @@
+"""Workload dynamic-profile pins.
+
+Table I's per-benchmark variety comes from each kernel's dynamic
+character (memory-dense vs ALU-dense vs divider-bound).  These tests
+pin those profiles so a kernel edit that silently changes its character
+— and hence its Table I row — fails loudly.
+"""
+
+import pytest
+
+from repro.soc.mpsoc import MPSoC
+from repro.workloads import TACLE_KERNELS, program
+
+_PROFILES = {}
+
+
+def profile(name):
+    if name not in _PROFILES:
+        soc = MPSoC()
+        soc.start_redundant(program(name))
+        soc.run(max_cycles=2_000_000)
+        _PROFILES[name] = soc.cores[0].stats
+    return _PROFILES[name]
+
+
+class TestMemoryCharacter:
+    @pytest.mark.parametrize("name", ["pm", "bsort", "insertsort",
+                                      "quicksort", "complex_updates"])
+    def test_memory_dense_kernels(self, name):
+        assert profile(name).memory_fraction > 0.15, name
+
+    def test_matrix1_is_mixed(self):
+        """matrix1's index arithmetic (one mul per element address)
+        dilutes its memory fraction into the mixed regime."""
+        stats = profile("matrix1")
+        assert 0.05 < stats.memory_fraction < 0.20
+        assert stats.committed_muldiv > 0.10 * stats.committed
+
+    @pytest.mark.parametrize("name", ["cubic", "prime", "bitcount"])
+    def test_register_dense_kernels(self, name):
+        """The paper's no-diversity-heavy profile: little memory
+        traffic in the steady state."""
+        assert profile(name).memory_fraction < 0.10, name
+
+
+class TestDividerCharacter:
+    @pytest.mark.parametrize("name", ["prime", "cubic", "ludcmp",
+                                      "minver"])
+    def test_divider_bound_kernels(self, name):
+        stats = profile(name)
+        assert stats.committed_muldiv > 0.01 * stats.committed, name
+        # divider occupancy keeps IPC low
+        assert stats.ipc < 1.0, name
+
+    @pytest.mark.parametrize("name", ["bitcount", "bsort", "pm"])
+    def test_divider_free_kernels(self, name):
+        """No divider in the hot loop; the residual mul/div share is
+        the per-value LCG multiply of the fill phase."""
+        stats = profile(name)
+        assert stats.committed_muldiv < 0.03 * stats.committed, name
+
+
+class TestControlCharacter:
+    @pytest.mark.parametrize("name", ["binarysearch", "bitcount",
+                                      "recursion"])
+    def test_branchy_kernels(self, name):
+        stats = profile(name)
+        assert stats.committed_branches > 0.10 * stats.committed, name
+
+
+class TestScale:
+    @pytest.mark.parametrize("name", TACLE_KERNELS)
+    def test_dynamic_size_within_simulation_budget(self, name):
+        """Kernels stay within the scaled 10^4-10^5-cycle envelope the
+        design document commits to."""
+        stats = profile(name)
+        assert 5_000 <= stats.cycles <= 120_000, \
+            "%s ran %d cycles" % (name, stats.cycles)
+        assert stats.committed >= 4_000, name
