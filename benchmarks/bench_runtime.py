@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Sweep-engine runtime benchmark: serial vs parallel vs warm cache.
+
+Times a fixed 6-kernel mini Table I sweep (12 cells, 24 runs) through
+three configurations of the sweep engine:
+
+* ``serial``   — ``jobs=1``, cache disabled (the reference path),
+* ``parallel`` — ``--jobs`` workers (default 4), cold cache,
+* ``warm``     — same cache directory again, so every run is a hit.
+
+Results (and the machine's honest ``cpu_count`` — on a single-core
+container the parallel pass cannot beat serial, and the numbers will
+say so) are written to ``BENCH_runtime.json`` at the repo root.  The
+three passes must agree cell-for-cell; the bench fails otherwise.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_runtime.py [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.runner import ParallelSweep
+from repro.workloads import all_names
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+OUT_PATH = REPO_ROOT / "BENCH_runtime.json"
+
+#: The six fastest kernels (so the bench stays under a minute) across
+#: distinct categories; fixed so timings are comparable over time.
+MINI_SWEEP_KERNELS = ("cosf", "ludcmp", "fft", "countnegative",
+                      "recursion", "sha")
+MINI_SWEEP_STAGGERS = (0, 100)
+
+
+def _rows_as_dicts(rows):
+    return {name: [dataclasses.asdict(cell) for cell in cells]
+            for name, cells in rows.items()}
+
+
+def _timed_sweep(jobs, cache_dir, use_cache=True):
+    sweep = ParallelSweep(jobs=jobs, use_cache=use_cache,
+                          cache_dir=cache_dir)
+    start = time.perf_counter()
+    rows = sweep.run_table(MINI_SWEEP_KERNELS,
+                           stagger_values=MINI_SWEEP_STAGGERS)
+    return time.perf_counter() - start, _rows_as_dicts(rows), sweep
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="workers for the parallel pass "
+                             "(default: 4)")
+    args = parser.parse_args()
+
+    missing = set(MINI_SWEEP_KERNELS) - set(all_names())
+    assert not missing, "unknown bench kernels: %s" % sorted(missing)
+    runs = len(MINI_SWEEP_KERNELS) * len(MINI_SWEEP_STAGGERS) * 2
+
+    print("mini sweep: %d kernels x %d staggers = %d runs"
+          % (len(MINI_SWEEP_KERNELS), len(MINI_SWEEP_STAGGERS), runs))
+
+    serial_s, serial_rows, _ = _timed_sweep(jobs=1, cache_dir=None,
+                                            use_cache=False)
+    print("serial (jobs=1, no cache):    %6.2fs" % serial_s)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        parallel_s, parallel_rows, _ = _timed_sweep(jobs=args.jobs,
+                                                    cache_dir=tmp)
+        print("parallel (jobs=%d, cold):      %6.2fs"
+              % (args.jobs, parallel_s))
+        warm_s, warm_rows, warm_sweep = _timed_sweep(jobs=args.jobs,
+                                                     cache_dir=tmp)
+        print("warm cache (jobs=%d):          %6.2fs"
+              % (args.jobs, warm_s))
+        assert warm_sweep.cache.hits == runs, \
+            "warm pass expected %d hits, got %d" \
+            % (runs, warm_sweep.cache.hits)
+
+    assert parallel_rows == serial_rows, \
+        "parallel sweep diverged from serial"
+    assert warm_rows == serial_rows, "cached sweep diverged from serial"
+    print("determinism: serial == parallel == warm, cell-for-cell")
+
+    report = {
+        "kernels": list(MINI_SWEEP_KERNELS),
+        "stagger_values": list(MINI_SWEEP_STAGGERS),
+        "runs": runs,
+        "cpu_count": os.cpu_count(),
+        "jobs": args.jobs,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "warm_cache_seconds": round(warm_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "warm_cache_speedup": round(serial_s / warm_s, 3),
+        "seconds_per_run_serial": round(serial_s / runs, 4),
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print("parallel speedup %.2fx, warm-cache speedup %.2fx "
+          "(cpu_count=%s)"
+          % (report["parallel_speedup"], report["warm_cache_speedup"],
+             report["cpu_count"]))
+    print("wrote %s" % OUT_PATH)
+
+
+if __name__ == "__main__":
+    main()

@@ -3,22 +3,26 @@
 
 Reproduces the paper's main table with the full repetition protocol
 (arbiter variants for 0 nops; both late-core choices for staggered
-runs; max over runs per cell).  Takes a few minutes in full mode.
+runs; max over runs per cell).  Runs are fanned out across worker
+processes and cached by content, so a repeated sweep is nearly
+instant; results are bit-for-bit identical to the serial path.
 
 Usage:
     python examples/table1_sweep.py                # all 29 kernels
     python examples/table1_sweep.py cubic pm md5   # selected kernels
     python examples/table1_sweep.py --csv out.csv  # also write CSV
+    python examples/table1_sweep.py --jobs 1       # serial reference
+    python examples/table1_sweep.py --no-cache     # force re-simulation
 """
 
 import argparse
-import sys
 import time
 
 from repro.analysis.stats import monotonic_decay, summarize_sweep
 from repro.analysis.tables import format_table1, format_table1_csv
-from repro.soc.experiment import PAPER_STAGGER_VALUES, run_row
-from repro.workloads import all_names, program
+from repro.runner import ParallelSweep
+from repro.soc.experiment import PAPER_STAGGER_VALUES
+from repro.workloads import all_names
 
 
 def main():
@@ -27,6 +31,11 @@ def main():
                         help="kernel names (default: all 29)")
     parser.add_argument("--csv", default=None,
                         help="also write the table as CSV")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: all cores; "
+                             "1 = serial in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not populate the run cache")
     args = parser.parse_args()
 
     names = args.kernels or all_names()
@@ -34,15 +43,10 @@ def main():
     if unknown:
         parser.error("unknown kernels: %s" % ", ".join(sorted(unknown)))
 
-    rows = {}
     start = time.time()
-    for index, name in enumerate(names, start=1):
-        row_start = time.time()
-        rows[name] = run_row(program(name), name,
-                             stagger_values=PAPER_STAGGER_VALUES)
-        print("[%2d/%d] %-16s done in %5.1fs"
-              % (index, len(names), name, time.time() - row_start),
-              file=sys.stderr)
+    sweep = ParallelSweep(jobs=args.jobs, use_cache=not args.no_cache,
+                          progress=True)
+    rows = sweep.run_table(names, stagger_values=PAPER_STAGGER_VALUES)
 
     print()
     print(format_table1(rows, PAPER_STAGGER_VALUES))

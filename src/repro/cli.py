@@ -5,7 +5,8 @@ Commands:
 * ``run <kernel> [--stagger N] [--late-core {0,1}]`` — one redundant
   run with SafeDM counters.
 * ``row <kernel>`` — one full Table I row (all staggering setups).
-* ``table1 [kernels...]`` — the Table I sweep (all 29 by default).
+* ``table1 [kernels...] [--jobs N] [--no-cache]`` — the Table I sweep
+  (all 29 by default), parallel across cores and run-cached.
 * ``list`` — available kernels with category and description.
 * ``figures`` — regenerate Figs. 1-4 as structural descriptions.
 * ``overheads`` — the Section V-D area/power numbers.
@@ -58,15 +59,13 @@ def _cmd_row(args) -> int:
 
 def _cmd_table1(args) -> int:
     from .analysis.tables import format_table1, format_table1_csv
-    from .soc.experiment import PAPER_STAGGER_VALUES, run_row
-    from .workloads import all_names, program
+    from .runner import ParallelSweep
+    from .soc.experiment import PAPER_STAGGER_VALUES
+    from .workloads import all_names
     names = args.kernels or all_names()
-    rows = {}
-    for index, name in enumerate(names, start=1):
-        print("[%2d/%d] %s" % (index, len(names), name),
-              file=sys.stderr)
-        rows[name] = run_row(program(name), name,
-                             stagger_values=PAPER_STAGGER_VALUES)
+    sweep = ParallelSweep(jobs=args.jobs, use_cache=not args.no_cache,
+                          progress=True)
+    rows = sweep.run_table(names, stagger_values=PAPER_STAGGER_VALUES)
     print(format_table1(rows, PAPER_STAGGER_VALUES))
     if args.csv:
         with open(args.csv, "w") as handle:
@@ -154,6 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1 = sub.add_parser("table1", help="Table I sweep")
     p_t1.add_argument("kernels", nargs="*")
     p_t1.add_argument("--csv", default=None)
+    p_t1.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="worker processes (default: all cores; "
+                           "1 = serial in-process)")
+    p_t1.add_argument("--no-cache", action="store_true",
+                      help="ignore and do not populate the run cache")
     p_t1.set_defaults(func=_cmd_table1)
 
     sub.add_parser("figures", help="regenerate Figs. 1-4") \

@@ -10,7 +10,7 @@ FIFOs if the pipeline is stalled", paper Section IV-B.1).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Tuple
+from typing import Deque, Optional, Tuple
 
 
 class HardwareFifo:
@@ -19,7 +19,14 @@ class HardwareFifo:
     Entries are arbitrary hashable values (register-port samples or
     instruction words).  On reset all entries are zeroed, like flop
     reset in the VHDL implementation.
+
+    ``contents()`` is called on every comparison in signature-style
+    use, so the snapshot tuple is cached and invalidated only when a
+    push actually lands (holds keep both the contents and the cache).
     """
+
+    __slots__ = ("depth", "reset_value", "_entries", "_contents_cache",
+                 "pushes", "held_cycles")
 
     def __init__(self, depth: int, reset_value=0):
         if depth < 1:
@@ -27,6 +34,7 @@ class HardwareFifo:
         self.depth = depth
         self.reset_value = reset_value
         self._entries: Deque = deque([reset_value] * depth, maxlen=depth)
+        self._contents_cache: Optional[Tuple] = None
         self.pushes = 0
         self.held_cycles = 0
 
@@ -36,11 +44,15 @@ class HardwareFifo:
             self.held_cycles += 1
             return
         self._entries.append(value)
+        self._contents_cache = None
         self.pushes += 1
 
     def contents(self) -> Tuple:
         """Snapshot of all entries, oldest first."""
-        return tuple(self._entries)
+        cached = self._contents_cache
+        if cached is None:
+            cached = self._contents_cache = tuple(self._entries)
+        return cached
 
     @property
     def newest(self):
@@ -53,6 +65,7 @@ class HardwareFifo:
     def reset(self):
         self._entries = deque([self.reset_value] * self.depth,
                               maxlen=self.depth)
+        self._contents_cache = None
 
     def __len__(self) -> int:
         return self.depth

@@ -19,6 +19,9 @@ from typing import Dict, List
 class EpisodeHistogram:
     """Histogram of consecutive-cycle episode lengths."""
 
+    __slots__ = ("bin_size", "num_bins", "bins", "total_cycles",
+                 "episodes", "longest", "_run")
+
     def __init__(self, bin_size: int = 1, num_bins: int = 32):
         if bin_size < 1:
             raise ValueError("bin_size must be >= 1")
@@ -83,16 +86,24 @@ class HistoryModule:
         for name in self.CONDITIONS:
             self.histograms[name] = EpisodeHistogram(self.bin_size,
                                                      self.num_bins)
+        self._bind()
+
+    def _bind(self):
+        # Pre-bound histogram references: sample() runs every monitored
+        # cycle and must not pay four dict lookups each time.
+        self._no_data = self.histograms["no_data_diversity"]
+        self._no_instr = self.histograms["no_instruction_diversity"]
+        self._no_div = self.histograms["no_diversity"]
+        self._zero_stag = self.histograms["zero_staggering"]
 
     def sample(self, *, no_data_diversity: bool,
                no_instruction_diversity: bool, no_diversity: bool,
                zero_staggering: bool):
         """Clock one cycle of monitor outputs."""
-        self.histograms["no_data_diversity"].sample(no_data_diversity)
-        self.histograms["no_instruction_diversity"].sample(
-            no_instruction_diversity)
-        self.histograms["no_diversity"].sample(no_diversity)
-        self.histograms["zero_staggering"].sample(zero_staggering)
+        self._no_data.sample(no_data_diversity)
+        self._no_instr.sample(no_instruction_diversity)
+        self._no_div.sample(no_diversity)
+        self._zero_stag.sample(zero_staggering)
 
     def finish(self):
         for histogram in self.histograms.values():

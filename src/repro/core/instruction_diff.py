@@ -24,21 +24,24 @@ class InstructionDiffStats:
 class InstructionDiff:
     """Commit-difference counter between two cores."""
 
+    __slots__ = ("diff", "stats")
+
     def __init__(self):
         self.diff = 0
         self.stats = InstructionDiffStats()
 
     def sample(self, commits_core0: int, commits_core1: int):
         """Clock one cycle of commit activity from both cores."""
-        self.diff += commits_core0 - commits_core1
+        diff = self.diff + commits_core0 - commits_core1
+        self.diff = diff
         stats = self.stats
         stats.sampled_cycles += 1
-        if self.diff == 0:
+        if diff == 0:
             stats.zero_staggering_cycles += 1
-        if self.diff < stats.min_diff:
-            stats.min_diff = self.diff
-        if self.diff > stats.max_diff:
-            stats.max_diff = self.diff
+        if diff < stats.min_diff:
+            stats.min_diff = diff
+        elif diff > stats.max_diff:
+            stats.max_diff = diff
 
     @property
     def zero_staggering(self) -> bool:

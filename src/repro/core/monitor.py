@@ -109,6 +109,7 @@ class DiversityMonitor:
         self.mode = mode
         self.threshold = threshold
         self.enabled = True
+        self._per_stage = self.config.is_variant is IsVariant.PER_STAGE
         self.ds_units = (DataSignatureUnit(self.config),
                          DataSignatureUnit(self.config))
         self.is_units = (InstructionSignatureUnit(self.config),
@@ -117,7 +118,24 @@ class DiversityMonitor:
         self.history = history
         self.irq = InterruptLine("safedm")
         self.stats = MonitorStats()
-        self.last_report: Optional[CycleReport] = None
+        # Last-report fields are kept unpacked and materialized into a
+        # CycleReport lazily: the hot loop ticks every cycle, but only
+        # tracing/APB readers ever look at the report object.
+        self._have_report = False
+        self._last_cycle = 0
+        self._last_data_div = False
+        self._last_instr_div = False
+        self._last_stagger = 0
+
+    @property
+    def last_report(self) -> Optional[CycleReport]:
+        """The most recent cycle's report (None before the first tick)."""
+        if not self._have_report:
+            return None
+        return CycleReport(cycle=self._last_cycle,
+                           data_diversity=self._last_data_div,
+                           instruction_diversity=self._last_instr_div,
+                           staggering=self._last_stagger)
 
     # -- low-level clocking (used directly by unit tests) ------------------
 
@@ -158,14 +176,20 @@ class DiversityMonitor:
         ds0, ds1 = self.ds_units
         is0, is1 = self.is_units
         hold0, hold1 = core0.hold, core1.hold
-        ds0.sample(core0.regfile.port_samples(), hold=hold0)
-        ds1.sample(core1.regfile.port_samples(), hold=hold1)
-        if self.config.is_variant is IsVariant.PER_STAGE:
-            is0.sample_stage_words(core0.stage_words(), hold=hold0)
-            is1.sample_stage_words(core1.stage_words(), hold=hold1)
+        if not hold0:
+            ds0.sample(core0.regfile.port_samples())
+        if not hold1:
+            ds1.sample(core1.regfile.port_samples())
+        if self._per_stage:
+            if not hold0:
+                is0.sample_stage_words(core0.stage_words())
+            if not hold1:
+                is1.sample_stage_words(core1.stage_words())
         else:
-            is0.sample_inflight(core0.inflight_words(), hold=hold0)
-            is1.sample_inflight(core1.inflight_words(), hold=hold1)
+            if not hold0:
+                is0.sample_inflight(core0.inflight_words())
+            if not hold1:
+                is1.sample_inflight(core1.inflight_words())
         self._tick(cycle, not ds0.equal(ds1), not is0.equal(is1),
                    core0.commits_this_cycle, core1.commits_this_cycle)
 
@@ -174,7 +198,8 @@ class DiversityMonitor:
     def _tick(self, cycle: int, data_div: bool, instr_div: bool,
               commits0: int, commits1: int):
         """Account one monitored cycle (shared by observe and compare)."""
-        self.instruction_diff.sample(commits0, commits1)
+        diff_unit = self.instruction_diff
+        diff_unit.sample(commits0, commits1)
         stats = self.stats
         stats.sampled_cycles += 1
         no_data = not data_div
@@ -187,15 +212,17 @@ class DiversityMonitor:
         if no_div:
             stats.no_diversity_cycles += 1
             self._report_loss(cycle)
-        zero_stag = self.instruction_diff.diff == 0
+        diff = diff_unit.diff
         if self.history is not None:
             self.history.sample(no_data_diversity=no_data,
                                 no_instruction_diversity=no_instr,
                                 no_diversity=no_div,
-                                zero_staggering=zero_stag)
-        self.last_report = CycleReport(cycle=cycle, data_diversity=data_div,
-                                       instruction_diversity=instr_div,
-                                       staggering=self.instruction_diff.diff)
+                                zero_staggering=diff == 0)
+        self._have_report = True
+        self._last_cycle = cycle
+        self._last_data_div = data_div
+        self._last_instr_div = instr_div
+        self._last_stagger = diff
 
     def _report_loss(self, cycle: int):
         if self.mode is ReportingMode.POLLING:
@@ -230,7 +257,7 @@ class DiversityMonitor:
             self.history.reset()
         self.irq.reset()
         self.stats = MonitorStats()
-        self.last_report = None
+        self._have_report = False
 
     def block_diagram(self) -> str:
         """Fig. 4-style description of the monitor's internal blocks."""

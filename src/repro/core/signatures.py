@@ -18,15 +18,39 @@ FIFO of fetched-but-not-retired instructions — is available as
 
 Implementation note: units expose both a tuple-building ``signature()``
 (introspection, tests) and an ``equal()`` fast path used by the
-cycle-loop monitor; both views are always consistent.
+cycle-loop monitor; both views are always consistent.  ``equal()``
+compares *rolling digests* maintained incrementally on each sample —
+O(1) per cycle instead of re-tupling every FIFO — which is an
+observer-side optimization: the digest is a pure function of the
+signature contents, so digest equality tracks signature equality (the
+full structural comparison is retained as an assert behind
+:func:`set_debug_checks` / ``SAFEDM_DEBUG_SIGNATURES=1``).
 """
 
 from __future__ import annotations
 
 import enum
+import os
 from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
+
+#: When True, every fast-path digest comparison is cross-checked
+#: against the full structural signature comparison (slow path).
+DEBUG_SIGNATURE_CHECKS = os.environ.get("SAFEDM_DEBUG_SIGNATURES",
+                                        "") == "1"
+
+
+def set_debug_checks(enabled: bool):
+    """Enable/disable the fast-path-vs-slow-path equality assert."""
+    global DEBUG_SIGNATURE_CHECKS
+    DEBUG_SIGNATURE_CHECKS = bool(enabled)
+
+
+#: Rolling-digest parameters: polynomial hash over per-cycle row
+#: hashes, modulo a Mersenne prime (fast reduction, 61-bit space).
+_DIGEST_MOD = (1 << 61) - 1
+_DIGEST_BASE = 0x9E3779B97F4A7C15 % _DIGEST_MOD
 
 
 class IsVariant(enum.Enum):
@@ -64,15 +88,49 @@ IDLE = (0, 0)
 
 
 class DataSignatureUnit:
-    """Per-register-port FIFOs feeding the Data Signature (Fig. 2a)."""
+    """Per-register-port FIFOs feeding the Data Signature (Fig. 2a).
+
+    In the paper's every-cycle sampling mode all port FIFOs shift in
+    lockstep, so the unit stores one *row* (the tuple of port samples)
+    per cycle and keeps a rolling digest over the row window; ``equal``
+    is then a single integer comparison.  The activity-sampling
+    ablation mode keeps the legacy per-port FIFOs (ports shift
+    independently there, so no shared row window exists).
+    """
+
+    __slots__ = ("config", "_every_cycle", "_num_ports", "_rows",
+                 "_row_hashes", "_digest", "_evict_weight", "_fifos")
 
     def __init__(self, config: SignatureConfig):
         self.config = config
-        self._fifos: List[deque] = [
-            deque([IDLE] * config.ds_depth, maxlen=config.ds_depth)
-            for _ in range(config.num_ports)
-        ]
         self._every_cycle = config.sample_every_cycle
+        self._num_ports = config.num_ports
+        if self._every_cycle:
+            self._fifos = None
+            #: Weight of the about-to-be-evicted (oldest) row hash.
+            self._evict_weight = pow(_DIGEST_BASE, config.ds_depth - 1,
+                                     _DIGEST_MOD)
+            self._init_rows()
+        else:
+            self._rows = None
+            self._row_hashes = None
+            self._digest = None
+            self._evict_weight = None
+            self._fifos: List[deque] = [
+                deque([IDLE] * config.ds_depth, maxlen=config.ds_depth)
+                for _ in range(config.num_ports)
+            ]
+
+    def _init_rows(self):
+        depth = self.config.ds_depth
+        idle_row = (IDLE,) * self._num_ports
+        self._rows = deque([idle_row] * depth, maxlen=depth)
+        h = hash(idle_row) % _DIGEST_MOD
+        self._row_hashes = deque([h] * depth, maxlen=depth)
+        digest = 0
+        for _ in range(depth):
+            digest = (digest * _DIGEST_BASE + h) % _DIGEST_MOD
+        self._digest = digest
 
     def sample(self, port_samples: Sequence[Tuple[int, int]],
                hold: bool = False):
@@ -86,32 +144,54 @@ class DataSignatureUnit:
         """
         if hold:
             return
-        fifos = self._fifos
-        if len(port_samples) < len(fifos):
+        num_ports = self._num_ports
+        if len(port_samples) < num_ports:
             raise ValueError("expected >= %d port samples, got %d"
-                             % (len(fifos), len(port_samples)))
+                             % (num_ports, len(port_samples)))
         if self._every_cycle:
-            for fifo, sample in zip(fifos, port_samples):
-                fifo.append(sample)
+            row = tuple(port_samples[:num_ports])
+            h = hash(row) % _DIGEST_MOD
+            hashes = self._row_hashes
+            evicted = hashes[0]
+            self._rows.append(row)
+            hashes.append(h)
+            self._digest = ((self._digest - evicted * self._evict_weight)
+                            * _DIGEST_BASE + h) % _DIGEST_MOD
         else:
             # Ablation mode: record only on activity (loses the timing
             # information the paper's every-cycle sampling preserves).
-            for fifo, sample in zip(fifos, port_samples):
+            for fifo, sample in zip(self._fifos, port_samples):
                 if sample[0]:
                     fifo.append(sample)
 
+    # -- comparison ---------------------------------------------------------
+
     def equal(self, other: "DataSignatureUnit") -> bool:
         """Fast DS comparison (used every cycle by the monitor)."""
-        for mine, theirs in zip(self._fifos, other._fifos):
-            if mine != theirs:
-                return False
-        return True
+        if self._every_cycle and other._every_cycle:
+            fast = self._digest == other._digest
+            if DEBUG_SIGNATURE_CHECKS:
+                slow = self.signature() == other.signature()
+                assert fast == slow, (
+                    "DS digest fast path disagrees with structural "
+                    "comparison (digest=%r, structural=%r)" % (fast, slow))
+            return fast
+        return self.signature() == other.signature()
+
+    def digest(self) -> Optional[int]:
+        """The rolling DS digest (None in the ablation sampling mode)."""
+        return self._digest
 
     def signature(self) -> Tuple:
         """The DS: concatenation of all FIFO contents, oldest first."""
         out = []
-        for fifo in self._fifos:
-            out.extend(fifo)
+        if self._every_cycle:
+            rows = self._rows
+            for port in range(self._num_ports):
+                out.extend(row[port] for row in rows)
+        else:
+            for fifo in self._fifos:
+                out.extend(fifo)
         return tuple(out)
 
     def signature_bits(self) -> int:
@@ -126,13 +206,19 @@ class DataSignatureUnit:
             for port in range(cfg.num_ports)))
 
     def reset(self):
-        for fifo in self._fifos:
-            fifo.clear()
-            fifo.extend([IDLE] * self.config.ds_depth)
+        if self._every_cycle:
+            self._init_rows()
+        else:
+            for fifo in self._fifos:
+                fifo.clear()
+                fifo.extend([IDLE] * self.config.ds_depth)
 
 
 class InstructionSignatureUnit:
     """Per-stage slot capture feeding the Instruction Signature (Fig. 2b)."""
+
+    __slots__ = ("config", "_variant", "_stage_words", "_inflight_words",
+                 "_digest")
 
     def __init__(self, config: SignatureConfig):
         self.config = config
@@ -143,6 +229,12 @@ class InstructionSignatureUnit:
         #: INFLIGHT: zero-padded window of in-flight words.
         self._inflight_words: Tuple[int, ...] = \
             (0,) * config.inflight_depth
+        self._digest = self._compute_digest()
+
+    def _compute_digest(self) -> int:
+        if self._variant is IsVariant.PER_STAGE:
+            return hash(tuple(self._stage_words))
+        return hash(self._inflight_words)
 
     # -- clocking ----------------------------------------------------------
 
@@ -160,11 +252,12 @@ class InstructionSignatureUnit:
             raise ValueError("unit configured for %s" % self._variant)
         if hold:
             return
-        if len(stage_words) != self.config.pipeline_stages:
+        words = tuple(stage_words)
+        if len(words) != self.config.pipeline_stages:
             raise ValueError("expected %d stages, got %d"
-                             % (self.config.pipeline_stages,
-                                len(stage_words)))
-        self._stage_words = list(stage_words)
+                             % (self.config.pipeline_stages, len(words)))
+        self._stage_words = list(words)
+        self._digest = hash(words)
 
     def sample_stages(self, stage_slots: Sequence[Sequence[Tuple[int, int]]],
                       hold: bool = False):
@@ -190,14 +283,26 @@ class InstructionSignatureUnit:
         window = tuple(words[-depth:]) if len(words) > depth \
             else tuple(words)
         self._inflight_words = (0,) * (depth - len(window)) + window
+        self._digest = hash(self._inflight_words)
 
     # -- comparison / introspection ---------------------------------------------
 
     def equal(self, other: "InstructionSignatureUnit") -> bool:
         """Fast IS comparison (used every cycle by the monitor)."""
-        if self._variant is IsVariant.PER_STAGE:
-            return self._stage_words == other._stage_words
-        return self._inflight_words == other._inflight_words
+        fast = self._digest == other._digest
+        if DEBUG_SIGNATURE_CHECKS:
+            if self._variant is IsVariant.PER_STAGE:
+                slow = self._stage_words == other._stage_words
+            else:
+                slow = self._inflight_words == other._inflight_words
+            assert fast == slow, (
+                "IS digest fast path disagrees with structural "
+                "comparison (digest=%r, structural=%r)" % (fast, slow))
+        return fast
+
+    def digest(self) -> int:
+        """The current IS digest (hash of the captured state)."""
+        return self._digest
 
     def signature(self) -> Tuple:
         """The IS: concatenation of all slots, stage-major."""
@@ -231,3 +336,4 @@ class InstructionSignatureUnit:
     def reset(self):
         self._stage_words = [None] * self.config.pipeline_stages
         self._inflight_words = (0,) * self.config.inflight_depth
+        self._digest = self._compute_digest()

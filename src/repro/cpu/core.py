@@ -15,14 +15,14 @@ exposes exactly the signals SafeDM taps in hardware:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..isa.decoder import decode
-from ..isa.instruction import FetchedInstruction
+from ..isa.instruction import FetchedInstruction, Instruction
 from ..isa.opcodes import CLASS_BRANCH, CLASS_DIV, CLASS_JUMP, CLASS_MUL
 from ..mem.bus import AhbBus, BusRequest
 from ..mem.cache import Cache, CacheConfig
-from ..mem.memory import Memory
+from ..mem.memory import PAGE_BITS, Memory
 from ..mem.store_buffer import StoreBuffer
 from .exec_unit import (
     branch_taken,
@@ -131,6 +131,7 @@ class Core:
         self.fetch_enabled = True
         self.halted = False
         self._seq = 0
+        self._fetch_cache: Dict[int, Tuple[Instruction, int]] = {}
         self._ifetch_req: Optional[BusRequest] = None
         self._jalr_block = False
         self.hold = False
@@ -190,7 +191,9 @@ class Core:
 
     def step(self, cycle: int):
         """Advance the core by one cycle."""
-        self.stats.cycles += 1
+        stages = self.stages
+        stats = self.stats
+        stats.cycles += 1
         self.commits_this_cycle = 0
         self.committed_words = []
         self.regfile.begin_cycle()
@@ -198,71 +201,74 @@ class Core:
         advanced = False
 
         # WB: retire.
-        group = self.stages[WB]
+        group = stages[WB]
         if group is not None:
             self._retire(group)
-            self.stages[WB] = None
+            stages[WB] = None
             advanced = True
 
         # XC -> WB.
-        if self.stages[XC] is not None and self.stages[WB] is None:
-            self.stages[WB] = self.stages[XC]
-            self.stages[XC] = None
+        group = stages[XC]
+        if group is not None and stages[WB] is None:
+            stages[WB] = group
+            stages[XC] = None
             advanced = True
 
         # ME -> XC (memory completion).
-        group = self.stages[ME]
+        group = stages[ME]
         if group is not None:
             if not group.me_initiated:
                 self._initiate_me(group, cycle)
             elif group.me_ready_cycle is None:
                 self._check_me(group, cycle)
             if group.me_ready_cycle is None or cycle < group.me_ready_cycle:
-                self.stats.dmem_wait_cycles += 1
-            elif self.stages[XC] is None:
-                self.stages[XC] = group
-                self.stages[ME] = None
+                stats.dmem_wait_cycles += 1
+            elif stages[XC] is None:
+                stages[XC] = group
+                stages[ME] = None
                 advanced = True
 
         # EX -> ME.
-        group = self.stages[EX]
+        group = stages[EX]
         if (group is not None and cycle >= group.ex_done_cycle
-                and self.stages[ME] is None):
-            self.stages[ME] = group
-            self.stages[EX] = None
-            self._initiate_me(self.stages[ME], cycle)
+                and stages[ME] is None):
+            stages[ME] = group
+            stages[EX] = None
+            self._initiate_me(group, cycle)
             advanced = True
 
         # RA -> EX (issue).
-        group = self.stages[RA]
-        if (group is not None and self.stages[EX] is None
+        group = stages[RA]
+        if (group is not None and stages[EX] is None
                 and self._sources_ready(group, cycle)):
-            self.stages[RA] = None
+            stages[RA] = None
             self._issue(group, cycle)
-            self.stages[EX] = group
+            stages[EX] = group
             advanced = True
 
         # DE -> RA.
-        if self.stages[DE] is not None and self.stages[RA] is None:
-            self.stages[RA] = self.stages[DE]
-            self.stages[DE] = None
+        group = stages[DE]
+        if group is not None and stages[RA] is None:
+            stages[RA] = group
+            stages[DE] = None
             advanced = True
 
         # FE -> DE.
-        if self.stages[FE] is not None and self.stages[DE] is None:
-            self.stages[DE] = self.stages[FE]
-            self.stages[FE] = None
+        group = stages[FE]
+        if group is not None and stages[DE] is None:
+            stages[DE] = group
+            stages[FE] = None
             advanced = True
 
         # Fetch into FE.
-        if self.stages[FE] is None and self.fetch_enabled \
+        if stages[FE] is None and self.fetch_enabled \
                 and not self._jalr_block:
             if self._fetch(cycle):
                 advanced = True
 
         self.hold = not advanced
-        if self.hold:
-            self.stats.hold_cycles += 1
+        if not advanced:
+            stats.hold_cycles += 1
 
     # -- fetch ------------------------------------------------------------------
 
@@ -309,13 +315,23 @@ class Core:
         return True
 
     def _fetch_instruction(self, pc: int) -> FetchedInstruction:
-        word = self.memory.read_word(pc)
-        try:
-            instr = decode(word)
-        except Exception as exc:
-            raise SimulationError(
-                "core %d: cannot decode %#010x at pc=%#x: %s"
-                % (self.core_id, word, pc, exc))
+        # Per-pc decode cache, guarded by the memory page's write
+        # version so stores into code pages (reload, self-modification)
+        # invalidate exactly the affected entries.
+        versions = self.memory.page_versions
+        entry = self._fetch_cache.get(pc)
+        if entry is not None and versions.get(pc >> PAGE_BITS, 0) == entry[1]:
+            instr = entry[0]
+        else:
+            word = self.memory.read_word(pc)
+            try:
+                instr = decode(word)
+            except Exception as exc:
+                raise SimulationError(
+                    "core %d: cannot decode %#010x at pc=%#x: %s"
+                    % (self.core_id, word, pc, exc))
+            self._fetch_cache[pc] = (instr,
+                                     versions.get(pc >> PAGE_BITS, 0))
         fetched = FetchedInstruction(instr=instr, pc=pc, seq=self._seq)
         self._seq += 1
         return fetched

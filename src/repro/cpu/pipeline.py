@@ -37,7 +37,7 @@ NUM_STAGES = 7
 OBSERVED_STAGES = tuple(range(NUM_STAGES))
 
 
-@dataclass
+@dataclass(slots=True)
 class Group:
     """An issue group: 1-2 instructions moving through stages together."""
 

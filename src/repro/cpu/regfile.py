@@ -31,13 +31,21 @@ class RegisterFile:
 
     PENDING = 1 << 62
 
+    __slots__ = ("values", "ready_cycle", "num_read_ports",
+                 "num_write_ports", "read_samples", "write_samples",
+                 "_idle_reads", "_idle_writes")
+
     def __init__(self, num_read_ports: int = 4, num_write_ports: int = 2):
         self.values: List[int] = [0] * NUM_REGISTERS
         self.ready_cycle: List[int] = [0] * NUM_REGISTERS
         self.num_read_ports = num_read_ports
         self.num_write_ports = num_write_ports
-        self.read_samples: List[PortSample] = [IDLE_SAMPLE] * num_read_ports
-        self.write_samples: List[PortSample] = [IDLE_SAMPLE] * num_write_ports
+        # Idle templates: begin_cycle() refills the live sample lists
+        # in place from these instead of allocating fresh lists.
+        self._idle_reads: List[PortSample] = [IDLE_SAMPLE] * num_read_ports
+        self._idle_writes: List[PortSample] = [IDLE_SAMPLE] * num_write_ports
+        self.read_samples: List[PortSample] = list(self._idle_reads)
+        self.write_samples: List[PortSample] = list(self._idle_writes)
 
     # -- architectural access ---------------------------------------------
 
@@ -69,8 +77,8 @@ class RegisterFile:
 
     def begin_cycle(self):
         """Reset port samples; the pipeline re-records any activity."""
-        self.read_samples = [IDLE_SAMPLE] * self.num_read_ports
-        self.write_samples = [IDLE_SAMPLE] * self.num_write_ports
+        self.read_samples[:] = self._idle_reads
+        self.write_samples[:] = self._idle_writes
 
     def record_read(self, port: int, index: int):
         """Tap a read of register ``index`` on read port ``port``."""

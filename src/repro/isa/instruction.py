@@ -42,31 +42,35 @@ class Instruction:
     imm: int = 0
     word: int = 0
 
-    @property
-    def mnemonic(self) -> str:
-        return self.spec.mnemonic
-
-    @property
-    def iclass(self) -> str:
-        return self.spec.iclass
-
-    def sources(self) -> Tuple[int, ...]:
-        """Register indices read by this instruction (x0 included)."""
+    def __post_init__(self):
+        # Decoded instructions are shared via the decode cache and
+        # queried for operands every cycle they sit in a pipeline, so
+        # the derived views are precomputed once per decode.  Cached
+        # outside the field set: equality/repr stay operand-defined.
         srcs = []
         if self.rs1 is not None:
             srcs.append(self.rs1)
         if self.rs2 is not None:
             srcs.append(self.rs2)
-        return tuple(srcs)
+        object.__setattr__(self, "_sources", tuple(srcs))
+        object.__setattr__(
+            self, "_destination",
+            None if self.rd is None or self.rd == 0 else self.rd)
+        # Plain attributes, not properties: both are read on nearly
+        # every pipeline-stage check of every cycle.
+        object.__setattr__(self, "mnemonic", self.spec.mnemonic)
+        object.__setattr__(self, "iclass", self.spec.iclass)
+
+    def sources(self) -> Tuple[int, ...]:
+        """Register indices read by this instruction (x0 included)."""
+        return self._sources
 
     def destination(self) -> Optional[int]:
         """Register index written by this instruction, or ``None``.
 
         Writes to x0 are architectural no-ops and reported as ``None``.
         """
-        if self.rd is None or self.rd == 0:
-            return None
-        return self.rd
+        return self._destination
 
     @property
     def is_nop(self) -> bool:
@@ -108,7 +112,7 @@ class Instruction:
         return self.text()
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchedInstruction:
     """An :class:`Instruction` bound to a fetch address.
 

@@ -76,7 +76,8 @@ class AhbBus:
 
     def __init__(self, num_masters: int = 2,
                  timing: Optional[BusTiming] = None,
-                 l2_config: Optional[CacheConfig] = None):
+                 l2_config: Optional[CacheConfig] = None,
+                 rr_start: int = 0):
         self.num_masters = num_masters
         self.timing = timing or BusTiming()
         self.l2 = Cache(l2_config or CacheConfig(size=65536, line_size=32,
@@ -84,7 +85,10 @@ class AhbBus:
         self.stats = BusStats()
         self._queue: List[BusRequest] = []
         self._inflight: Optional[BusRequest] = None
-        self._rr_next = 0
+        #: Initial round-robin position (the experiment protocol varies
+        #: this across "repeated runs"; see repro.soc.experiment).
+        self.rr_start = rr_start % num_masters
+        self._rr_next = self.rr_start
 
     # -- master interface -------------------------------------------------
 
@@ -177,5 +181,5 @@ class AhbBus:
         """Clear queues and L2 (between experiment runs)."""
         self._queue.clear()
         self._inflight = None
-        self._rr_next = 0
+        self._rr_next = self.rr_start
         self.l2.invalidate_all()

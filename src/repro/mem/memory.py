@@ -26,6 +26,10 @@ class Memory:
 
     def __init__(self):
         self._pages: Dict[int, bytearray] = {}
+        #: Per-page write counters; lets fetch-side decode caches
+        #: validate in O(1) that a cached instruction page is unchanged
+        #: (self-modifying or reloaded code invalidates naturally).
+        self.page_versions: Dict[int, int] = {}
 
     def _page(self, address: int) -> bytearray:
         key = address >> PAGE_BITS
@@ -39,12 +43,15 @@ class Memory:
 
     def load_blob(self, address: int, blob: bytes):
         """Copy ``blob`` into memory starting at ``address``."""
+        versions = self.page_versions
         offset = 0
         while offset < len(blob):
             page = self._page(address + offset)
             start = (address + offset) & PAGE_MASK
             chunk = min(PAGE_SIZE - start, len(blob) - offset)
             page[start:start + chunk] = blob[offset:offset + chunk]
+            key = (address + offset) >> PAGE_BITS
+            versions[key] = versions.get(key, 0) + 1
             offset += chunk
 
     def read_blob(self, address: int, size: int) -> bytes:
@@ -79,10 +86,20 @@ class Memory:
         start = address & PAGE_MASK
         page[start:start + size] = (value & ((1 << (8 * size)) - 1)
                                     ).to_bytes(size, "little")
+        key = address >> PAGE_BITS
+        versions = self.page_versions
+        versions[key] = versions.get(key, 0) + 1
 
     def read_word(self, address: int) -> int:
-        """Read a 32-bit instruction word."""
-        return self.read(address, 4)
+        """Read a 32-bit instruction word (instruction-fetch fast path)."""
+        if address & 3:
+            raise MemoryError_("misaligned read of 4 bytes at %#x"
+                               % address)
+        page = self._pages.get(address >> PAGE_BITS)
+        if page is None:
+            page = self._page(address)
+        start = address & PAGE_MASK
+        return int.from_bytes(page[start:start + 4], "little")
 
     def touched_pages(self) -> int:
         """Number of allocated 4 KiB pages (for tests and stats)."""

@@ -1,0 +1,40 @@
+"""Sweep engine: parallel execution, run caching, progress reporting.
+
+The Table I sweep is a large set of independent simulations; this
+package turns it from a serial loop into a cached, process-parallel
+pipeline while keeping the produced cells bit-for-bit identical to the
+serial protocol in :mod:`repro.soc.experiment`.
+"""
+
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    RunCache,
+    config_digest,
+    program_digest,
+    run_key,
+)
+from .progress import NullProgress, SweepProgress
+from .sweep import (
+    ParallelSweep,
+    RunSpec,
+    cell_specs,
+    execute_spec,
+    merge_cell,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "NullProgress",
+    "ParallelSweep",
+    "RunCache",
+    "RunSpec",
+    "SweepProgress",
+    "cell_specs",
+    "config_digest",
+    "execute_spec",
+    "merge_cell",
+    "program_digest",
+    "run_key",
+]

@@ -1,0 +1,165 @@
+"""Content-addressed run cache for the sweep engine.
+
+Every simulated run is deterministic: its outcome is a pure function
+of the program image, the platform configuration, and the run
+parameters (staggering, late core, arbiter start, cycle budget,
+reporting mode).  The cache therefore keys each :class:`RunResult` by
+a SHA-256 digest of exactly those inputs and persists it as JSON under
+``benchmarks/out/.runcache/`` — repeated sweeps and ablations skip
+already-simulated cells entirely.
+
+A cache entry never goes stale silently: any change to the program
+bytes or to any field of :class:`~repro.soc.config.SocConfig`
+(including nested core/bus/cache/signature geometry) changes the key.
+``CACHE_SCHEMA_VERSION`` is baked into every key so behavioural
+changes to the simulator can invalidate old entries wholesale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Optional
+
+from ..isa.program import Program
+from ..soc.config import SocConfig
+from ..soc.experiment import RunResult
+
+#: Bump to invalidate every previously cached run (e.g. after a change
+#: that alters simulated behaviour rather than just the API).
+CACHE_SCHEMA_VERSION = 1
+
+#: Default persistent location, per the repo layout: benchmark outputs
+#: live under benchmarks/out/.
+DEFAULT_CACHE_DIR = (pathlib.Path(__file__).resolve().parents[3]
+                     / "benchmarks" / "out" / ".runcache")
+
+
+def _canonical(obj):
+    """Recursively reduce ``obj`` to JSON-serializable canonical form."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {field.name: _canonical(getattr(obj, field.name))
+                for field in dataclasses.fields(obj)}
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): _canonical(value)
+                for key, value in sorted(obj.items())}
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError("cannot canonicalize %r for cache digest" % (obj,))
+
+
+def _sha256(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def config_digest(config: Optional[SocConfig]) -> str:
+    """Stable digest of a full platform configuration."""
+    resolved = config if config is not None else SocConfig()
+    payload = json.dumps(_canonical(resolved), sort_keys=True,
+                         separators=(",", ":"))
+    return _sha256(payload.encode("utf-8"))
+
+
+def program_digest(program: Program) -> str:
+    """Digest of the bytes that actually reach simulated memory."""
+    hasher = hashlib.sha256()
+    hasher.update(b"base:%d;entry:%d;" % (program.base, program.entry))
+    for start, blob in sorted(program.image.items()):
+        hasher.update(b"@%d:" % start)
+        hasher.update(blob)
+    return hasher.hexdigest()
+
+
+def run_key(program_dig: str, config_dig: str, *, benchmark: str,
+            stagger_nops: int, late_core: int, rr_start: int,
+            max_cycles: int, mode_value: str, threshold: int) -> str:
+    """Cache key for one redundant run."""
+    payload = json.dumps({
+        "schema": CACHE_SCHEMA_VERSION,
+        "program": program_dig,
+        "config": config_dig,
+        "benchmark": benchmark,
+        "stagger_nops": stagger_nops,
+        "late_core": late_core,
+        "rr_start": rr_start,
+        "max_cycles": max_cycles,
+        "mode": mode_value,
+        "threshold": threshold,
+    }, sort_keys=True, separators=(",", ":"))
+    return _sha256(payload.encode("utf-8"))
+
+
+class RunCache:
+    """Persistent key -> :class:`RunResult` store (one JSON file each).
+
+    Writes are atomic (tempfile + rename), so concurrent sweeps sharing
+    a cache directory at worst redo a run — they never corrupt it.
+    """
+
+    def __init__(self, root=None):
+        self.root = pathlib.Path(root) if root is not None \
+            else DEFAULT_CACHE_DIR
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / (key + ".json")
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """Cached result for ``key``, or None (counted as a miss)."""
+        try:
+            raw = self._path(key).read_text()
+            payload = json.loads(raw)
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            result = RunResult(**payload["result"])
+        except (OSError, ValueError, TypeError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult):
+        """Persist ``result`` under ``key`` (atomic)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({
+            "schema": CACHE_SCHEMA_VERSION,
+            "result": dataclasses.asdict(result),
+        }, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self):
+        """Delete every cached entry."""
+        if not self.root.is_dir():
+            return
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -1,0 +1,61 @@
+"""Progress / ETA reporting for long sweeps.
+
+One line per completed run on ``stderr`` (the tables themselves go to
+``stdout``), with elapsed time, an ETA extrapolated from the measured
+per-run throughput, and a running cache-hit count.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class SweepProgress:
+    """Line-oriented progress reporter for a fixed-size run set."""
+
+    def __init__(self, total: int, label: str = "sweep", stream=None):
+        self.total = total
+        self.label = label
+        self.done = 0
+        self.cached = 0
+        self._stream = stream if stream is not None else sys.stderr
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def eta(self) -> float:
+        """Remaining seconds, extrapolated from completed work."""
+        if not self.done:
+            return 0.0
+        return self.elapsed / self.done * (self.total - self.done)
+
+    def update(self, description: str, cached: bool = False):
+        """Record one finished run and print a progress line."""
+        self.done += 1
+        if cached:
+            self.cached += 1
+        width = len(str(self.total))
+        print("[%*d/%d] %-28s %7.1fs elapsed, ETA %6.1fs%s"
+              % (width, self.done, self.total, description,
+                 self.elapsed, self.eta(),
+                 (", %d cached" % self.cached) if self.cached else ""),
+              file=self._stream)
+
+    def finish(self):
+        """Print the closing summary line."""
+        print("%s: %d runs (%d cached) in %.1fs"
+              % (self.label, self.done, self.cached, self.elapsed),
+              file=self._stream)
+
+
+class NullProgress:
+    """No-op progress sink (same interface as :class:`SweepProgress`)."""
+
+    def update(self, description: str, cached: bool = False):
+        pass
+
+    def finish(self):
+        pass

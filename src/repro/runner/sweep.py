@@ -1,0 +1,291 @@
+"""Process-pool sweep engine for the Table I experiment protocol.
+
+The paper's headline artefact is an embarrassingly parallel workload:
+29 kernels x 4 staggering values x 2 repeated runs, every run a fully
+independent simulation.  :class:`ParallelSweep` fans those runs out
+across worker processes and merges the results deterministically:
+
+* work is expressed as :class:`RunSpec` values whose canonical order
+  per cell mirrors the serial protocol in
+  :func:`repro.soc.experiment.run_cell` exactly,
+* results are merged by spec, never by completion order, so the
+  produced :class:`CellResult` values are field-for-field identical to
+  the serial path's no matter how the pool schedules the work,
+* an optional content-addressed :class:`RunCache` skips runs whose
+  (program bytes, SocConfig, run parameters) digest has been simulated
+  before.
+
+``jobs=1`` degrades to a plain in-process loop (no pool, no pickling),
+which doubles as the serial reference implementation.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.monitor import ReportingMode
+from ..isa.program import Program
+from ..soc.config import SocConfig
+from ..soc.experiment import (
+    PAPER_STAGGER_VALUES,
+    CellResult,
+    RunResult,
+    run_redundant,
+)
+from .cache import RunCache, config_digest, program_digest, run_key
+from .progress import NullProgress, SweepProgress
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent redundant run, identified by value.
+
+    Benchmarks are referenced by registry name so a spec pickles as a
+    few strings/ints; workers rebuild the program image locally.
+    """
+
+    benchmark: str
+    stagger_nops: int
+    late_core: int
+    rr_start: int
+    max_cycles: int
+
+    def describe(self) -> str:
+        return "%s nops=%d late=%d rr=%d" % (
+            self.benchmark, self.stagger_nops, self.late_core,
+            self.rr_start)
+
+
+def cell_specs(benchmark: str, stagger_nops: int,
+               max_cycles: int = 2_000_000) -> Tuple[RunSpec, ...]:
+    """The canonical run list for one Table I cell.
+
+    Mirrors :func:`repro.soc.experiment.run_cell`: without staggering,
+    repeated runs vary the arbiter start; with staggering, one run per
+    late-core choice.
+    """
+    if stagger_nops == 0:
+        return tuple(RunSpec(benchmark, 0, 1, rr_start, max_cycles)
+                     for rr_start in (0, 1))
+    return tuple(RunSpec(benchmark, stagger_nops, late_core, 0,
+                         max_cycles)
+                 for late_core in (0, 1))
+
+
+def merge_cell(benchmark: str, stagger_nops: int,
+               runs: Sequence[RunResult]) -> CellResult:
+    """Fold a cell's runs into its Table I entry (max across runs)."""
+    return CellResult(
+        benchmark=benchmark,
+        stagger_nops=stagger_nops,
+        zero_staggering_cycles=max(r.zero_staggering_cycles
+                                   for r in runs),
+        no_diversity_cycles=max(r.no_diversity_cycles for r in runs),
+        runs=list(runs),
+    )
+
+
+def execute_spec(spec: RunSpec, config: Optional[SocConfig] = None,
+                 mode: ReportingMode = ReportingMode.POLLING,
+                 threshold: int = 1,
+                 program: Optional[Program] = None) -> RunResult:
+    """Simulate one spec (building the program image if not supplied)."""
+    if program is None:
+        from ..workloads import program as build_program
+        program = build_program(spec.benchmark)
+    return run_redundant(program, benchmark=spec.benchmark,
+                         stagger_nops=spec.stagger_nops,
+                         late_core=spec.late_core,
+                         rr_start=spec.rr_start,
+                         config=config, mode=mode, threshold=threshold,
+                         max_cycles=spec.max_cycles)
+
+
+# -- worker-process plumbing --------------------------------------------------
+
+_WORKER: dict = {}
+
+
+def _init_worker(config: Optional[SocConfig], mode: ReportingMode,
+                 threshold: int):
+    """Pool initializer: stash per-sweep constants in the worker."""
+    _WORKER["config"] = config
+    _WORKER["mode"] = mode
+    _WORKER["threshold"] = threshold
+    _WORKER["programs"] = {}
+
+
+def _run_spec_in_worker(spec: RunSpec) -> RunResult:
+    """Execute one spec inside a pool worker (program image memoized)."""
+    programs = _WORKER["programs"]
+    program = programs.get(spec.benchmark)
+    if program is None:
+        from ..workloads import program as build_program
+        program = programs[spec.benchmark] = build_program(spec.benchmark)
+    return execute_spec(spec, config=_WORKER["config"],
+                        mode=_WORKER["mode"],
+                        threshold=_WORKER["threshold"], program=program)
+
+
+# -- the engine ---------------------------------------------------------------
+
+class ParallelSweep:
+    """Fan Table I cells out over a process pool, with result caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; ``None`` means ``os.cpu_count()``.
+        ``jobs=1`` runs serially in-process (the reference path).
+    use_cache:
+        Consult/populate the content-addressed run cache.
+    cache_dir:
+        Cache location override (default:
+        ``benchmarks/out/.runcache/``).
+    progress:
+        ``True`` for stderr progress/ETA lines, ``False`` for silence,
+        or any object with ``update(description, cached)`` /
+        ``finish()``.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, use_cache: bool = True,
+                 cache_dir=None, progress=False,
+                 mode: ReportingMode = ReportingMode.POLLING,
+                 threshold: int = 1):
+        self.jobs = max(1, jobs if jobs is not None
+                        else (os.cpu_count() or 1))
+        self.cache = RunCache(cache_dir) if use_cache else None
+        self.mode = mode
+        self.threshold = threshold
+        self._progress_setting = progress
+
+    # -- public API -----------------------------------------------------
+
+    def run_cells(self, work: Iterable[Tuple[str, int]],
+                  config: Optional[SocConfig] = None,
+                  max_cycles: int = 2_000_000
+                  ) -> Dict[Tuple[str, int], CellResult]:
+        """Run every ``(benchmark, stagger_nops)`` cell in ``work``.
+
+        Returns cells keyed by ``(benchmark, stagger_nops)``; the
+        mapping preserves the order work was given in, while execution
+        order is whatever the pool decides — merging is keyed by spec,
+        so the two never interact.
+        """
+        cells: List[Tuple[str, int]] = []
+        for item in work:
+            if item not in cells:
+                cells.append(item)
+        spec_lists = {cell: cell_specs(cell[0], cell[1], max_cycles)
+                      for cell in cells}
+        all_specs: List[RunSpec] = []
+        for cell in cells:
+            all_specs.extend(spec_lists[cell])
+
+        progress = self._make_progress(len(all_specs))
+        results = self._execute(all_specs, config, progress)
+        progress.finish()
+
+        return {cell: merge_cell(cell[0], cell[1],
+                                 [results[spec]
+                                  for spec in spec_lists[cell]])
+                for cell in cells}
+
+    def run_table(self, names: Sequence[str],
+                  stagger_values: Sequence[int] = PAPER_STAGGER_VALUES,
+                  config: Optional[SocConfig] = None,
+                  max_cycles: int = 2_000_000
+                  ) -> Dict[str, List[CellResult]]:
+        """Run full Table I rows; same shape as serial ``run_row`` maps."""
+        work = [(name, nops) for name in names
+                for nops in stagger_values]
+        merged = self.run_cells(work, config=config,
+                                max_cycles=max_cycles)
+        return {name: [merged[(name, nops)] for nops in stagger_values]
+                for name in names}
+
+    # -- internals ------------------------------------------------------
+
+    def _make_progress(self, total: int):
+        setting = self._progress_setting
+        if setting is True:
+            return SweepProgress(total, label="sweep")
+        if setting:
+            return setting
+        return NullProgress()
+
+    def _execute(self, specs: Sequence[RunSpec],
+                 config: Optional[SocConfig],
+                 progress) -> Dict[RunSpec, RunResult]:
+        results: Dict[RunSpec, RunResult] = {}
+        keys: Dict[RunSpec, str] = {}
+        pending: List[RunSpec] = []
+
+        if self.cache is not None:
+            cfg_dig = config_digest(config)
+            prog_digs: Dict[str, str] = {}
+            from ..workloads import program as build_program
+            for spec in specs:
+                prog_dig = prog_digs.get(spec.benchmark)
+                if prog_dig is None:
+                    prog_dig = program_digest(build_program(spec.benchmark))
+                    prog_digs[spec.benchmark] = prog_dig
+                key = run_key(prog_dig, cfg_dig,
+                              benchmark=spec.benchmark,
+                              stagger_nops=spec.stagger_nops,
+                              late_core=spec.late_core,
+                              rr_start=spec.rr_start,
+                              max_cycles=spec.max_cycles,
+                              mode_value=self.mode.value,
+                              threshold=self.threshold)
+                keys[spec] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[spec] = cached
+                    progress.update(spec.describe(), cached=True)
+                else:
+                    pending.append(spec)
+        else:
+            pending = list(specs)
+
+        if not pending:
+            return results
+
+        if self.jobs == 1:
+            self._execute_serial(pending, config, results, progress)
+        else:
+            self._execute_pool(pending, config, results, progress)
+
+        if self.cache is not None:
+            for spec in pending:
+                self.cache.put(keys[spec], results[spec])
+        return results
+
+    def _execute_serial(self, pending, config, results, progress):
+        programs: Dict[str, Program] = {}
+        from ..workloads import program as build_program
+        for spec in pending:
+            program = programs.get(spec.benchmark)
+            if program is None:
+                program = programs[spec.benchmark] = \
+                    build_program(spec.benchmark)
+            results[spec] = execute_spec(spec, config=config,
+                                         mode=self.mode,
+                                         threshold=self.threshold,
+                                         program=program)
+            progress.update(spec.describe())
+
+    def _execute_pool(self, pending, config, results, progress):
+        with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)),
+                initializer=_init_worker,
+                initargs=(config, self.mode, self.threshold)) as pool:
+            futures = {pool.submit(_run_spec_in_worker, spec): spec
+                       for spec in pending}
+            for future in as_completed(futures):
+                spec = futures[future]
+                results[spec] = future.result()
+                progress.update(spec.describe())

@@ -77,8 +77,8 @@ def run_redundant(program: Program, benchmark: str = "program",
                   soc_hook: Optional[Callable[[MPSoC], None]] = None
                   ) -> RunResult:
     """Run ``program`` redundantly on a fresh MPSoC and report counters."""
-    soc = MPSoC(config=config, mode=mode, threshold=threshold)
-    soc.bus._rr_next = rr_start % soc.bus.num_masters
+    soc = MPSoC(config=config, mode=mode, threshold=threshold,
+                rr_start=rr_start)
     soc.start_redundant(program, late_core=late_core,
                         stagger_nops=stagger_nops)
     if soc_hook is not None:

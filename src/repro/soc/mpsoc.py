@@ -38,7 +38,8 @@ class MPSoC:
                  threshold: int = 1,
                  history_bin_size: int = 1,
                  history_bins: int = 32,
-                 monitor_pairs=((0, 1),)):
+                 monitor_pairs=((0, 1),),
+                 rr_start: int = 0):
         self.config = config or SocConfig()
         cfg = self.config
         for pair in monitor_pairs:
@@ -47,7 +48,8 @@ class MPSoC:
                 raise ValueError("bad monitored pair %r" % (pair,))
         self.memory = Memory()
         self.bus = AhbBus(num_masters=cfg.num_cores,
-                          timing=cfg.bus_timing, l2_config=cfg.l2)
+                          timing=cfg.bus_timing, l2_config=cfg.l2,
+                          rr_start=rr_start)
         self.cores: List[Core] = [
             Core(core_id, self.bus, self.memory, config=cfg.core)
             for core_id in range(cfg.num_cores)
@@ -75,6 +77,11 @@ class MPSoC:
         self.monitored = self.monitor_pairs[0]
         #: Sample each monitor only while its pair is fully live.
         self.gate_monitor_on_finish = True
+        # Pre-bound (monitor, core, core) taps: the per-cycle loop must
+        # not re-index cores or build generator expressions every cycle.
+        self._taps = tuple(
+            (monitor, self.cores[pair[0]], self.cores[pair[1]])
+            for monitor, pair in zip(self.monitors, self.monitor_pairs))
 
     # -- program setup ------------------------------------------------------
 
@@ -147,11 +154,11 @@ class MPSoC:
             else:
                 core.commits_this_cycle = 0
         self.bus.step(cycle)
-        for monitor, pair in zip(self.monitors, self.monitor_pairs):
-            if self._monitor_active(pair):
-                monitor.observe(cycle, self.cores[pair[0]],
-                                self.cores[pair[1]])
-        self.cycle += 1
+        gate = self.gate_monitor_on_finish
+        for monitor, core_a, core_b in self._taps:
+            if not gate or not (core_a.finished or core_b.finished):
+                monitor.observe(cycle, core_a, core_b)
+        self.cycle = cycle + 1
 
     def _monitor_active(self, pair) -> bool:
         if not self.gate_monitor_on_finish:
@@ -164,11 +171,15 @@ class MPSoC:
         Returns the number of cycles simulated.
         """
         start = self.cycle
-        watched = {core for pair in self.monitor_pairs for core in pair}
-        while self.cycle - start < max_cycles:
-            if all(self.cores[idx].finished for idx in watched):
+        watched = list(dict.fromkeys(
+            self.cores[idx] for pair in self.monitor_pairs
+            for idx in pair))
+        step = self.step
+        limit = start + max_cycles
+        while self.cycle < limit:
+            if all(core.finished for core in watched):
                 break
-            self.step()
+            step()
         for monitor in self.monitors:
             monitor.finish()
         return self.cycle - start

@@ -231,3 +231,47 @@ def test_memory_last_write_wins(address, first, second):
     mem.write(address, first, 8)
     mem.write(address, second, 8)
     assert mem.read(address, 8) == second
+
+
+# --- digest fast path vs structural slow path --------------------------------
+
+paired_streams = st.lists(
+    st.tuples(
+        st.lists(st.tuples(st.integers(0, 1), st.integers(0, MASK)),
+                 min_size=4, max_size=4),
+        st.lists(st.tuples(st.integers(0, 1), st.integers(0, MASK)),
+                 min_size=4, max_size=4),
+        st.booleans(),   # feed unit b the same row as unit a?
+        st.booleans(),   # hold unit a this cycle
+        st.booleans()),  # hold unit b this cycle
+    max_size=40)
+
+
+@given(stream=paired_streams)
+def test_ds_digest_fast_path_matches_structural(stream):
+    """equal()'s rolling-digest fast path agrees with the structural
+    signature comparison on every prefix of arbitrary paired streams,
+    including holds and mixed identical/divergent rows."""
+    config = SignatureConfig(num_ports=4, ds_depth=5)
+    a, b = DataSignatureUnit(config), DataSignatureUnit(config)
+    for row_a, row_b, same, hold_a, hold_b in stream:
+        a.sample(row_a, hold=hold_a)
+        b.sample(row_a if same else row_b, hold=hold_b)
+        assert a.equal(b) == (a.signature() == b.signature())
+        assert b.equal(a) == a.equal(b)
+
+
+@given(stream=paired_streams)
+def test_is_digest_fast_path_matches_structural(stream):
+    """Same property for the Instruction Signature digest, driving the
+    (valid, word) slot form through both units."""
+    from repro.core.signatures import InstructionSignatureUnit
+    config = SignatureConfig(pipeline_width=2, pipeline_stages=2)
+    a = InstructionSignatureUnit(config)
+    b = InstructionSignatureUnit(config)
+    for row_a, row_b, same, hold_a, hold_b in stream:
+        slots_a = [row_a[:2], row_a[2:]]
+        slots_b = slots_a if same else [row_b[:2], row_b[2:]]
+        a.sample_stages(slots_a, hold=hold_a)
+        b.sample_stages(slots_b, hold=hold_b)
+        assert a.equal(b) == (a.signature() == b.signature())

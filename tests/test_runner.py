@@ -1,0 +1,141 @@
+"""Sweep engine tests: determinism, caching, canonical merge order."""
+
+import dataclasses
+
+import pytest
+
+from repro.runner import (
+    ParallelSweep,
+    RunCache,
+    RunSpec,
+    cell_specs,
+    config_digest,
+    merge_cell,
+    program_digest,
+    run_key,
+)
+from repro.soc.config import SocConfig
+from repro.soc.experiment import RunResult, run_row
+from repro.workloads import program
+
+# Fast kernels so the full protocol stays cheap in CI.
+KERNELS = ("cosf", "countnegative")
+STAGGERS = (0, 100)
+
+
+def _cells_as_dicts(cells):
+    return [dataclasses.asdict(cell) for cell in cells]
+
+
+def _run_result(**overrides):
+    base = dict(benchmark="x", stagger_nops=0, late_core=1, cycles=10,
+                committed=5, zero_staggering_cycles=1,
+                no_diversity_cycles=2, no_data_diversity_cycles=3,
+                no_instruction_diversity_cycles=4, interrupts=0,
+                finished=True, ipc=0.5)
+    base.update(overrides)
+    return RunResult(**base)
+
+
+# --- canonical spec order / merge semantics ----------------------------------
+
+def test_cell_specs_mirror_run_cell_protocol():
+    # stagger 0: repeated runs vary the arbiter start, late core fixed.
+    zero = cell_specs("cosf", 0, max_cycles=123)
+    assert zero == (RunSpec("cosf", 0, 1, 0, 123),
+                    RunSpec("cosf", 0, 1, 1, 123))
+    # staggered: one run per late-core choice, arbiter start fixed.
+    staggered = cell_specs("cosf", 100, max_cycles=123)
+    assert staggered == (RunSpec("cosf", 100, 0, 0, 123),
+                         RunSpec("cosf", 100, 1, 0, 123))
+
+
+def test_merge_cell_takes_max_across_runs():
+    runs = [_run_result(zero_staggering_cycles=7, no_diversity_cycles=1),
+            _run_result(zero_staggering_cycles=3, no_diversity_cycles=9)]
+    cell = merge_cell("x", 0, runs)
+    assert cell.zero_staggering_cycles == 7
+    assert cell.no_diversity_cycles == 9
+    assert cell.runs == runs
+
+
+# --- determinism: parallel == serial == direct run_row ----------------------
+
+@pytest.mark.slow
+def test_parallel_and_serial_sweeps_are_identical(tmp_path):
+    reference = {name: run_row(program(name), name,
+                               stagger_values=STAGGERS)
+                 for name in KERNELS}
+    serial = ParallelSweep(jobs=1, use_cache=False)
+    parallel = ParallelSweep(jobs=2, use_cache=False)
+    serial_rows = serial.run_table(KERNELS, stagger_values=STAGGERS)
+    parallel_rows = parallel.run_table(KERNELS, stagger_values=STAGGERS)
+    for name in KERNELS:
+        ref = _cells_as_dicts(reference[name])
+        assert _cells_as_dicts(serial_rows[name]) == ref
+        assert _cells_as_dicts(parallel_rows[name]) == ref
+
+
+# --- run cache ---------------------------------------------------------------
+
+@pytest.mark.slow
+def test_second_sweep_hits_cache(tmp_path):
+    name = KERNELS[0]
+    first = ParallelSweep(jobs=1, cache_dir=tmp_path)
+    rows = first.run_table([name], stagger_values=STAGGERS)
+    assert first.cache.hits == 0
+    assert first.cache.stores == 4  # 2 cells x 2 runs each
+
+    second = ParallelSweep(jobs=1, cache_dir=tmp_path)
+    rows_again = second.run_table([name], stagger_values=STAGGERS)
+    assert second.cache.hits == 4
+    assert second.cache.misses == 0
+    assert second.cache.stores == 0
+    assert _cells_as_dicts(rows_again[name]) == _cells_as_dicts(rows[name])
+
+
+@pytest.mark.slow
+def test_changed_config_misses_cache(tmp_path):
+    name = KERNELS[0]
+    sweep = ParallelSweep(jobs=1, cache_dir=tmp_path)
+    sweep.run_table([name], stagger_values=(0,))
+    assert sweep.cache.stores == 2
+
+    changed = SocConfig()
+    changed.data_bases = (0x4000_0000, 0x6000_0000)
+    redo = ParallelSweep(jobs=1, cache_dir=tmp_path)
+    redo.run_table([name], stagger_values=(0,), config=changed)
+    assert redo.cache.hits == 0
+    assert redo.cache.misses == 2
+
+
+def test_run_key_sensitivity():
+    prog = program(KERNELS[0])
+    prog_dig = program_digest(prog)
+    cfg_dig = config_digest(None)
+    base = dict(benchmark=KERNELS[0], stagger_nops=0, late_core=1,
+                rr_start=0, max_cycles=100, mode_value="polling",
+                threshold=1)
+    key = run_key(prog_dig, cfg_dig, **base)
+    assert key == run_key(prog_dig, cfg_dig, **base)  # stable
+    for field, value in [("stagger_nops", 100), ("late_core", 0),
+                         ("rr_start", 1), ("max_cycles", 99),
+                         ("mode_value", "interrupt_first"),
+                         ("threshold", 2)]:
+        assert key != run_key(prog_dig, cfg_dig,
+                              **{**base, field: value})
+    other_dig = program_digest(program(KERNELS[1]))
+    assert key != run_key(other_dig, cfg_dig, **base)
+    assert config_digest(None) == config_digest(SocConfig())
+
+
+def test_cache_survives_corrupt_entry(tmp_path):
+    cache = RunCache(tmp_path)
+    result = _run_result()
+    cache.put("goodkey", result)
+    assert cache.get("goodkey") == result
+    (tmp_path / "badkey.json").write_text("{not json")
+    assert cache.get("badkey") is None
+    assert len(cache) == 2
+    cache.clear()
+    assert len(cache) == 0
