@@ -15,6 +15,10 @@ three passes must agree cell-for-cell; the bench fails otherwise.
 
 Usage:
     PYTHONPATH=src python benchmarks/bench_runtime.py [--jobs N]
+        [--kernels cosf countnegative] [--out FILE]
+
+``--kernels`` swaps the fixed 6-kernel set for a subset (CI times a
+2-kernel sweep to stay fast); the report records which set ran.
 """
 
 from __future__ import annotations
@@ -45,11 +49,11 @@ def _rows_as_dicts(rows):
             for name, cells in rows.items()}
 
 
-def _timed_sweep(jobs, cache_dir, use_cache=True):
+def _timed_sweep(kernels, jobs, cache_dir, use_cache=True):
     sweep = ParallelSweep(jobs=jobs, use_cache=use_cache,
                           cache_dir=cache_dir)
     start = time.perf_counter()
-    rows = sweep.run_table(MINI_SWEEP_KERNELS,
+    rows = sweep.run_table(kernels,
                            stagger_values=MINI_SWEEP_STAGGERS)
     return time.perf_counter() - start, _rows_as_dicts(rows), sweep
 
@@ -59,25 +63,37 @@ def main():
     parser.add_argument("--jobs", type=int, default=4, metavar="N",
                         help="workers for the parallel pass "
                              "(default: 4)")
+    parser.add_argument("--kernels", nargs="+", default=None,
+                        metavar="K",
+                        help="kernel subset to sweep (default: the "
+                             "fixed 6-kernel mini set)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="report path (default: BENCH_runtime.json "
+                             "at the repo root)")
     args = parser.parse_args()
+    kernels = tuple(args.kernels or MINI_SWEEP_KERNELS)
+    out_path = pathlib.Path(args.out) if args.out else OUT_PATH
 
-    missing = set(MINI_SWEEP_KERNELS) - set(all_names())
+    missing = set(kernels) - set(all_names())
     assert not missing, "unknown bench kernels: %s" % sorted(missing)
-    runs = len(MINI_SWEEP_KERNELS) * len(MINI_SWEEP_STAGGERS) * 2
+    runs = len(kernels) * len(MINI_SWEEP_STAGGERS) * 2
 
     print("mini sweep: %d kernels x %d staggers = %d runs"
-          % (len(MINI_SWEEP_KERNELS), len(MINI_SWEEP_STAGGERS), runs))
+          % (len(kernels), len(MINI_SWEEP_STAGGERS), runs))
 
-    serial_s, serial_rows, _ = _timed_sweep(jobs=1, cache_dir=None,
+    serial_s, serial_rows, _ = _timed_sweep(kernels, jobs=1,
+                                            cache_dir=None,
                                             use_cache=False)
     print("serial (jobs=1, no cache):    %6.2fs" % serial_s)
 
     with tempfile.TemporaryDirectory() as tmp:
-        parallel_s, parallel_rows, _ = _timed_sweep(jobs=args.jobs,
+        parallel_s, parallel_rows, _ = _timed_sweep(kernels,
+                                                    jobs=args.jobs,
                                                     cache_dir=tmp)
         print("parallel (jobs=%d, cold):      %6.2fs"
               % (args.jobs, parallel_s))
-        warm_s, warm_rows, warm_sweep = _timed_sweep(jobs=args.jobs,
+        warm_s, warm_rows, warm_sweep = _timed_sweep(kernels,
+                                                     jobs=args.jobs,
                                                      cache_dir=tmp)
         print("warm cache (jobs=%d):          %6.2fs"
               % (args.jobs, warm_s))
@@ -91,7 +107,7 @@ def main():
     print("determinism: serial == parallel == warm, cell-for-cell")
 
     report = {
-        "kernels": list(MINI_SWEEP_KERNELS),
+        "kernels": list(kernels),
         "stagger_values": list(MINI_SWEEP_STAGGERS),
         "runs": runs,
         "cpu_count": os.cpu_count(),
@@ -103,12 +119,12 @@ def main():
         "warm_cache_speedup": round(serial_s / warm_s, 3),
         "seconds_per_run_serial": round(serial_s / runs, 4),
     }
-    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
     print("parallel speedup %.2fx, warm-cache speedup %.2fx "
           "(cpu_count=%s)"
           % (report["parallel_speedup"], report["warm_cache_speedup"],
              report["cpu_count"]))
-    print("wrote %s" % OUT_PATH)
+    print("wrote %s" % out_path)
 
 
 if __name__ == "__main__":

@@ -7,11 +7,18 @@ Commands:
 * ``row <kernel>`` — one full Table I row (all staggering setups).
 * ``table1 [kernels...] [--jobs N] [--no-cache]`` — the Table I sweep
   (all 29 by default), parallel across cores and run-cached.
+* ``campaign <kernel> [--injections N] [--shared]`` — CCF
+  fault-injection campaign with SafeDM cross-referencing.
+* ``metrics <snapshot.json>`` — pretty-print a telemetry snapshot.
 * ``list`` — available kernels with category and description.
 * ``figures`` — regenerate Figs. 1-4 as structural descriptions.
 * ``overheads`` — the Section V-D area/power numbers.
 * ``vcd <kernel> <out.vcd>`` — dump monitor waveforms for a run.
 * ``disasm <kernel>`` — disassemble a kernel image.
+
+``run``, ``table1``, and ``campaign`` accept ``--metrics FILE`` (JSON
+telemetry snapshot, see ``repro metrics``) and ``--trace FILE``
+(Chrome ``about://tracing`` / Perfetto span timeline).
 """
 
 from __future__ import annotations
@@ -20,23 +27,85 @@ import argparse
 import sys
 
 
+def format_columns(rows, headers=None, min_width=16) -> str:
+    """Left-aligned column layout shared by ``list`` and ``metrics``.
+
+    Every column but the last is padded to the longest cell (at least
+    ``min_width``); the last column runs free.  With ``headers`` a
+    title row plus dashed rule is prepended.
+    """
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    sized = ([tuple(headers)] if headers else []) + rows
+    if not sized:
+        return ""
+    columns = max(len(row) for row in sized)
+    widths = [
+        max([min_width] + [len(row[i]) for row in sized if i < len(row)])
+        for i in range(columns - 1)
+    ]
+
+    def fmt(row):
+        cells = [cell.ljust(widths[i]) if i < len(widths) else cell
+                 for i, cell in enumerate(row)]
+        return " ".join(cells).rstrip()
+
+    lines = []
+    if headers:
+        lines.append(fmt(headers))
+        lines.append("-" * max(len(fmt(row)) for row in sized))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _add_telemetry_flags(parser):
+    parser.add_argument("--metrics", default=None, metavar="FILE",
+                        help="write a telemetry JSON snapshot to FILE")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome about://tracing JSON "
+                             "trace to FILE")
+
+
+def _make_telemetry(args):
+    """(metrics, tracer) per the ``--metrics``/``--trace`` flags."""
+    metrics = tracer = None
+    if args.metrics:
+        from .telemetry import MetricsRegistry
+        metrics = MetricsRegistry()
+    if args.trace:
+        from .telemetry import Tracer
+        tracer = Tracer()
+    return metrics, tracer
+
+
+def _save_telemetry(args, metrics, tracer, **meta):
+    if metrics is not None:
+        from .telemetry import write_snapshot
+        write_snapshot(metrics, args.metrics, meta=meta)
+        print("metrics snapshot written to %s (%d series)"
+              % (args.metrics, len(metrics)), file=sys.stderr)
+    if tracer is not None:
+        tracer.save(args.trace)
+        print("trace written to %s (%d spans)"
+              % (args.trace, len(tracer)), file=sys.stderr)
+
+
 def _cmd_list(args) -> int:
     from .workloads import all_names, workload
-    print("%-16s %-16s %s" % ("kernel", "category", "description"))
-    print("-" * 76)
-    for name in all_names():
-        spec = workload(name)
-        print("%-16s %-16s %s" % (spec.name, spec.category,
-                                  spec.description))
+    rows = [(spec.name, spec.category, spec.description)
+            for spec in (workload(name) for name in all_names())]
+    print(format_columns(rows,
+                         headers=("kernel", "category", "description")))
     return 0
 
 
 def _cmd_run(args) -> int:
     from .soc.experiment import run_redundant
     from .workloads import program
+    metrics, tracer = _make_telemetry(args)
     result = run_redundant(program(args.kernel), benchmark=args.kernel,
                            stagger_nops=args.stagger,
-                           late_core=args.late_core)
+                           late_core=args.late_core,
+                           metrics=metrics, tracer=tracer)
     print(result.summary())
     print("finished=%s committed=%d ipc=%.2f interrupts=%d"
           % (result.finished, result.committed, result.ipc,
@@ -44,6 +113,8 @@ def _cmd_run(args) -> int:
     print("no-data-div=%d no-instr-div=%d"
           % (result.no_data_diversity_cycles,
              result.no_instruction_diversity_cycles))
+    _save_telemetry(args, metrics, tracer, command="run",
+                    kernel=args.kernel, stagger_nops=args.stagger)
     return 0 if result.finished else 1
 
 
@@ -63,14 +134,59 @@ def _cmd_table1(args) -> int:
     from .soc.experiment import PAPER_STAGGER_VALUES
     from .workloads import all_names
     names = args.kernels or all_names()
+    metrics, tracer = _make_telemetry(args)
     sweep = ParallelSweep(jobs=args.jobs, use_cache=not args.no_cache,
-                          progress=True)
+                          progress=True, metrics=metrics, tracer=tracer)
     rows = sweep.run_table(names, stagger_values=PAPER_STAGGER_VALUES)
     print(format_table1(rows, PAPER_STAGGER_VALUES))
     if args.csv:
         with open(args.csv, "w") as handle:
             handle.write(format_table1_csv(rows, PAPER_STAGGER_VALUES))
         print("CSV written to %s" % args.csv, file=sys.stderr)
+    _save_telemetry(args, metrics, tracer, command="table1",
+                    kernels=len(names), jobs=sweep.jobs)
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .fault import (
+        run_ccf_campaign,
+        shared_address_config,
+        spread_cycles,
+    )
+    from .soc.experiment import run_redundant
+    from .workloads import program
+    prog = program(args.kernel)
+    config = shared_address_config() if args.shared else None
+    metrics, tracer = _make_telemetry(args)
+    # A fault-free probe run fixes the timeline length the injection
+    # instants are spread across.
+    probe = run_redundant(prog, benchmark=args.kernel, config=config,
+                          max_cycles=args.max_cycles, tracer=tracer)
+    cycles = spread_cycles(probe.cycles, args.injections)
+    result = run_ccf_campaign(prog, cycles, stimuli=args.stimuli,
+                              config=config, max_cycles=args.max_cycles,
+                              metrics=metrics, tracer=tracer)
+    print("%s over %d cycles:" % (args.kernel, probe.cycles))
+    print(result.summary())
+    print("detected-or-flagged=%d" % result.detected_or_flagged)
+    _save_telemetry(args, metrics, tracer, command="campaign",
+                    kernel=args.kernel, injections=len(result.injections),
+                    shared=bool(args.shared))
+    # The paper's no-false-negative property: a silent escape in a
+    # cycle SafeDM called diverse would falsify the reproduction.
+    return 0 if result.silent_despite_diversity == 0 else 1
+
+
+def _cmd_metrics(args) -> int:
+    from .telemetry import load_snapshot, snapshot_rows
+    doc = load_snapshot(args.snapshot)
+    meta = doc.get("meta") or {}
+    if meta:
+        print("# " + " ".join("%s=%s" % (k, meta[k])
+                              for k in sorted(meta)))
+    print(format_columns(snapshot_rows(doc),
+                         headers=("metric", "kind", "value")))
     return 0
 
 
@@ -144,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--stagger", type=int, default=0)
     p_run.add_argument("--late-core", type=int, choices=(0, 1),
                        default=1)
+    _add_telemetry_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_row = sub.add_parser("row", help="one Table I row")
@@ -158,7 +275,29 @@ def build_parser() -> argparse.ArgumentParser:
                            "1 = serial in-process)")
     p_t1.add_argument("--no-cache", action="store_true",
                       help="ignore and do not populate the run cache")
+    _add_telemetry_flags(p_t1)
     p_t1.set_defaults(func=_cmd_table1)
+
+    p_camp = sub.add_parser("campaign",
+                            help="CCF fault-injection campaign")
+    p_camp.add_argument("kernel")
+    p_camp.add_argument("--injections", type=int, default=8,
+                        metavar="N",
+                        help="injection instants spread across the run")
+    p_camp.add_argument("--stimuli", nargs="+", default=None,
+                        metavar="X", type=lambda s: int(s, 0),
+                        help="fault stimulus values (default: 0x5eed)")
+    p_camp.add_argument("--shared", action="store_true",
+                        help="use the CCF-vulnerable shared-data-region "
+                             "configuration")
+    p_camp.add_argument("--max-cycles", type=int, default=200_000)
+    _add_telemetry_flags(p_camp)
+    p_camp.set_defaults(func=_cmd_campaign)
+
+    p_met = sub.add_parser("metrics",
+                           help="pretty-print a telemetry snapshot")
+    p_met.add_argument("snapshot")
+    p_met.set_defaults(func=_cmd_metrics)
 
     sub.add_parser("figures", help="regenerate Figs. 1-4") \
         .set_defaults(func=_cmd_figures)

@@ -78,6 +78,23 @@ class MonitorStats:
     def diversity_cycles(self) -> int:
         return self.sampled_cycles - self.no_diversity_cycles
 
+    def to_metrics(self, registry, labels=()):
+        """Bridge the verdict counters into a telemetry registry.
+
+        Only used when no per-cycle hook was attached (see
+        :meth:`DiversityMonitor.attach_metrics`); the two sources are
+        mutually exclusive so counts are never doubled.
+        """
+        registry.counter("repro_monitor_sampled_cycles_total",
+                         labels).inc(self.sampled_cycles)
+        registry.counter("repro_monitor_no_data_diversity_cycles_total",
+                         labels).inc(self.no_data_diversity_cycles)
+        registry.counter(
+            "repro_monitor_no_instruction_diversity_cycles_total",
+            labels).inc(self.no_instruction_diversity_cycles)
+        registry.counter("repro_monitor_no_diversity_cycles_total",
+                         labels).inc(self.no_diversity_cycles)
+
 
 @dataclass
 class CycleReport:
@@ -126,6 +143,35 @@ class DiversityMonitor:
         self._last_data_div = False
         self._last_instr_div = False
         self._last_stagger = 0
+        # Optional per-cycle telemetry counters (attach_metrics); the
+        # disabled state costs the hot loop one None check per cycle.
+        self._mx = None
+
+    # -- telemetry -------------------------------------------------------------
+
+    def attach_metrics(self, registry, pair: int = 0):
+        """Bind per-cycle verdict counters from ``registry``.
+
+        The counters live in the monitored fast path: each tick costs
+        one attribute add per firing verdict.  Attach a fresh registry
+        per run; :meth:`reset` detaches (a reset zeroes ``stats`` and
+        leaving stale counters bound would desynchronize the two).
+        """
+        labels = (("pair", str(pair)),)
+        self._mx = (
+            registry.counter("repro_monitor_sampled_cycles_total",
+                             labels),
+            registry.counter("repro_monitor_no_data_diversity_cycles_total",
+                             labels),
+            registry.counter(
+                "repro_monitor_no_instruction_diversity_cycles_total",
+                labels),
+            registry.counter("repro_monitor_no_diversity_cycles_total",
+                             labels),
+        )
+
+    def has_metrics_attached(self) -> bool:
+        return self._mx is not None
 
     @property
     def last_report(self) -> Optional[CycleReport]:
@@ -212,6 +258,15 @@ class DiversityMonitor:
         if no_div:
             stats.no_diversity_cycles += 1
             self._report_loss(cycle)
+        mx = self._mx
+        if mx is not None:
+            mx[0].inc()
+            if no_data:
+                mx[1].inc()
+            if no_instr:
+                mx[2].inc()
+            if no_div:
+                mx[3].inc()
         diff = diff_unit.diff
         if self.history is not None:
             self.history.sample(no_data_diversity=no_data,
@@ -258,6 +313,7 @@ class DiversityMonitor:
         self.irq.reset()
         self.stats = MonitorStats()
         self._have_report = False
+        self._mx = None
 
     def block_diagram(self) -> str:
         """Fig. 4-style description of the monitor's internal blocks."""

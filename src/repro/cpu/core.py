@@ -79,8 +79,11 @@ class CoreStats:
     issued_groups: int = 0
     dual_issued_groups: int = 0
     branch_mispredicts: int = 0
+    flushes: int = 0
     ifetch_miss_cycles: int = 0
     dmem_wait_cycles: int = 0
+    decode_cache_hits: int = 0
+    decode_cache_misses: int = 0
     # Committed-instruction mix (used by workload profiling).
     committed_loads: int = 0
     committed_stores: int = 0
@@ -98,6 +101,31 @@ class CoreStats:
             return 0.0
         return (self.committed_loads + self.committed_stores) \
             / self.committed
+
+    @property
+    def decode_cache_hit_rate(self) -> float:
+        accesses = self.decode_cache_hits + self.decode_cache_misses
+        return self.decode_cache_hits / accesses if accesses else 0.0
+
+    def to_metrics(self, registry, labels=()):
+        """Bridge the per-core counters into a telemetry registry."""
+        for name, value in (
+                ("cycles", self.cycles),
+                ("committed", self.committed),
+                ("hold_cycles", self.hold_cycles),
+                ("fetch_groups", self.fetch_groups),
+                ("issued_groups", self.issued_groups),
+                ("dual_issued_groups", self.dual_issued_groups),
+                ("branch_mispredicts", self.branch_mispredicts),
+                ("flushes", self.flushes),
+                ("ifetch_miss_cycles", self.ifetch_miss_cycles),
+                ("dmem_wait_cycles", self.dmem_wait_cycles),
+                ("decode_cache_hits", self.decode_cache_hits),
+                ("decode_cache_misses", self.decode_cache_misses)):
+            registry.counter("repro_cpu_%s_total" % name,
+                             labels).inc(value)
+        registry.gauge("repro_cpu_decode_cache_hit_rate",
+                       labels).set(self.decode_cache_hit_rate)
 
 
 class Core:
@@ -322,7 +350,9 @@ class Core:
         entry = self._fetch_cache.get(pc)
         if entry is not None and versions.get(pc >> PAGE_BITS, 0) == entry[1]:
             instr = entry[0]
+            self.stats.decode_cache_hits += 1
         else:
+            self.stats.decode_cache_misses += 1
             word = self.memory.read_word(pc)
             try:
                 instr = decode(word)
@@ -441,6 +471,7 @@ class Core:
 
     def _squash_younger(self):
         """Drop not-yet-issued younger work (FE/DE stages, fetch buffer)."""
+        self.stats.flushes += 1
         self.stages[FE] = None
         self.stages[DE] = None
         # A squashed speculative jalr must release its fetch block, or

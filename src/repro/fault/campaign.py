@@ -80,21 +80,51 @@ class CampaignResult:
                    self.silent_despite_diversity,
                    self.silent_via_shared_state))
 
+    def to_metrics(self, registry):
+        """Fold per-classification counts into a telemetry registry."""
+        for classification in ("masked", "detected", "silent_ccf",
+                               "hang"):
+            registry.counter(
+                "repro_fault_injections_total",
+                (("classification", classification),)
+            ).inc(self.count(classification))
+        registry.counter("repro_fault_silent_despite_diversity_total"
+                         ).inc(self.silent_despite_diversity)
+        registry.counter("repro_fault_silent_via_shared_state_total"
+                         ).inc(self.silent_via_shared_state)
+        registry.counter("repro_fault_detected_or_flagged_total"
+                         ).inc(self.detected_or_flagged)
+
 
 def run_ccf_campaign(program: Program, cycles: List[int],
                      stimuli: Optional[List[int]] = None,
                      config: Optional[SocConfig] = None,
-                     max_cycles: int = 2_000_000) -> CampaignResult:
-    """Inject one common-cause fault per (cycle, stimulus) pair."""
-    golden = golden_run(program, config=config, max_cycles=max_cycles)
+                     max_cycles: int = 2_000_000,
+                     metrics=None, tracer=None) -> CampaignResult:
+    """Inject one common-cause fault per (cycle, stimulus) pair.
+
+    ``metrics``/``tracer`` are optional telemetry sinks: the tracer
+    gets one span per injection (plus the golden run), the registry
+    the per-classification counts of the finished campaign.
+    """
+    if tracer is None:
+        from ..telemetry import NULL_TRACER
+        tracer = NULL_TRACER
+    with tracer.span("golden_run"):
+        golden = golden_run(program, config=config,
+                            max_cycles=max_cycles)
     stimuli = stimuli or [0x5EED]
     result = CampaignResult()
     for stimulus in stimuli:
         for cycle in cycles:
-            result.injections.append(
-                inject_common_cause(program, cycle, stimulus, golden,
-                                    config=config,
-                                    max_cycles=max_cycles))
+            with tracer.span("inject", cycle=cycle,
+                             stimulus="%#x" % stimulus):
+                result.injections.append(
+                    inject_common_cause(program, cycle, stimulus,
+                                        golden, config=config,
+                                        max_cycles=max_cycles))
+    if metrics is not None:
+        result.to_metrics(metrics)
     return result
 
 

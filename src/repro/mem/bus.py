@@ -69,6 +69,22 @@ class BusStats:
     l2_misses: int = 0
     busy_cycles: int = 0
     contended_grants: int = 0
+    #: Cycles requests spent queued before their grant (arbitration +
+    #: bus-occupancy wait, summed over all granted transactions).
+    grant_wait_cycles: int = 0
+
+    def to_metrics(self, registry, labels=()):
+        """Bridge the arbiter counters into a telemetry registry."""
+        for name, value in (
+                ("transactions", self.transactions),
+                ("store_transactions", self.store_transactions),
+                ("l2_hits", self.l2_hits),
+                ("l2_misses", self.l2_misses),
+                ("busy_cycles", self.busy_cycles),
+                ("contended_grants", self.contended_grants),
+                ("grant_wait_cycles", self.grant_wait_cycles)):
+            registry.counter("repro_bus_%s_total" % name,
+                             labels).inc(value)
 
 
 class AhbBus:
@@ -130,6 +146,7 @@ class AhbBus:
             self.stats.contended_grants += 1
         req = self._pick_round_robin(eligible)
         self._queue.remove(req)
+        self.stats.grant_wait_cycles += cycle - req.issue_cycle
         req.granted = True
         req.complete_cycle = cycle + self._service_time(req)
         self._inflight = req

@@ -49,6 +49,14 @@ class CacheStats:
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def to_metrics(self, registry, labels=()):
+        """Bridge the hit/miss counters into a telemetry registry."""
+        registry.counter("repro_cache_hits_total", labels).inc(self.hits)
+        registry.counter("repro_cache_misses_total",
+                         labels).inc(self.misses)
+        registry.gauge("repro_cache_miss_rate",
+                       labels).set(self.miss_rate)
+
 
 class Cache:
     """LRU set-associative tag store."""

@@ -32,6 +32,15 @@ class StoreBufferStats:
     transactions: int = 0
     full_stalls: int = 0
 
+    def to_metrics(self, registry, labels=()):
+        """Bridge the store-buffer counters into a telemetry registry."""
+        for name, value in (("stores_accepted", self.stores_accepted),
+                            ("coalesced", self.coalesced),
+                            ("transactions", self.transactions),
+                            ("full_stalls", self.full_stalls)):
+            registry.counter("repro_storebuf_%s_total" % name,
+                             labels).inc(value)
+
 
 class StoreBuffer:
     """FIFO of pending store transactions for one core."""

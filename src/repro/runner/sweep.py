@@ -22,6 +22,7 @@ which doubles as the serial reference implementation.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -118,16 +119,23 @@ def _init_worker(config: Optional[SocConfig], mode: ReportingMode,
     _WORKER["programs"] = {}
 
 
-def _run_spec_in_worker(spec: RunSpec) -> RunResult:
-    """Execute one spec inside a pool worker (program image memoized)."""
+def _run_spec_in_worker(spec: RunSpec) -> Tuple[RunResult, float]:
+    """Execute one spec inside a pool worker (program image memoized).
+
+    Returns the result together with the worker-side wall time, so the
+    parent can report per-spec timings without trusting its own
+    scheduling-noise-laden completion deltas.
+    """
     programs = _WORKER["programs"]
     program = programs.get(spec.benchmark)
     if program is None:
         from ..workloads import program as build_program
         program = programs[spec.benchmark] = build_program(spec.benchmark)
-    return execute_spec(spec, config=_WORKER["config"],
-                        mode=_WORKER["mode"],
-                        threshold=_WORKER["threshold"], program=program)
+    start = time.perf_counter()
+    result = execute_spec(spec, config=_WORKER["config"],
+                          mode=_WORKER["mode"],
+                          threshold=_WORKER["threshold"], program=program)
+    return result, time.perf_counter() - start
 
 
 # -- the engine ---------------------------------------------------------------
@@ -149,18 +157,52 @@ class ParallelSweep:
         ``True`` for stderr progress/ETA lines, ``False`` for silence,
         or any object with ``update(description, cached)`` /
         ``finish()``.
+    metrics:
+        Optional :class:`repro.telemetry.MetricsRegistry`; every
+        ``run_cells`` folds per-spec wall time, cache hits, and worker
+        utilization into it.  Counter folds walk the canonical spec
+        order — never completion order — so counter values are
+        identical whatever ``jobs`` is (mirroring the result merge).
+    tracer:
+        Optional :class:`repro.telemetry.Tracer`; receives one span
+        per executed run plus a ``sweep`` umbrella span.
+
+    When ``jobs`` is unspecified, hosts without real parallelism
+    (``os.cpu_count() <= 2``) clamp to serial in-process execution:
+    BENCH_runtime.json on a 1-CPU container measured the pool *slower*
+    than serial (speedup 0.959) because worker spawn and pickling buy
+    nothing without spare cores.  The decision is recorded as the
+    ``repro_runner_serial_fallback`` gauge.
     """
+
+    #: ``os.cpu_count()`` at or below which ``jobs=None`` means serial.
+    SERIAL_FALLBACK_CPUS = 2
 
     def __init__(self, jobs: Optional[int] = None, use_cache: bool = True,
                  cache_dir=None, progress=False,
                  mode: ReportingMode = ReportingMode.POLLING,
-                 threshold: int = 1):
-        self.jobs = max(1, jobs if jobs is not None
-                        else (os.cpu_count() or 1))
+                 threshold: int = 1, metrics=None, tracer=None):
+        self.serial_fallback = False
+        if jobs is None:
+            cpus = os.cpu_count() or 1
+            if cpus <= self.SERIAL_FALLBACK_CPUS:
+                jobs = 1
+                self.serial_fallback = True
+            else:
+                jobs = cpus
+        self.jobs = max(1, jobs)
         self.cache = RunCache(cache_dir) if use_cache else None
         self.mode = mode
         self.threshold = threshold
+        self.metrics = metrics
+        if tracer is None:
+            from ..telemetry import NULL_TRACER
+            tracer = NULL_TRACER
+        self.tracer = tracer
         self._progress_setting = progress
+        #: Worker-side wall seconds per executed spec, last run_cells.
+        self._timings: Dict[RunSpec, float] = {}
+        self._cached_specs: set = set()
 
     # -- public API -----------------------------------------------------
 
@@ -186,8 +228,13 @@ class ParallelSweep:
             all_specs.extend(spec_lists[cell])
 
         progress = self._make_progress(len(all_specs))
-        results = self._execute(all_specs, config, progress)
+        wall_start = time.perf_counter()
+        with self.tracer.span("sweep", runs=len(all_specs),
+                              jobs=self.jobs):
+            results = self._execute(all_specs, config, progress)
         progress.finish()
+        self._record_metrics(all_specs, results,
+                             time.perf_counter() - wall_start)
 
         return {cell: merge_cell(cell[0], cell[1],
                                  [results[spec]
@@ -223,6 +270,8 @@ class ParallelSweep:
         results: Dict[RunSpec, RunResult] = {}
         keys: Dict[RunSpec, str] = {}
         pending: List[RunSpec] = []
+        self._timings = {}
+        self._cached_specs = set()
 
         if self.cache is not None:
             cfg_dig = config_digest(config)
@@ -245,6 +294,7 @@ class ParallelSweep:
                 cached = self.cache.get(key)
                 if cached is not None:
                     results[spec] = cached
+                    self._cached_specs.add(spec)
                     progress.update(spec.describe(), cached=True)
                 else:
                     pending.append(spec)
@@ -264,6 +314,49 @@ class ParallelSweep:
                 self.cache.put(keys[spec], results[spec])
         return results
 
+    def _record_metrics(self, all_specs: Sequence[RunSpec],
+                        results: Dict[RunSpec, RunResult],
+                        wall_seconds: float):
+        """Fold one run_cells pass into the attached registry.
+
+        Counter folds iterate ``all_specs`` (the canonical protocol
+        order), exactly like result merging — so ``jobs=1`` and
+        ``jobs=N`` sweeps produce identical counter values.  Gauges
+        and the wall-time histogram carry the schedule-dependent part
+        (timings, utilization) and are excluded from that guarantee.
+        """
+        registry = self.metrics
+        if registry is None:
+            return
+        registry.gauge("repro_runner_jobs").set(self.jobs)
+        registry.gauge("repro_runner_serial_fallback").set(
+            1 if self.serial_fallback else 0)
+        runs = registry.counter("repro_runner_runs_total")
+        cached = registry.counter("repro_runner_cache_hits_total")
+        executed = registry.counter("repro_runner_executed_total")
+        cycles = registry.counter("repro_runner_simulated_cycles_total")
+        committed = registry.counter("repro_runner_committed_total")
+        no_div = registry.counter(
+            "repro_runner_no_diversity_cycles_total")
+        seconds = registry.histogram("repro_runner_run_seconds")
+        for spec in all_specs:
+            result = results[spec]
+            runs.inc()
+            cycles.inc(result.cycles)
+            committed.inc(result.committed)
+            no_div.inc(result.no_diversity_cycles)
+            if spec in self._cached_specs:
+                cached.inc()
+            else:
+                executed.inc()
+                timing = self._timings.get(spec)
+                if timing is not None:
+                    seconds.observe(timing)
+        busy = sum(self._timings.values())
+        if wall_seconds > 0:
+            registry.gauge("repro_runner_worker_utilization").set(
+                busy / (wall_seconds * self.jobs))
+
     def _execute_serial(self, pending, config, results, progress):
         programs: Dict[str, Program] = {}
         from ..workloads import program as build_program
@@ -272,10 +365,13 @@ class ParallelSweep:
             if program is None:
                 program = programs[spec.benchmark] = \
                     build_program(spec.benchmark)
-            results[spec] = execute_spec(spec, config=config,
-                                         mode=self.mode,
-                                         threshold=self.threshold,
-                                         program=program)
+            with self.tracer.span("run", spec=spec.describe()):
+                start = time.perf_counter()
+                results[spec] = execute_spec(spec, config=config,
+                                             mode=self.mode,
+                                             threshold=self.threshold,
+                                             program=program)
+                self._timings[spec] = time.perf_counter() - start
             progress.update(spec.describe())
 
     def _execute_pool(self, pending, config, results, progress):
@@ -287,5 +383,11 @@ class ParallelSweep:
                        for spec in pending}
             for future in as_completed(futures):
                 spec = futures[future]
-                results[spec] = future.result()
+                results[spec], seconds = future.result()
+                self._timings[spec] = seconds
+                # Worker-side duration, placed at the parent-observed
+                # completion instant (start is therefore approximate).
+                done_at = self.tracer.now()
+                self.tracer.add_event("run", done_at - seconds, seconds,
+                                      tid=1, spec=spec.describe())
                 progress.update(spec.describe())

@@ -74,16 +74,38 @@ def run_redundant(program: Program, benchmark: str = "program",
                   threshold: int = 1,
                   max_cycles: int = 2_000_000,
                   rr_start: int = 0,
-                  soc_hook: Optional[Callable[[MPSoC], None]] = None
-                  ) -> RunResult:
-    """Run ``program`` redundantly on a fresh MPSoC and report counters."""
-    soc = MPSoC(config=config, mode=mode, threshold=threshold,
-                rr_start=rr_start)
-    soc.start_redundant(program, late_core=late_core,
-                        stagger_nops=stagger_nops)
+                  soc_hook: Optional[Callable[[MPSoC], None]] = None,
+                  metrics=None, tracer=None) -> RunResult:
+    """Run ``program`` redundantly on a fresh MPSoC and report counters.
+
+    ``metrics`` (a :class:`repro.telemetry.MetricsRegistry`) receives
+    per-cycle diversity verdicts plus the end-of-run state of every
+    layer; ``tracer`` (a :class:`repro.telemetry.Tracer`) receives
+    spans for platform build, program load, and the cycle loop.  Both
+    are purely observational: counters in the returned
+    :class:`RunResult` are bit-identical with or without them.
+    """
+    if tracer is None:
+        from ..telemetry import NULL_TRACER
+        tracer = NULL_TRACER
+    with tracer.span("soc_build", benchmark=benchmark):
+        soc = MPSoC(config=config, mode=mode, threshold=threshold,
+                    rr_start=rr_start)
+    with tracer.span("load_program", benchmark=benchmark,
+                     stagger_nops=stagger_nops):
+        soc.start_redundant(program, late_core=late_core,
+                            stagger_nops=stagger_nops)
     if soc_hook is not None:
         soc_hook(soc)
-    cycles = soc.run(max_cycles=max_cycles)
+    if metrics is not None:
+        soc.attach_telemetry(metrics)
+    with tracer.span("cycle_loop", benchmark=benchmark,
+                     stagger_nops=stagger_nops, late_core=late_core,
+                     rr_start=rr_start):
+        cycles = soc.run(max_cycles=max_cycles)
+    if metrics is not None:
+        with tracer.span("collect_metrics", benchmark=benchmark):
+            soc.collect_metrics(metrics)
     stats = soc.safedm.stats
     diff_stats = soc.safedm.instruction_diff.stats
     finished = all(soc.cores[idx].finished for idx in soc.monitored)

@@ -184,6 +184,23 @@ class MPSoC:
             monitor.finish()
         return self.cycle - start
 
+    # -- telemetry -----------------------------------------------------------------
+
+    def attach_telemetry(self, registry):
+        """Bind each monitor's per-cycle verdict counters to ``registry``.
+
+        Purely observational, like SafeDM itself: attaching telemetry
+        never changes a simulated cycle or a reproduced counter.
+        """
+        for pair, monitor in enumerate(self.monitors):
+            monitor.attach_metrics(registry, pair=pair)
+
+    def collect_metrics(self, registry):
+        """Fold the whole platform's state into ``registry``
+        (see :func:`repro.telemetry.collect_soc`)."""
+        from ..telemetry import collect_soc
+        collect_soc(self, registry)
+
     # -- host access (the paper's testbench role) ---------------------------------
 
     def apb_read(self, offset: int) -> int:

@@ -1,0 +1,76 @@
+"""Observability subsystem: metrics, spans, exports.
+
+Three pieces, designed to cost nothing when unused:
+
+* :class:`MetricsRegistry` — counters / gauges / fixed-bucket
+  histograms, dict-slot based; :data:`NULL_REGISTRY` is the shared
+  disabled twin whose every update is a no-op.
+* :class:`Tracer` — phase spans (decode, cycle loop, sweep workers,
+  campaign injections) exported as Chrome ``about://tracing`` JSON;
+  :data:`NULL_TRACER` is the disabled twin.
+* exporters — Prometheus text exposition (:func:`to_prometheus`) and
+  JSON snapshots (:func:`write_snapshot` / :func:`load_snapshot` /
+  :func:`registry_from_snapshot`).
+
+Metric names follow ``repro_<layer>_<name>`` (see DESIGN.md,
+"Observability").  The CLI surfaces all of this as ``--metrics`` /
+``--trace`` flags on ``repro run`` / ``repro table1`` /
+``repro campaign`` and the ``repro metrics`` snapshot pretty-printer.
+"""
+
+from .collect import (
+    collect_bus,
+    collect_core,
+    collect_monitor,
+    collect_soc,
+)
+from .export import (
+    SNAPSHOT_SCHEMA_VERSION,
+    load_snapshot,
+    parse_prometheus,
+    registry_from_snapshot,
+    snapshot,
+    snapshot_rows,
+    to_prometheus,
+    write_snapshot,
+)
+from .registry import (
+    DEFAULT_TIME_BUCKETS,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    canonical_labels,
+)
+from .tracer import NULL_TRACER, NullTracer, SpanEvent, Tracer
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "SpanEvent",
+    "Tracer",
+    "canonical_labels",
+    "collect_bus",
+    "collect_core",
+    "collect_monitor",
+    "collect_soc",
+    "load_snapshot",
+    "parse_prometheus",
+    "registry_from_snapshot",
+    "snapshot",
+    "snapshot_rows",
+    "to_prometheus",
+    "write_snapshot",
+]

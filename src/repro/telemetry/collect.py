@@ -1,0 +1,103 @@
+"""Bridges from simulator state to the metrics registry.
+
+Each layer's stats dataclass knows how to pour itself into a registry
+(``to_metrics``); this module owns the cross-layer orchestration — the
+label scheme (``core``, ``cache``, ``pair``) and the gauges that are
+derived from live object state rather than accumulated counters (FIFO
+occupancy, IPC, resident cache lines, digest fast/slow-path totals).
+
+Collection is an end-of-run activity: the per-cycle loop only touches
+the few counters :meth:`DiversityMonitor.attach_metrics` binds, and
+everything else is folded out of the stats objects the simulator
+already maintains — observability never adds a second set of per-cycle
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from .registry import MetricsRegistry
+
+
+def _core_labels(core_id: int):
+    return (("core", str(core_id)),)
+
+
+def collect_core(core, registry: MetricsRegistry):
+    """Fold one core's pipeline, cache, and store-buffer state."""
+    labels = _core_labels(core.core_id)
+    core.stats.to_metrics(registry, labels=labels)
+    registry.gauge("repro_cpu_ipc", labels).set(core.stats.ipc)
+    for cache in (core.icache, core.dcache):
+        cache_labels = labels + (("cache", cache.config.name),)
+        cache.stats.to_metrics(registry, labels=cache_labels)
+        registry.gauge("repro_cache_resident_lines",
+                       cache_labels).set(cache.resident_lines())
+    core.store_buffer.stats.to_metrics(registry, labels=labels)
+    registry.gauge("repro_storebuf_occupancy",
+                   labels).set(core.store_buffer.occupancy)
+
+
+def collect_bus(bus, registry: MetricsRegistry):
+    """Fold the AHB arbiter and shared-L2 state."""
+    bus.stats.to_metrics(registry)
+    l2_labels = (("cache", bus.l2.config.name),)
+    bus.l2.stats.to_metrics(registry, labels=l2_labels)
+    registry.gauge("repro_cache_resident_lines",
+                   l2_labels).set(bus.l2.resident_lines())
+    registry.gauge("repro_bus_pending_requests",
+                   ()).set(bus.pending_requests())
+
+
+def collect_monitor(monitor, registry: MetricsRegistry, pair: int = 0):
+    """Fold one SafeDM instance's verdicts and signature-unit state.
+
+    Verdict counters come from the per-cycle hook when one is attached
+    (see :meth:`DiversityMonitor.attach_metrics`); otherwise they are
+    bridged from :class:`MonitorStats` here.  The two sources are
+    mutually exclusive, never additive.
+    """
+    from ..core import signatures
+
+    labels = (("pair", str(pair)),)
+    if not monitor.has_metrics_attached():
+        monitor.stats.to_metrics(registry, labels=labels)
+    registry.counter("repro_monitor_interrupts_total",
+                     labels).value = monitor.stats.interrupts_raised
+    registry.gauge("repro_monitor_staggering",
+                   labels).set(monitor.instruction_diff.diff)
+
+    # Digest fast/slow comparison path accounting: the DS digest fast
+    # path exists only in every-cycle sampling mode, and the debug
+    # cross-check mode runs the structural slow path as well.
+    sampled = monitor.stats.sampled_cycles
+    ds_fast = sampled if monitor.config.sample_every_cycle else 0
+    slow = sampled - ds_fast
+    if signatures.DEBUG_SIGNATURE_CHECKS:
+        slow = sampled
+    registry.counter("repro_monitor_digest_fast_path_cycles_total",
+                     labels).value = ds_fast
+    registry.counter("repro_monitor_digest_slow_path_cycles_total",
+                     labels).value = slow
+
+    for side, (ds, is_unit) in enumerate(zip(monitor.ds_units,
+                                             monitor.is_units)):
+        unit_labels = labels + (("core", str(side)),)
+        registry.gauge("repro_monitor_ds_fifo_occupancy",
+                       unit_labels).set(ds.config.ds_depth
+                                        if ds.config.sample_every_cycle
+                                        else sum(len(f)
+                                                 for f in ds._fifos))
+        live = sum(1 for item in is_unit.signature()
+                   if (item[0] if isinstance(item, tuple) else item))
+        registry.gauge("repro_monitor_is_live_slots",
+                       unit_labels).set(live)
+
+
+def collect_soc(soc, registry: MetricsRegistry):
+    """Fold a finished (or paused) MPSoC into ``registry``."""
+    registry.counter("repro_soc_cycles_total").value = soc.cycle
+    for core in soc.cores:
+        collect_core(core, registry)
+    collect_bus(soc.bus, registry)
+    for pair, monitor in enumerate(soc.monitors):
+        collect_monitor(monitor, registry, pair=pair)

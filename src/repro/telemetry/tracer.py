@@ -1,0 +1,164 @@
+"""Phase timing: spans with Chrome ``about://tracing`` JSON export.
+
+A :class:`Tracer` records *complete* events ("ph": "X" in the Chrome
+trace event format): name, category, start timestamp and duration,
+plus free-form args.  Spans cover the simulator's coarse phases —
+program build/decode, the cycle loop, sweep workers, campaign
+injections — not per-cycle work; per-cycle observability is the
+metrics registry's job.
+
+The exported file loads directly in ``about://tracing`` /
+https://ui.perfetto.dev.  Timestamps are microseconds relative to the
+tracer's creation, so traces from one process line up on a shared
+zero.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SpanEvent:
+    """One finished span (a Chrome "X" complete event)."""
+
+    name: str
+    category: str
+    #: Start offset from the tracer origin, seconds.
+    start: float
+    #: Duration, seconds.
+    duration: float
+    args: Dict[str, object] = field(default_factory=dict)
+    tid: int = 0
+
+
+class _OpenSpan:
+    """Context manager handed out by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 args: Dict[str, object]):
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._args = args
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = self._tracer._now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        tracer = self._tracer
+        tracer.add_event(self._name, self._start,
+                         tracer._now() - self._start,
+                         category=self._category, **self._args)
+        return False
+
+
+class Tracer:
+    """Collects spans; exports the Chrome trace event JSON format."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._origin = clock()
+        self.events: List[SpanEvent] = []
+
+    def _now(self) -> float:
+        return self._clock() - self._origin
+
+    def now(self) -> float:
+        """Seconds since the tracer's origin (for add_event placement)."""
+        return self._now()
+
+    def span(self, name: str, category: str = "repro", **args):
+        """Context manager timing one phase: ``with tracer.span("x"):``."""
+        return _OpenSpan(self, name, category, args)
+
+    def add_event(self, name: str, start: float, duration: float,
+                  category: str = "repro", tid: int = 0, **args):
+        """Record an already-measured phase (used by the sweep engine
+        for worker-side durations surfaced at the parent)."""
+        self.events.append(SpanEvent(name=name, category=category,
+                                     start=start, duration=duration,
+                                     args=args, tid=tid))
+
+    # -- export ---------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """The trace as a Chrome/Perfetto ``traceEvents`` document."""
+        pid = os.getpid()
+        return {
+            "displayTimeUnit": "ms",
+            "traceEvents": [
+                {
+                    "name": ev.name,
+                    "cat": ev.category,
+                    "ph": "X",
+                    "ts": round(ev.start * 1e6, 3),
+                    "dur": round(ev.duration * 1e6, 3),
+                    "pid": pid,
+                    "tid": ev.tid,
+                    "args": ev.args,
+                }
+                for ev in self.events
+            ],
+        }
+
+    def save(self, path: str):
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1,
+                      sort_keys=True)
+            handle.write("\n")
+
+    def total_seconds(self, name: Optional[str] = None) -> float:
+        """Summed duration of all events (or those named ``name``)."""
+        return sum(ev.duration for ev in self.events
+                   if name is None or ev.name == name)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Do-nothing tracer (same surface as :class:`Tracer`)."""
+
+    events: List[SpanEvent] = []
+
+    def now(self) -> float:
+        return 0.0
+
+    def span(self, name: str, category: str = "repro", **args):
+        return _NULL_SPAN
+
+    def add_event(self, name: str, start: float, duration: float,
+                  category: str = "repro", tid: int = 0, **args):
+        pass
+
+    def total_seconds(self, name: Optional[str] = None) -> float:
+        return 0.0
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The shared disabled tracer.
+NULL_TRACER = NullTracer()

@@ -33,6 +33,44 @@ class SignatureTrace:
     def append(self, sample: SignatureSample):
         self.samples.append(sample)
 
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def to_metrics(self, registry):
+        """Fold the captured samples into a telemetry registry.
+
+        Bridges a finished trace; there is no per-sample bookkeeping
+        beyond the list the trace already keeps.
+        """
+        samples = registry.counter("repro_trace_samples_total")
+        no_data = registry.counter(
+            "repro_trace_no_data_diversity_cycles_total")
+        no_instr = registry.counter(
+            "repro_trace_no_instruction_diversity_cycles_total")
+        no_div = registry.counter(
+            "repro_trace_no_diversity_cycles_total")
+        zero_stag = registry.counter(
+            "repro_trace_zero_staggering_cycles_total")
+        for sample in self.samples:
+            samples.inc()
+            if not sample.data_diversity:
+                no_data.inc()
+            if not sample.instruction_diversity:
+                no_instr.inc()
+            if not sample.diversity:
+                no_div.inc()
+            if sample.staggering == 0:
+                zero_stag.inc()
+        episodes = self.no_diversity_episodes()
+        registry.counter("repro_trace_no_diversity_episodes_total"
+                         ).inc(len(episodes))
+        if episodes:
+            registry.gauge("repro_trace_longest_no_diversity_episode"
+                           ).set(max(length for _, length in episodes))
+
     def no_diversity_episodes(self) -> List[tuple]:
         """(start_cycle, length) of each consecutive no-diversity run."""
         episodes = []
