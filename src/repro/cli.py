@@ -9,6 +9,9 @@ Commands:
   (all 29 by default), parallel across cores and run-cached.
 * ``campaign <kernel> [--injections N] [--shared]`` — CCF
   fault-injection campaign with SafeDM cross-referencing.
+* ``lint [kernels...|--all] [--format text|json]`` — static analysis
+  (CFG + dataflow diagnostics) over kernel images; non-zero exit on
+  error-severity findings.
 * ``metrics <snapshot.json>`` — pretty-print a telemetry snapshot.
 * ``list`` — available kernels with category and description.
 * ``figures`` — regenerate Figs. 1-4 as structural descriptions.
@@ -178,6 +181,52 @@ def _cmd_campaign(args) -> int:
     return 0 if result.silent_despite_diversity == 0 else 1
 
 
+def _cmd_lint(args) -> int:
+    import json
+
+    from .lint import lint_workload
+    from .workloads import all_names
+    names = (all_names() if args.all or not args.kernels
+             else list(args.kernels))
+    metrics, tracer = _make_telemetry(args)
+
+    reports = []
+    for name in names:
+        if tracer is not None:
+            with tracer.span("lint", category="lint", kernel=name):
+                report = lint_workload(name)
+        else:
+            report = lint_workload(name)
+        if metrics is not None:
+            from .telemetry import collect_lint
+            collect_lint(report, metrics)
+        reports.append(report)
+
+    ok = all(report.ok for report in reports)
+    if args.format == "json":
+        print(json.dumps({"ok": ok,
+                          "reports": [r.to_dict() for r in reports]},
+                         indent=2))
+    else:
+        for report in reports:
+            for diag in report.diagnostics:
+                print("%s:%s: %s %s: %s"
+                      % (report.name, diag.lineno or "?", diag.code,
+                         diag.severity, diag.message))
+        rows = [(r.name, r.block_count, r.instr_count, len(r.errors),
+                 len(r.warnings), len(r.suppressed)) for r in reports]
+        print(format_columns(rows, headers=("kernel", "blocks",
+                                            "instructions", "errors",
+                                            "warnings", "suppressed")))
+        print("%d kernel(s) linted, %d finding(s), %d error(s)"
+              % (len(reports),
+                 sum(len(r.diagnostics) for r in reports),
+                 sum(len(r.errors) for r in reports)))
+    _save_telemetry(args, metrics, tracer, command="lint",
+                    kernels=len(names))
+    return 0 if ok else 1
+
+
 def _cmd_metrics(args) -> int:
     from .telemetry import load_snapshot, snapshot_rows
     doc = load_snapshot(args.snapshot)
@@ -293,6 +342,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--max-cycles", type=int, default=200_000)
     _add_telemetry_flags(p_camp)
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis (CFG + dataflow) over kernels")
+    p_lint.add_argument("kernels", nargs="*",
+                        help="kernels to lint (default: all 29)")
+    p_lint.add_argument("--all", action="store_true",
+                        help="lint every registered kernel (explicit "
+                             "form of the no-argument default)")
+    p_lint.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    _add_telemetry_flags(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_met = sub.add_parser("metrics",
                            help="pretty-print a telemetry snapshot")

@@ -14,7 +14,7 @@ from .disassembler import disassemble_program, disassemble_word
 from .encoder import EncodingError, encode
 from .instruction import FetchedInstruction, Instruction
 from .opcodes import NOP_WORD, SPECS, InstructionSpec
-from .program import Program
+from .program import DebugInfo, Program
 from .registers import (
     NUM_REGISTERS,
     XLEN,
@@ -29,6 +29,7 @@ from .registers import (
 __all__ = [
     "Assembler",
     "AssemblerError",
+    "DebugInfo",
     "DecodeError",
     "EncodingError",
     "FetchedInstruction",

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 from .encoder import encode
 from .instruction import Instruction
 from .opcodes import SPECS
-from .program import Program
+from .program import DebugInfo, Program
 from .registers import parse_register
 
 
@@ -56,6 +56,8 @@ class _Item:
     operands: Optional[List[str]] = None
     # For data:
     data: Optional[bytes] = None
+    #: Second or later word of a multi-word pseudo expansion (li/la).
+    pseudo_interior: bool = False
 
 
 class Assembler:
@@ -77,13 +79,31 @@ class Assembler:
         image = self._second_pass(items, symbols)
         entry = symbols.get(entry_label, self.base)
         return Program(base=self.base, image=image, symbols=dict(symbols),
-                       entry=entry)
+                       entry=entry, debug=self._debug_info(items))
+
+    @staticmethod
+    def _debug_info(items: List[_Item]) -> DebugInfo:
+        line_map = {}
+        interiors = set()
+        data = set()
+        for item in items:
+            if item.data is not None:
+                data.update(range(item.address,
+                                  item.address + len(item.data), 4))
+                continue
+            line_map[item.address] = item.lineno
+            if item.pseudo_interior:
+                interiors.add(item.address)
+        return DebugInfo(line_map=line_map,
+                         pseudo_interiors=frozenset(interiors),
+                         data_addresses=frozenset(data))
 
     # -- pass 1: parse, expand pseudo-instructions, place labels ---------
 
     def _first_pass(self, source: str):
         items: List[_Item] = []
         symbols: Dict[str, int] = {}
+        label_lines: Dict[str, int] = {}
         equs: Dict[str, int] = getattr(self, "_equs", {})
         pc = self.base
 
@@ -95,8 +115,11 @@ class Assembler:
                     break
                 label = match.group(1)
                 if label in symbols:
-                    raise AssemblerError("duplicate label %r" % label, lineno)
+                    raise AssemblerError(
+                        "duplicate label %r (first defined at line %d)"
+                        % (label, label_lines[label]), lineno)
                 symbols[label] = pc
+                label_lines[label] = lineno
                 line = line[match.end():].strip()
             if not line:
                 continue
@@ -107,10 +130,11 @@ class Assembler:
 
             mnemonic, operands = self._split_statement(line, lineno)
             expansion = self._expand(mnemonic, operands, equs, lineno)
-            for exp_mnemonic, exp_operands in expansion:
+            for index, (exp_mnemonic, exp_operands) in enumerate(expansion):
                 items.append(_Item(address=pc, lineno=lineno,
                                    mnemonic=exp_mnemonic,
-                                   operands=exp_operands))
+                                   operands=exp_operands,
+                                   pseudo_interior=index > 0))
                 pc += 4
         return items, symbols
 
@@ -179,7 +203,6 @@ class Assembler:
 
     def _expand(self, mnemonic, operands, equs, lineno):
         """Return a list of (mnemonic, operands) concrete statements."""
-        expand = self._expand  # for recursion
         ops = operands
         if mnemonic == "nop":
             return [("addi", ["x0", "x0", "0"])]

@@ -3,7 +3,24 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, FrozenSet, Optional
+
+
+@dataclass(frozen=True)
+class DebugInfo:
+    """Optional source-level metadata attached by the assembler.
+
+    ``line_map`` maps instruction addresses to the 1-based source line
+    they were assembled from.  ``pseudo_interiors`` holds addresses of
+    the second and later words of a multi-word pseudo-instruction
+    expansion (``li``/``la``): jumping into the middle of such a
+    sequence executes a half-built constant.  ``data_addresses`` holds
+    the word-aligned addresses covered by data directives.
+    """
+
+    line_map: Dict[int, int] = field(default_factory=dict)
+    pseudo_interiors: FrozenSet[int] = frozenset()
+    data_addresses: FrozenSet[int] = frozenset()
 
 
 @dataclass
@@ -12,12 +29,15 @@ class Program:
 
     ``image`` maps base addresses to byte blobs (normally a single blob
     at ``base``).  ``symbols`` maps label names to absolute addresses.
+    ``debug`` carries assembler-produced :class:`DebugInfo` when the
+    image came from assembly text (``None`` for raw images).
     """
 
     base: int
     image: Dict[int, bytes]
     symbols: Dict[str, int] = field(default_factory=dict)
     entry: int = 0
+    debug: Optional[DebugInfo] = None
 
     @property
     def size(self) -> int:

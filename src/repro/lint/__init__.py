@@ -1,0 +1,65 @@
+"""Static analysis over the RV64 assembly kernels.
+
+Public API:
+
+* :func:`lint_workload` / :func:`lint_source` / :func:`lint_program` —
+  run every registered rule, returning a :class:`LintReport`
+* :class:`ControlFlowGraph` / :func:`build_cfg` — basic blocks + edges
+* :func:`solve` with :class:`ReachingDefinitions` / :class:`Liveness` —
+  the generic dataflow layer
+* :data:`RULES` / :func:`all_rules` — the diagnostic registry
+
+See DESIGN.md's "Static analysis" section for the rule table.
+"""
+
+from .cfg import EXIT, BasicBlock, ControlFlowGraph, build_cfg
+from .dataflow import (
+    DataflowProblem,
+    DataflowResult,
+    Liveness,
+    ReachingDefinitions,
+    solve,
+)
+from .diagnostics import (
+    ERROR,
+    INFO,
+    RULES,
+    WARNING,
+    Diagnostic,
+    Rule,
+    all_rules,
+)
+from .engine import (
+    LintContext,
+    LintReport,
+    lint_program,
+    lint_source,
+    lint_workload,
+    parse_suppressions,
+)
+from . import rules as _rules  # noqa: F401  (registers L001-L009)
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "DataflowProblem",
+    "DataflowResult",
+    "Diagnostic",
+    "ERROR",
+    "EXIT",
+    "INFO",
+    "LintContext",
+    "LintReport",
+    "Liveness",
+    "ReachingDefinitions",
+    "RULES",
+    "Rule",
+    "WARNING",
+    "all_rules",
+    "build_cfg",
+    "lint_program",
+    "lint_source",
+    "lint_workload",
+    "parse_suppressions",
+    "solve",
+]

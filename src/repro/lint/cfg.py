@@ -1,0 +1,329 @@
+"""Control-flow graph construction over assembled :class:`Program` images.
+
+The builder performs a linear sweep over the image words (reusing the
+table-driven :func:`repro.isa.decoder.decode`), splits the instruction
+stream into basic blocks at branch targets and after control transfers,
+and wires edges:
+
+* conditional branches: taken edge + fall-through edge,
+* ``jal`` without a link register (``j``): jump edge,
+* ``jal`` with a link register (``call``): call edge to the callee,
+* ``jalr x0, 0(ra|t0)`` (``ret``): return edges to the return sites of
+  the owning function (call sites are grouped per callee so a return
+  only flows back to its own callers),
+* other ``jalr``: statically-unknown indirect target — the block is
+  flagged ``has_unknown_target`` (indirect *calls* still get an edge to
+  their return site),
+* ``ebreak``/``ecall``: edge to the synthetic exit block.
+
+Data directives recorded in :class:`~repro.isa.program.DebugInfo` (and
+words that fail to decode) are excluded from the sweep, so constant
+pools never masquerade as unreachable code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa.decoder import DecodeError, decode
+from ..isa.instruction import Instruction
+from ..isa.program import Program
+
+#: Registers treated as link registers for call/return discovery
+#: (``ra`` and the alternate link register ``t0``, per the RISC-V
+#: calling convention).
+LINK_REGISTERS = frozenset((1, 5))
+
+#: Virtual program-exit block id (``ebreak``/``ecall`` successors).
+EXIT = -1
+
+
+def _is_halt(instr: Instruction) -> bool:
+    return instr.mnemonic in ("ebreak", "ecall")
+
+
+def _is_call(instr: Instruction) -> bool:
+    return instr.mnemonic == "jal" and instr.rd in LINK_REGISTERS
+
+
+def _is_return(instr: Instruction) -> bool:
+    return (instr.mnemonic == "jalr" and instr.rd == 0
+            and instr.rs1 in LINK_REGISTERS)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run.
+
+    ``succs``/``preds`` hold block start addresses (:data:`EXIT` for
+    the virtual exit).  The exit block itself has ``start == EXIT`` and
+    no instructions.
+    """
+
+    start: int
+    instrs: List[Tuple[int, Instruction]] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+    #: Ends in a ``jalr`` whose target set is statically unknown.
+    has_unknown_target: bool = False
+
+    @property
+    def is_exit(self) -> bool:
+        return self.start == EXIT
+
+    @property
+    def end(self) -> int:
+        """One past the last instruction address."""
+        if not self.instrs:
+            return self.start
+        return self.instrs[-1][0] + 4
+
+    @property
+    def terminator(self) -> Optional[Tuple[int, Instruction]]:
+        """The final ``(pc, instr)`` if it transfers control, else None."""
+        if not self.instrs:
+            return None
+        pc, instr = self.instrs[-1]
+        if instr.spec.is_control or _is_halt(instr):
+            return pc, instr
+        return None
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+class ControlFlowGraph:
+    """Basic blocks plus edges for one :class:`Program` image."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.entry = program.entry
+        #: pc -> Instruction for every decodable non-data word.
+        self.instrs: Dict[int, Instruction] = {}
+        #: Branch/jump operands that do not land on an instruction:
+        #: ``(pc, target)`` pairs, for the bad-target lint rule.
+        self.invalid_targets: List[Tuple[int, int]] = []
+        #: start pc -> BasicBlock (includes the virtual exit block).
+        self._blocks: Dict[int, BasicBlock] = {}
+        self._build()
+
+    # -- queries ---------------------------------------------------------
+
+    def blocks(self) -> List[BasicBlock]:
+        """Real (non-exit) blocks in address order."""
+        return [self._blocks[s] for s in sorted(self._blocks) if s != EXIT]
+
+    def all_blocks(self) -> List[BasicBlock]:
+        """All blocks including the virtual exit, exit last."""
+        return self.blocks() + [self._blocks[EXIT]]
+
+    @property
+    def exit_block(self) -> BasicBlock:
+        return self._blocks[EXIT]
+
+    def block(self, start: int) -> BasicBlock:
+        return self._blocks[start]
+
+    def block_containing(self, pc: int) -> Optional[BasicBlock]:
+        """The block whose address range covers ``pc``, if any."""
+        for blk in self.blocks():
+            if blk.start <= pc < blk.end:
+                return blk
+        return None
+
+    @property
+    def entry_block(self) -> Optional[BasicBlock]:
+        return self._blocks.get(self.entry)
+
+    def reachable(self) -> Set[int]:
+        """Block starts reachable from the entry block."""
+        if self.entry not in self._blocks:
+            return set()
+        seen = set()
+        stack = [self.entry]
+        while stack:
+            start = stack.pop()
+            if start in seen:
+                continue
+            seen.add(start)
+            stack.extend(s for s in self._blocks[start].succs
+                         if s not in seen)
+        return seen
+
+    def reaches_exit(self) -> Set[int]:
+        """Block starts from which the exit block is reachable."""
+        seen = set()
+        stack = [EXIT]
+        while stack:
+            start = stack.pop()
+            if start in seen:
+                continue
+            seen.add(start)
+            stack.extend(p for p in self._blocks[start].preds
+                         if p not in seen)
+        return seen
+
+    def to_dot(self) -> str:
+        """Graphviz rendering (debugging aid)."""
+        lines = ["digraph cfg {", "  node [shape=box fontname=monospace];"]
+        for blk in self.all_blocks():
+            if blk.is_exit:
+                lines.append('  exit [label="EXIT" shape=doublecircle];')
+                continue
+            body = "\\l".join("%#x: %s" % (pc, instr.text())
+                              for pc, instr in blk.instrs)
+            lines.append('  b%x [label="%s\\l"];' % (blk.start, body))
+        for blk in self.all_blocks():
+            src = "exit" if blk.is_exit else "b%x" % blk.start
+            for succ in blk.succs:
+                dst = "exit" if succ == EXIT else "b%x" % succ
+                lines.append("  %s -> %s;" % (src, dst))
+        lines.append("}")
+        return "\n".join(lines)
+
+    # -- construction ----------------------------------------------------
+
+    def _build(self):
+        self._decode_words()
+        leaders = self._find_leaders()
+        self._form_blocks(leaders)
+        calls = self._call_sites()
+        regions = self._function_regions(calls)
+        self._wire_edges(calls, regions)
+
+    def _decode_words(self):
+        debug = self.program.debug
+        data = debug.data_addresses if debug else frozenset()
+        for pc, word in self.program.words():
+            if pc in data:
+                continue
+            try:
+                self.instrs[pc] = decode(word)
+            except DecodeError:
+                pass  # data not covered by debug info
+
+    def _branch_target(self, pc: int, instr: Instruction) -> Optional[int]:
+        """Static target of a pc-relative branch/jal, else None."""
+        if instr.iclass == "branch" or instr.mnemonic == "jal":
+            return pc + instr.imm
+        return None
+
+    def _find_leaders(self) -> Set[int]:
+        leaders = {self.entry}
+        for pc in self.instrs:
+            if pc - 4 not in self.instrs:
+                leaders.add(pc)  # first instruction after a gap
+        for pc, instr in self.instrs.items():
+            target = self._branch_target(pc, instr)
+            if target is not None:
+                if target in self.instrs:
+                    leaders.add(target)
+                else:
+                    self.invalid_targets.append((pc, target))
+            if instr.spec.is_control or _is_halt(instr):
+                if pc + 4 in self.instrs:
+                    leaders.add(pc + 4)
+        return leaders
+
+    def _form_blocks(self, leaders: Set[int]):
+        current: Optional[BasicBlock] = None
+        for pc in sorted(self.instrs):
+            instr = self.instrs[pc]
+            if current is None or pc in leaders:
+                current = BasicBlock(start=pc)
+                self._blocks[pc] = current
+            current.instrs.append((pc, instr))
+            if instr.spec.is_control or _is_halt(instr):
+                current = None
+        self._blocks[EXIT] = BasicBlock(start=EXIT)
+
+    def _call_sites(self) -> Dict[int, List[int]]:
+        """callee entry -> return-site addresses, for `jal link, f`."""
+        calls: Dict[int, List[int]] = {}
+        for pc, instr in self.instrs.items():
+            if _is_call(instr):
+                target = pc + instr.imm
+                if target in self.instrs:
+                    calls.setdefault(target, []).append(pc + 4)
+        return calls
+
+    def _function_regions(self, calls: Dict[int, List[int]]):
+        """block start -> owning callee entry, walking each function
+        body from its entry and stepping *over* nested calls."""
+        owner: Dict[int, int] = {}
+        for entry in calls:
+            if entry not in self._blocks:
+                continue
+            stack = [entry]
+            while stack:
+                start = stack.pop()
+                if start not in self._blocks or start in owner:
+                    continue
+                owner[start] = entry
+                blk = self._blocks[start]
+                term = blk.terminator
+                if term is None:
+                    if blk.end in self._blocks:
+                        stack.append(blk.end)
+                    continue
+                pc, instr = term
+                if _is_return(instr) or _is_halt(instr):
+                    continue
+                if _is_call(instr):
+                    if pc + 4 in self._blocks:
+                        stack.append(pc + 4)  # assume the call returns
+                    continue
+                target = self._branch_target(pc, instr)
+                if target is not None and target in self._blocks:
+                    stack.append(target)
+                if instr.iclass == "branch" and pc + 4 in self._blocks:
+                    stack.append(pc + 4)
+        return owner
+
+    def _wire_edges(self, calls: Dict[int, List[int]], owner):
+        all_return_sites = sorted(site for sites in calls.values()
+                                  for site in sites)
+        for blk in self.blocks():
+            term = blk.terminator
+            if term is None:
+                if blk.end in self._blocks:
+                    blk.succs.append(blk.end)
+                continue
+            pc, instr = term
+            if _is_halt(instr):
+                blk.succs.append(EXIT)
+                continue
+            if instr.iclass == "branch":
+                target = pc + instr.imm
+                if target in self._blocks:
+                    blk.succs.append(target)
+                if pc + 4 in self._blocks:
+                    blk.succs.append(pc + 4)
+                continue
+            if instr.mnemonic == "jal":
+                target = pc + instr.imm
+                if target in self._blocks:
+                    blk.succs.append(target)
+                continue
+            # jalr family.
+            if _is_return(instr):
+                entry = owner.get(blk.start)
+                sites = (calls.get(entry, []) if entry is not None
+                         else all_return_sites)
+                if not sites:
+                    blk.has_unknown_target = True
+                blk.succs.extend(s for s in sorted(set(sites))
+                                 if s in self._blocks)
+                continue
+            blk.has_unknown_target = True
+            if instr.rd in LINK_REGISTERS and pc + 4 in self._blocks:
+                blk.succs.append(pc + 4)  # indirect call: assume return
+        for blk in self.all_blocks():
+            for succ in blk.succs:
+                self._blocks[succ].preds.append(blk.start)
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Build the :class:`ControlFlowGraph` of ``program``."""
+    return ControlFlowGraph(program)

@@ -1,0 +1,161 @@
+"""Generic iterative dataflow solving over a :class:`ControlFlowGraph`.
+
+Problems are set-valued with a union meet (may-analyses), which covers
+everything the lint rules need: reaching definitions (forward) and
+register liveness (backward).  A problem supplies a per-instruction
+transfer function; the solver folds it over blocks and iterates a
+worklist to the fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Set, Tuple
+
+from ..isa.instruction import Instruction
+from .cfg import BasicBlock, ControlFlowGraph
+
+#: Registers the bare-metal runtime initializes before ``_start``
+#: (see repro.soc.mpsoc.MPSoC.start_core): x0, sp, gp, tp.
+RUNTIME_INITIALIZED = frozenset((0, 2, 3, 4))
+
+#: Synthetic definition site marking a register as never written.
+UNINIT = "uninit"
+
+#: Synthetic definition site for runtime-initialized registers.
+RUNTIME = "runtime"
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DataflowProblem:
+    """A set-valued, union-meet dataflow problem."""
+
+    direction = FORWARD
+
+    def boundary(self, cfg: ControlFlowGraph) -> Set:
+        """Value at the entry block (forward) or exit block (backward)."""
+        return set()
+
+    def transfer(self, state: Set, pc: int, instr: Instruction) -> Set:
+        """Apply one instruction (in the problem's direction)."""
+        raise NotImplementedError
+
+
+class ReachingDefinitions(DataflowProblem):
+    """Forward may-reach of ``(site, register)`` definition pairs.
+
+    ``site`` is the defining pc, or :data:`RUNTIME`/:data:`UNINIT` for
+    the synthetic pre-``_start`` definitions.  A use whose reaching set
+    contains ``(UNINIT, reg)`` may read an uninitialized register.
+    """
+
+    direction = FORWARD
+
+    def boundary(self, cfg):
+        state = set()
+        for reg in range(32):
+            site = RUNTIME if reg in RUNTIME_INITIALIZED else UNINIT
+            state.add((site, reg))
+        return state
+
+    def transfer(self, state, pc, instr):
+        rd = instr.destination()
+        if rd is None:
+            return state
+        return {d for d in state if d[1] != rd} | {(pc, rd)}
+
+
+class Liveness(DataflowProblem):
+    """Backward register liveness (x0 excluded: never meaningful)."""
+
+    direction = BACKWARD
+
+    def boundary(self, cfg):
+        return set()  # after the halt nothing is architecturally live
+
+    def transfer(self, state, pc, instr):
+        rd = instr.destination()
+        if rd is not None:
+            state = state - {rd}
+        uses = {r for r in instr.sources() if r != 0}
+        return state | uses if uses else state
+
+
+class DataflowResult:
+    """Fixed-point block states plus per-instruction walk helpers."""
+
+    def __init__(self, cfg: ControlFlowGraph, problem: DataflowProblem,
+                 block_in: Dict[int, FrozenSet],
+                 block_out: Dict[int, FrozenSet]):
+        self.cfg = cfg
+        self.problem = problem
+        self.block_in = block_in
+        self.block_out = block_out
+
+    def states(self, block: BasicBlock) -> Iterator[
+            Tuple[int, Instruction, FrozenSet]]:
+        """Yield ``(pc, instr, state)`` for every instruction in order.
+
+        For a forward problem ``state`` is the dataflow value *before*
+        the instruction; for a backward problem it is the value *after*
+        it (e.g. the live-out set, which is what a dead-store check
+        needs).
+        """
+        transfer = self.problem.transfer
+        if self.problem.direction == FORWARD:
+            state = self.block_in[block.start]
+            for pc, instr in block.instrs:
+                yield pc, instr, state
+                state = transfer(state, pc, instr)
+        else:
+            state = self.block_out[block.start]
+            for pc, instr in reversed(block.instrs):
+                yield pc, instr, state
+                state = transfer(state, pc, instr)
+
+
+def solve(cfg: ControlFlowGraph,
+          problem: DataflowProblem) -> DataflowResult:
+    """Iterate ``problem`` over ``cfg`` to its least fixed point."""
+    forward = problem.direction == FORWARD
+    blocks = cfg.all_blocks()
+    block_in = {b.start: set() for b in blocks}
+    block_out = {b.start: set() for b in blocks}
+    boundary = set(problem.boundary(cfg))
+
+    def block_transfer(block: BasicBlock, state: Set) -> Set:
+        instrs = block.instrs if forward else reversed(block.instrs)
+        for pc, instr in instrs:
+            state = problem.transfer(state, pc, instr)
+        return state
+
+    worklist = list(blocks)
+    on_list = {b.start for b in blocks}
+    while worklist:
+        block = worklist.pop(0)
+        on_list.discard(block.start)
+        if forward:
+            edges_in, edges_out = block.preds, block.succs
+            value_in, value_out = block_in, block_out
+            is_boundary = block.start == cfg.entry
+        else:
+            edges_in, edges_out = block.succs, block.preds
+            value_in, value_out = block_out, block_in
+            is_boundary = block.is_exit
+        merged = set(boundary) if is_boundary else set()
+        for other in edges_in:
+            merged |= value_out[other]
+        value_in[block.start] = merged
+        result = block_transfer(block, set(merged))
+        if result != value_out[block.start]:
+            value_out[block.start] = result
+            for other in edges_out:
+                if other not in on_list:
+                    on_list.add(other)
+                    worklist.append(cfg.block(other))
+
+    return DataflowResult(
+        cfg, problem,
+        {k: frozenset(v) for k, v in block_in.items()},
+        {k: frozenset(v) for k, v in block_out.items()})

@@ -1,0 +1,91 @@
+"""Diagnostic model and the lint rule registry.
+
+Every rule has a stable code (``L###``), a severity, and a short slug
+used in reports.  Rules register themselves with the :func:`rule`
+decorator at import time; :func:`all_rules` returns them in code order
+so reports are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: Severity levels, in increasing order of badness.
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+_SEVERITY_RANK = {INFO: 0, WARNING: 1, ERROR: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule firing at a program location."""
+
+    code: str
+    severity: str
+    message: str
+    pc: Optional[int] = None
+    lineno: Optional[int] = None
+
+    def location(self) -> str:
+        parts = []
+        if self.lineno is not None:
+            parts.append("line %d" % self.lineno)
+        if self.pc is not None:
+            parts.append("pc %#x" % self.pc)
+        return ", ".join(parts) or "program"
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "severity": self.severity,
+                "message": self.message, "pc": self.pc,
+                "lineno": self.lineno}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    code: str
+    slug: str
+    severity: str
+    description: str
+    check: Callable = field(compare=False)
+
+    def diagnostic(self, message: str, pc: Optional[int] = None,
+                   lineno: Optional[int] = None) -> Diagnostic:
+        return Diagnostic(code=self.code, severity=self.severity,
+                          message=message, pc=pc, lineno=lineno)
+
+
+#: code -> Rule, populated by the :func:`rule` decorator.
+RULES: Dict[str, Rule] = {}
+
+
+def rule(code: str, slug: str, severity: str, description: str):
+    """Register a rule check function under ``code``.
+
+    The check takes a :class:`~repro.lint.engine.LintContext` and
+    yields :class:`Diagnostic` instances (via ``Rule.diagnostic``,
+    which stamps the code and severity).
+    """
+    if severity not in _SEVERITY_RANK:
+        raise ValueError("unknown severity %r" % severity)
+
+    def register(check):
+        if code in RULES:
+            raise ValueError("duplicate rule code %r" % code)
+        RULES[code] = Rule(code=code, slug=slug, severity=severity,
+                           description=description, check=check)
+        return check
+    return register
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules in code order."""
+    return [RULES[code] for code in sorted(RULES)]
+
+
+def severity_rank(severity: str) -> int:
+    return _SEVERITY_RANK[severity]

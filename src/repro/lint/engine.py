@@ -1,0 +1,134 @@
+"""Lint driver: build the CFG, solve dataflow, run rules, filter.
+
+Suppression: a source line may carry ``# lint: disable=L002`` (or a
+comma-separated list of codes) to silence findings attributed to that
+line.  Suppressed findings are counted, never silently dropped, so the
+report (and the ``repro_lint_suppressed_total`` counter) keeps them
+visible.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..isa.program import Program
+from .cfg import ControlFlowGraph, build_cfg
+from .dataflow import DataflowResult, Liveness, ReachingDefinitions, solve
+from .diagnostics import ERROR, Diagnostic, all_rules, severity_rank
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+)")
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """1-based line number -> set of suppressed rule codes."""
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            codes = {c.strip() for c in match.group(1).split(",")}
+            suppressions[lineno] = {c for c in codes if c}
+    return suppressions
+
+
+class LintContext:
+    """Everything a rule check may consult, computed once per program."""
+
+    def __init__(self, program: Program, cfg: ControlFlowGraph):
+        self.program = program
+        self.cfg = cfg
+        self.debug = program.debug
+        self.reachable = cfg.reachable()
+        self.reaching: DataflowResult = solve(cfg, ReachingDefinitions())
+        self.liveness: DataflowResult = solve(cfg, Liveness())
+
+    def reachable_blocks(self):
+        """Reachable non-exit blocks in address order."""
+        return [b for b in self.cfg.blocks() if b.start in self.reachable]
+
+
+@dataclass
+class LintReport:
+    """All findings for one program, post-suppression."""
+
+    name: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    suppressed: List[Diagnostic] = field(default_factory=list)
+    block_count: int = 0
+    instr_count: int = 0
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity != ERROR]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity findings remain."""
+        return not self.errors
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "blocks": self.block_count,
+            "instructions": self.instr_count,
+            "ok": self.ok,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "suppressed": [d.to_dict() for d in self.suppressed],
+        }
+
+
+def lint_program(program: Program, name: str = "<program>",
+                 source: Optional[str] = None) -> LintReport:
+    """Run every registered rule over ``program``.
+
+    ``source`` (the assembly text the image came from) enables
+    ``# lint: disable=CODE`` suppression comments; line attribution
+    itself comes from the image's :class:`~repro.isa.program.DebugInfo`.
+    """
+    cfg = build_cfg(program)
+    ctx = LintContext(program, cfg)
+    line_map = ctx.debug.line_map if ctx.debug else {}
+    suppressions = parse_suppressions(source) if source else {}
+
+    kept: List[Diagnostic] = []
+    suppressed: List[Diagnostic] = []
+    for rule in all_rules():
+        for diag in rule.check(ctx, rule):
+            lineno = line_map.get(diag.pc) if diag.pc is not None else None
+            if lineno is not None and diag.lineno is None:
+                diag = Diagnostic(code=diag.code, severity=diag.severity,
+                                  message=diag.message, pc=diag.pc,
+                                  lineno=lineno)
+            if diag.code in suppressions.get(diag.lineno, ()):
+                suppressed.append(diag)
+            else:
+                kept.append(diag)
+
+    kept.sort(key=lambda d: (-severity_rank(d.severity),
+                             d.pc if d.pc is not None else -1,
+                             d.code))
+    return LintReport(name=name, diagnostics=kept, suppressed=suppressed,
+                      block_count=len(cfg.blocks()),
+                      instr_count=len(cfg.instrs))
+
+
+def lint_source(source: str, base: int = 0x0001_0000,
+                name: str = "<source>") -> LintReport:
+    """Assemble ``source`` and lint the resulting image."""
+    from ..isa.assembler import assemble
+    program = assemble(source, base=base)
+    return lint_program(program, name=name, source=source)
+
+
+def lint_workload(name: str) -> LintReport:
+    """Lint one registered TACLe kernel by name."""
+    from ..workloads.registry import REGISTRY
+    workload = REGISTRY.get(name)
+    return lint_program(REGISTRY.program(name), name=name,
+                        source=workload.source)

@@ -1,0 +1,154 @@
+"""The built-in lint rules (codes L001-L009).
+
+Each check receives the :class:`~repro.lint.engine.LintContext` (CFG,
+dataflow results, debug info) plus its own :class:`Rule` and yields
+diagnostics.  Codes are stable: tools and ``# lint: disable=`` comments
+key off them, so a rule may be retired but its code never reused.
+"""
+
+from __future__ import annotations
+
+from ..isa.registers import register_name
+from .cfg import EXIT
+from .dataflow import UNINIT
+from .diagnostics import ERROR, WARNING, rule
+
+#: Bases whose runtime value is known aligned (x0 = 0, gp = the
+#: 4 KiB-aligned data base, sp = the 16-byte-aligned stack top; kernels
+#: move sp only in multiples of 16 per the dsl convention).
+_ALIGNED_BASES = frozenset((0, 2, 3))
+
+#: gp (x3): the core-private data base register kernels must preserve.
+_GP = 3
+
+
+def _branch_target(pc, instr):
+    if instr.iclass == "branch" or instr.mnemonic == "jal":
+        return pc + instr.imm
+    return None
+
+
+@rule("L001", "uninit-read", ERROR,
+      "register read with no prior write on some path from _start "
+      "(only x0/sp/gp/tp are runtime-initialized)")
+def check_uninit_read(ctx, rule):
+    for block in ctx.reachable_blocks():
+        for pc, instr, reaching in ctx.reaching.states(block):
+            for reg in instr.sources():
+                if reg != 0 and (UNINIT, reg) in reaching:
+                    yield rule.diagnostic(
+                        "'%s' reads %s before any write reaches it"
+                        % (instr.text(), register_name(reg)), pc=pc)
+
+
+@rule("L002", "dead-store", WARNING,
+      "register write never read on any path before being overwritten "
+      "or the program halting")
+def check_dead_store(ctx, rule):
+    for block in ctx.reachable_blocks():
+        for pc, instr, live_after in ctx.liveness.states(block):
+            rd = instr.destination()
+            if rd is not None and rd not in live_after:
+                yield rule.diagnostic(
+                    "'%s' writes %s but the value is never read"
+                    % (instr.text(), register_name(rd)), pc=pc)
+
+
+@rule("L003", "x0-write", WARNING,
+      "computation discarded into x0 (writes to x0 are architectural "
+      "no-ops; only the canonical nop and plain jumps are idiomatic)")
+def check_x0_write(ctx, rule):
+    for pc, instr in sorted(ctx.cfg.instrs.items()):
+        if (instr.rd == 0 and instr.iclass != "jump"
+                and not instr.is_nop):
+            yield rule.diagnostic(
+                "'%s' discards its result into x0" % instr.text(),
+                pc=pc)
+
+
+@rule("L004", "unreachable", WARNING,
+      "basic block unreachable from the program entry point")
+def check_unreachable(ctx, rule):
+    reachable = ctx.reachable
+    for block in ctx.cfg.blocks():
+        if block.start not in reachable:
+            yield rule.diagnostic(
+                "block of %d instruction(s) at %#x is unreachable "
+                "from _start" % (len(block), block.start),
+                pc=block.start)
+
+
+@rule("L005", "bad-branch-target", ERROR,
+      "branch/jump target outside the image, misaligned, or landing "
+      "on data")
+def check_bad_branch_target(ctx, rule):
+    for pc, target in sorted(ctx.cfg.invalid_targets):
+        instr = ctx.cfg.instrs[pc]
+        yield rule.diagnostic(
+            "'%s' targets %#x, which is not an instruction in the "
+            "image" % (instr.text(), target), pc=pc)
+
+
+@rule("L006", "pseudo-interior-target", ERROR,
+      "branch/jump into the middle of an expanded li/la sequence "
+      "(executes a half-built constant)")
+def check_pseudo_interior_target(ctx, rule):
+    if ctx.debug is None:
+        return
+    interiors = ctx.debug.pseudo_interiors
+    for pc, instr in sorted(ctx.cfg.instrs.items()):
+        target = _branch_target(pc, instr)
+        if target is not None and target in interiors:
+            yield rule.diagnostic(
+                "'%s' jumps into the middle of a pseudo-instruction "
+                "expansion at %#x" % (instr.text(), target), pc=pc)
+
+
+@rule("L007", "misaligned-access", ERROR,
+      "load/store offset statically misaligned for its access size "
+      "relative to an aligned base (x0/sp/gp)")
+def check_misaligned_access(ctx, rule):
+    for pc, instr in sorted(ctx.cfg.instrs.items()):
+        spec = instr.spec
+        if (spec.is_memory and spec.size > 1
+                and instr.rs1 in _ALIGNED_BASES
+                and instr.imm % spec.size != 0):
+            yield rule.diagnostic(
+                "'%s' accesses %d bytes at offset %d from %s, which "
+                "is not %d-byte aligned"
+                % (instr.text(), spec.size, instr.imm,
+                   register_name(instr.rs1), spec.size), pc=pc)
+
+
+@rule("L008", "gp-clobber", ERROR,
+      "write to gp, the core-private data base register the kernel "
+      "convention requires to stay fixed")
+def check_gp_clobber(ctx, rule):
+    for pc, instr in sorted(ctx.cfg.instrs.items()):
+        if instr.destination() == _GP:
+            yield rule.diagnostic(
+                "'%s' clobbers gp (the data base register)"
+                % instr.text(), pc=pc)
+
+
+@rule("L009", "no-exit-path", ERROR,
+      "reachable code with no path to the halt (ebreak/ecall): the "
+      "kernel can never publish its store_result checksum")
+def check_no_exit_path(ctx, rule):
+    cfg = ctx.cfg
+    if cfg.entry_block is None or EXIT not in [
+            s for b in cfg.all_blocks() for s in b.succs]:
+        # No halt anywhere: the whole program is the finding.
+        if cfg.entry_block is not None:
+            yield rule.diagnostic(
+                "program has no ebreak/ecall halt at all",
+                pc=cfg.entry)
+        return
+    if any(cfg.block(s).has_unknown_target for s in ctx.reachable):
+        return  # indirect target unknown: cannot prove non-termination
+    reaches_exit = cfg.reaches_exit()
+    trapped = sorted(s for s in ctx.reachable if s not in reaches_exit)
+    if trapped:
+        yield rule.diagnostic(
+            "%d reachable block(s) starting at %#x can never reach "
+            "the halt" % (len(trapped), trapped[0]), pc=trapped[0])

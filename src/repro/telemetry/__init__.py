@@ -21,6 +21,7 @@ Metric names follow ``repro_<layer>_<name>`` (see DESIGN.md,
 from .collect import (
     collect_bus,
     collect_core,
+    collect_lint,
     collect_monitor,
     collect_soc,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "canonical_labels",
     "collect_bus",
     "collect_core",
+    "collect_lint",
     "collect_monitor",
     "collect_soc",
     "load_snapshot",

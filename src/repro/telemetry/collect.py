@@ -93,6 +93,27 @@ def collect_monitor(monitor, registry: MetricsRegistry, pair: int = 0):
                        unit_labels).set(live)
 
 
+def collect_lint(report, registry: MetricsRegistry):
+    """Fold one :class:`~repro.lint.engine.LintReport` into ``registry``.
+
+    Diagnostics are counted per rule code and severity; suppressed
+    findings get their own counter so ``# lint: disable=`` comments
+    stay visible in dashboards.
+    """
+    labels = (("kernel", report.name),)
+    registry.counter("repro_lint_programs_total").inc()
+    registry.gauge("repro_lint_blocks", labels).set(report.block_count)
+    registry.gauge("repro_lint_instructions",
+                   labels).set(report.instr_count)
+    for diag in report.diagnostics:
+        registry.counter(
+            "repro_lint_diagnostics_total",
+            (("code", diag.code), ("severity", diag.severity))).inc()
+    for diag in report.suppressed:
+        registry.counter("repro_lint_suppressed_total",
+                         (("code", diag.code),)).inc()
+
+
 def collect_soc(soc, registry: MetricsRegistry):
     """Fold a finished (or paused) MPSoC into ``registry``."""
     registry.counter("repro_soc_cycles_total").value = soc.cycle

@@ -20,8 +20,6 @@ import json
 from typing import Dict, List, Tuple
 
 from .registry import (
-    Counter,
-    Gauge,
     Histogram,
     Labels,
     MetricsRegistry,

@@ -67,6 +67,38 @@ class TestVcd:
         assert "no_diversity" in content
 
 
+class TestLint:
+    def test_lint_single_kernel(self, capsys):
+        assert main(["lint", "cosf"]) == 0
+        out = capsys.readouterr().out
+        assert "cosf" in out
+        assert "0 error(s)" in out
+
+    def test_lint_all(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "29 kernel(s) linted" in out
+
+    def test_lint_json(self, capsys):
+        import json
+        assert main(["lint", "fac", "recursion", "--format",
+                     "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert [r["name"] for r in doc["reports"]] == ["fac",
+                                                       "recursion"]
+        assert all(r["diagnostics"] == [] for r in doc["reports"])
+
+    def test_lint_metrics_snapshot(self, tmp_path, capsys):
+        snapshot = tmp_path / "lint.json"
+        assert main(["lint", "cosf", "--metrics", str(snapshot)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_lint_programs_total" in out
+        assert 'repro_lint_blocks{kernel="cosf"}' in out
+
+
 class TestErrors:
     def test_missing_command(self):
         with pytest.raises(SystemExit):

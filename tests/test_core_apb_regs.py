@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import apb_regs
-from repro.core.apb_regs import SafeDmApbSlave, make_monitored_slave
+from repro.core.apb_regs import make_monitored_slave
 from repro.core.monitor import ReportingMode
 from repro.mem.apb import ApbBridge, ApbError
 

@@ -1,7 +1,5 @@
 """DiversityMonitor unit tests: comparison logic and reporting modes."""
 
-import pytest
-
 from repro.core.history import HistoryModule
 from repro.core.monitor import DiversityMonitor, ReportingMode
 from repro.core.signatures import SignatureConfig

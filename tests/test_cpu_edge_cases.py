@@ -1,7 +1,5 @@
 """CPU edge cases and regression tests."""
 
-import pytest
-
 from repro.cpu.core import CoreConfig
 from repro.soc.config import SocConfig
 from repro.mem.cache import CacheConfig

@@ -10,7 +10,7 @@ final register state and its memory writes must match the oracle.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cpu.exec_unit import execute_alu, sign_extend_load
+from repro.cpu.exec_unit import execute_alu
 from repro.isa import assemble
 from repro.isa.decoder import decode
 from repro.soc.mpsoc import MPSoC

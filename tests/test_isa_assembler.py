@@ -49,8 +49,13 @@ end:
         assert program.entry == 0x200
 
     def test_duplicate_label_rejected(self):
-        with pytest.raises(AssemblerError):
+        with pytest.raises(AssemblerError) as exc:
             assemble("a:\n nop\na:\n nop\n")
+        message = str(exc.value)
+        assert "'a'" in message
+        assert "line 3" in message                 # second definition
+        assert "first defined at line 1" in message
+        assert exc.value.lineno == 3
 
     def test_unknown_mnemonic_rejected(self):
         with pytest.raises(AssemblerError):
@@ -209,6 +214,36 @@ li a0, SIZE
     def test_unknown_directive(self):
         with pytest.raises(AssemblerError):
             assemble(".bogus 1\n")
+
+
+class TestDebugInfo:
+    def test_line_map_tracks_source_lines(self):
+        program = assemble("_start:\n    nop\n    nop\n", base=0x100)
+        assert program.debug.line_map == {0x100: 2, 0x104: 3}
+
+    def test_pseudo_interiors_mark_expansion_tails(self):
+        program = assemble("li a0, 0x12345\nebreak\n", base=0)
+        # lui at 0, addiw (interior) at 4, ebreak at 8.
+        assert program.debug.pseudo_interiors == {4}
+        assert program.debug.line_map[4] == 1
+
+    def test_la_interior(self):
+        program = assemble("""
+_start:
+    la a0, spot
+    ebreak
+spot:
+""", base=0)
+        assert program.debug.pseudo_interiors == {4}
+
+    def test_data_addresses_cover_directives(self):
+        program = assemble("nop\n.dword 7\n.word 9\n", base=0)
+        assert program.debug.data_addresses == {4, 8, 12}
+        assert 0 in program.debug.line_map
+
+    def test_single_word_statements_have_no_interiors(self):
+        program = assemble("addi a0, a0, 1\nmv a1, a0\n", base=0)
+        assert program.debug.pseudo_interiors == frozenset()
 
 
 class TestProgramModel:

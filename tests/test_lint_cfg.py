@@ -1,0 +1,176 @@
+"""Control-flow graph construction tests."""
+
+from repro.isa import assemble
+from repro.lint import EXIT, build_cfg
+
+
+def cfg_of(source, base=0x1000):
+    return build_cfg(assemble(source, base=base))
+
+
+def starts(cfg):
+    return [b.start for b in cfg.blocks()]
+
+
+class TestBlockFormation:
+    def test_straight_line_is_one_block(self):
+        cfg = cfg_of("""
+_start:
+    addi t0, x0, 1
+    addi t1, t0, 2
+    ebreak
+""")
+        assert len(cfg.blocks()) == 1
+        block = cfg.blocks()[0]
+        assert len(block) == 3
+        assert block.succs == [EXIT]
+
+    def test_branch_splits_blocks(self):
+        cfg = cfg_of("""
+_start:
+    beqz t0, skip
+    addi t0, x0, 1
+skip:
+    ebreak
+""")
+        assert len(cfg.blocks()) == 3
+        entry = cfg.entry_block
+        assert sorted(entry.succs) == sorted(
+            [cfg.program.symbol("skip"), entry.end])
+
+    def test_branch_target_is_leader(self):
+        cfg = cfg_of("""
+_start:
+    addi t0, x0, 4
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    ebreak
+""")
+        loop = cfg.program.symbol("loop")
+        assert loop in starts(cfg)
+        loop_block = cfg.block(loop)
+        assert loop in loop_block.succs  # back edge
+
+    def test_block_containing(self):
+        cfg = cfg_of("_start:\n    addi t0, x0, 1\n    ebreak\n")
+        block = cfg.blocks()[0]
+        assert cfg.block_containing(block.start + 4) is block
+        assert cfg.block_containing(0xDEAD00) is None
+
+
+class TestEdges:
+    def test_jump_edge(self):
+        cfg = cfg_of("""
+_start:
+    j out
+    addi t0, x0, 1
+out:
+    ebreak
+""")
+        entry = cfg.entry_block
+        assert entry.succs == [cfg.program.symbol("out")]
+
+    def test_halt_edges_to_exit(self):
+        cfg = cfg_of("_start:\n    ebreak\n")
+        assert cfg.entry_block.succs == [EXIT]
+        assert cfg.exit_block.preds == [cfg.entry]
+
+    def test_call_and_return_edges(self):
+        cfg = cfg_of("""
+_start:
+    call fn
+    ebreak
+fn:
+    addi a0, a0, 1
+    ret
+""")
+        fn = cfg.program.symbol("fn")
+        assert cfg.entry_block.succs == [fn]
+        # The ret returns to the instruction after the call.
+        assert cfg.block(fn).succs == [cfg.entry + 4]
+
+    def test_returns_grouped_per_callee(self):
+        cfg = cfg_of("""
+_start:
+    call f
+    call g
+    ebreak
+f:
+    addi a0, a0, 1
+    ret
+g:
+    addi a1, a1, 1
+    ret
+""")
+        f = cfg.program.symbol("f")
+        g = cfg.program.symbol("g")
+        # f's ret only flows to f's return site, g's to g's.
+        assert cfg.block(f).succs == [cfg.entry + 4]
+        assert cfg.block(g).succs == [cfg.entry + 8]
+
+    def test_invalid_target_recorded(self):
+        cfg = cfg_of("_start:\n    beq x0, x0, 0x200\n    ebreak\n")
+        assert len(cfg.invalid_targets) == 1
+        pc, target = cfg.invalid_targets[0]
+        assert pc == cfg.entry
+        assert target == cfg.entry + 0x200
+
+    def test_unknown_indirect_flagged(self):
+        cfg = cfg_of("""
+_start:
+    jr a0
+""")
+        assert cfg.entry_block.has_unknown_target
+
+
+class TestReachability:
+    def test_unreachable_block_found(self):
+        cfg = cfg_of("""
+_start:
+    j out
+dead:
+    addi t0, x0, 1
+out:
+    ebreak
+""")
+        reachable = cfg.reachable()
+        assert cfg.program.symbol("dead") not in reachable
+        assert cfg.program.symbol("out") in reachable
+
+    def test_reaches_exit(self):
+        cfg = cfg_of("""
+_start:
+spin:
+    j spin
+    ebreak
+""")
+        assert cfg.program.symbol("spin") not in cfg.reaches_exit()
+
+    def test_data_words_not_decoded(self):
+        cfg = cfg_of("""
+_start:
+    la a0, pool
+    ebreak
+pool:
+    .dword 0x13
+""")
+        # 0x13 decodes as a nop, but the data directive excludes it.
+        pool = cfg.program.symbol("pool")
+        assert pool not in cfg.instrs
+
+
+class TestRendering:
+    def test_to_dot_mentions_every_block(self):
+        cfg = cfg_of("""
+_start:
+    beqz t0, skip
+    addi t0, x0, 1
+skip:
+    ebreak
+""")
+        dot = cfg.to_dot()
+        assert dot.startswith("digraph")
+        for block in cfg.blocks():
+            assert "b%x" % block.start in dot
+        assert "exit" in dot

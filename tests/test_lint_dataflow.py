@@ -1,0 +1,122 @@
+"""Dataflow solver tests: reaching definitions and liveness."""
+
+from repro.isa import assemble
+from repro.lint import Liveness, ReachingDefinitions, build_cfg, solve
+from repro.lint.dataflow import RUNTIME, RUNTIME_INITIALIZED, UNINIT
+
+
+def solved(source, problem, base=0x1000):
+    cfg = build_cfg(assemble(source, base=base))
+    return cfg, solve(cfg, problem)
+
+
+def state_at(result, cfg, pc):
+    """Per-instruction state (before for forward, after for backward)."""
+    for block in cfg.blocks():
+        for spc, _, state in result.states(block):
+            if spc == pc:
+                return state
+    raise AssertionError("pc %#x not found" % pc)
+
+
+class TestReachingDefinitions:
+    def test_entry_boundary(self):
+        cfg, result = solved("_start:\n    ebreak\n",
+                             ReachingDefinitions())
+        entry_in = result.block_in[cfg.entry]
+        for reg in range(32):
+            expected = (RUNTIME if reg in RUNTIME_INITIALIZED
+                        else UNINIT)
+            assert (expected, reg) in entry_in
+
+    def test_definition_kills_uninit(self):
+        cfg, result = solved("""
+_start:
+    addi t0, x0, 7
+    add t1, t0, t0
+    ebreak
+""", ReachingDefinitions())
+        add_pc = cfg.entry + 4
+        state = state_at(result, cfg, add_pc)
+        assert (UNINIT, 5) not in state       # t0 defined at entry+0
+        assert (cfg.entry, 5) in state
+
+    def test_join_keeps_both_paths(self):
+        cfg, result = solved("""
+_start:
+    beqz a0, other
+    addi t0, x0, 1
+    j join
+other:
+    addi t0, x0, 2
+join:
+    add t1, t0, t0
+    ebreak
+""", ReachingDefinitions())
+        join = cfg.program.symbol("join")
+        state = state_at(result, cfg, join)
+        defs = {site for site, reg in state if reg == 5}
+        assert len(defs) == 2                 # both addi defs reach
+        assert UNINIT not in defs
+
+    def test_uninit_survives_one_sided_init(self):
+        cfg, result = solved("""
+_start:
+    beqz a0, join
+    addi t0, x0, 1
+join:
+    add t1, t0, t0
+    ebreak
+""", ReachingDefinitions())
+        join = cfg.program.symbol("join")
+        assert (UNINIT, 5) in state_at(result, cfg, join)
+
+
+class TestLiveness:
+    def test_store_keeps_register_live(self):
+        cfg, result = solved("""
+_start:
+    addi t0, x0, 9
+    sd t0, 0(gp)
+    ebreak
+""", Liveness())
+        assert 5 in state_at(result, cfg, cfg.entry)  # live after addi
+
+    def test_overwrite_kills_liveness(self):
+        cfg, result = solved("""
+_start:
+    addi t0, x0, 1
+    addi t0, x0, 2
+    sd t0, 0(gp)
+    ebreak
+""", Liveness())
+        assert 5 not in state_at(result, cfg, cfg.entry)
+
+    def test_loop_carried_liveness(self):
+        cfg, result = solved("""
+_start:
+    addi t0, x0, 8
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    ebreak
+""", Liveness())
+        loop = cfg.program.symbol("loop")
+        # t0 is live around the back edge.
+        assert 5 in result.block_in[loop]
+        assert 5 in state_at(result, cfg, cfg.entry)
+
+    def test_nothing_live_after_halt(self):
+        cfg, result = solved("_start:\n    ebreak\n", Liveness())
+        assert result.block_out[cfg.entry] == frozenset()
+
+    def test_x0_never_live(self):
+        cfg, result = solved("""
+_start:
+    add t0, x0, x0
+    sd t0, 0(gp)
+    ebreak
+""", Liveness())
+        for block in cfg.blocks():
+            assert 0 not in result.block_in[block.start]
+            assert 0 not in result.block_out[block.start]

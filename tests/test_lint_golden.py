@@ -1,0 +1,92 @@
+"""Golden CFG structure + clean-lint assertions over all 29 kernels.
+
+A kernel edit that changes control-flow structure (splits/merges basic
+blocks) or introduces a lint finding fails here fast, with the golden
+table making the structural diff explicit.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.lint import build_cfg, lint_source, lint_workload
+from repro.workloads import all_names, program
+
+#: kernel -> (basic blocks, decoded instructions) golden structure.
+GOLDEN_CFG = {
+    "binarysearch": (13, 59),
+    "bitcount": (6, 33),
+    "bitonic": (17, 68),
+    "bsort": (12, 58),
+    "complex_updates": (9, 72),
+    "cosf": (7, 74),
+    "countnegative": (7, 46),
+    "cubic": (7, 60),
+    "deg2rad": (5, 46),
+    "fac": (10, 28),
+    "fft": (15, 139),
+    "filterbank": (9, 64),
+    "fir2dim": (13, 86),
+    "iir": (7, 110),
+    "insertsort": (11, 57),
+    "isqrt": (13, 55),
+    "jfdctint": (17, 106),
+    "lms": (11, 87),
+    "ludcmp": (25, 175),
+    "matrix1": (9, 74),
+    "md5": (14, 134),
+    "minver": (27, 135),
+    "pm": (23, 135),
+    "prime": (13, 35),
+    "quicksort": (18, 93),
+    "rad2deg": (5, 46),
+    "recursion": (7, 22),
+    "sha": (22, 175),
+    "st": (7, 81),
+}
+
+
+class TestGoldenStructure:
+    def test_golden_table_covers_all_kernels(self):
+        assert set(GOLDEN_CFG) == set(all_names())
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CFG))
+    def test_block_and_instruction_counts(self, name):
+        report = lint_workload(name)
+        assert (report.block_count, report.instr_count) == \
+            GOLDEN_CFG[name], (
+                "CFG structure of %r changed: %d blocks / %d instrs "
+                "(golden %r) — intentional edits must update "
+                "GOLDEN_CFG" % (name, report.block_count,
+                                report.instr_count, GOLDEN_CFG[name]))
+
+
+class TestKernelsLintClean:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CFG))
+    def test_no_error_diagnostics(self, name):
+        report = lint_workload(name)
+        assert report.ok, "lint errors in %r: %r" % (
+            name, [d.to_dict() for d in report.errors])
+        # The 29 shipped kernels are warning-free too, without
+        # resorting to any suppression comments.
+        assert report.diagnostics == []
+        assert report.suppressed == []
+
+    def test_every_kernel_halts(self):
+        for name in all_names():
+            cfg = build_cfg(program(name))
+            assert cfg.entry in cfg.reaches_exit(), (
+                "%r cannot reach its halt" % name)
+
+
+class TestExamplePrograms:
+    def test_quickstart_program_lints_clean(self):
+        path = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples", "quickstart.py")
+        spec = importlib.util.spec_from_file_location("quickstart", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        report = lint_source(module.PROGRAM, name="quickstart")
+        assert report.ok
+        assert report.diagnostics == []

@@ -1,6 +1,6 @@
 """AHB bus model tests: arbitration, L2 behaviour, timing."""
 
-from repro.mem.bus import AhbBus, BusRequest, BusTiming
+from repro.mem.bus import AhbBus, BusTiming
 from repro.mem.cache import CacheConfig
 
 

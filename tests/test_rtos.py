@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.monitor import ReportingMode
 from repro.rtos.safety import FttiTracker
 from repro.rtos.scheduler import PeriodicTask, RedundantJobRunner
 from repro.workloads import program

@@ -8,7 +8,6 @@ from repro.isa.decoder import decode
 from repro.mem.memory import Memory
 from repro.soc.config import SocConfig
 from repro.soc.loader import LoaderError, build_nop_sled, load_program
-from repro.soc.mpsoc import MPSoC
 
 from conftest import run_asm_redundant
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.soc.mpsoc import MPSoC
-from repro.trace.pipeline_trace import PipelineTracer, trace_run
+from repro.trace.pipeline_trace import trace_run
 from repro.trace.signature_trace import (
     SignatureSample,
     SignatureTrace,
