@@ -5,13 +5,18 @@ Times a fixed 6-kernel mini Table I sweep (12 cells, 24 runs) through
 three configurations of the sweep engine:
 
 * ``serial``   — ``jobs=1``, cache disabled (the reference path),
-* ``parallel`` — ``--jobs`` workers (default 4), cold cache,
+* ``parallel`` — ``--jobs`` workers (default: let the engine decide,
+  which clamps to serial on hosts without real parallelism), cold
+  cache,
 * ``warm``     — same cache directory again, so every run is a hit.
 
-Results (and the machine's honest ``cpu_count`` — on a single-core
-container the parallel pass cannot beat serial, and the numbers will
-say so) are written to ``BENCH_runtime.json`` at the repo root.  The
-three passes must agree cell-for-cell; the bench fails otherwise.
+Results are written to ``BENCH_runtime.json`` at the repo root,
+including the machine's honest ``cpu_count``, the ``effective_jobs``
+the engine actually used, and a ``serial_fallback`` flag.  When the
+"parallel" pass fell back to the serial code path (1 effective
+worker), ``parallel_speedup`` is reported as ``null`` rather than a
+meaningless ~1.0x comparison of the same code path against itself.
+The three passes must agree cell-for-cell; the bench fails otherwise.
 
 Usage:
     PYTHONPATH=src python benchmarks/bench_runtime.py [--jobs N]
@@ -60,9 +65,11 @@ def _timed_sweep(kernels, jobs, cache_dir, use_cache=True):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--jobs", type=int, default=4, metavar="N",
-                        help="workers for the parallel pass "
-                             "(default: 4)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="workers for the parallel pass (default: "
+                             "let the engine decide; it clamps to "
+                             "serial when cpu_count <= %d)"
+                        % ParallelSweep.SERIAL_FALLBACK_CPUS)
     parser.add_argument("--kernels", nargs="+", default=None,
                         metavar="K",
                         help="kernel subset to sweep (default: the "
@@ -87,16 +94,19 @@ def main():
     print("serial (jobs=1, no cache):    %6.2fs" % serial_s)
 
     with tempfile.TemporaryDirectory() as tmp:
-        parallel_s, parallel_rows, _ = _timed_sweep(kernels,
-                                                    jobs=args.jobs,
-                                                    cache_dir=tmp)
-        print("parallel (jobs=%d, cold):      %6.2fs"
-              % (args.jobs, parallel_s))
+        parallel_s, parallel_rows, par_sweep = _timed_sweep(
+            kernels, jobs=args.jobs, cache_dir=tmp)
+        effective_jobs = par_sweep.jobs
+        serial_fallback = par_sweep.serial_fallback \
+            or effective_jobs == 1
+        print("parallel (jobs=%d, cold):      %6.2fs%s"
+              % (effective_jobs, parallel_s,
+                 " [serial fallback]" if serial_fallback else ""))
         warm_s, warm_rows, warm_sweep = _timed_sweep(kernels,
                                                      jobs=args.jobs,
                                                      cache_dir=tmp)
         print("warm cache (jobs=%d):          %6.2fs"
-              % (args.jobs, warm_s))
+              % (effective_jobs, warm_s))
         assert warm_sweep.cache.hits == runs, \
             "warm pass expected %d hits, got %d" \
             % (runs, warm_sweep.cache.hits)
@@ -106,24 +116,39 @@ def main():
     assert warm_rows == serial_rows, "cached sweep diverged from serial"
     print("determinism: serial == parallel == warm, cell-for-cell")
 
+    # With one effective worker, "parallel" ran the exact same serial
+    # in-process loop as the reference pass: a speedup number would
+    # compare the code path against itself and land arbitrarily close
+    # to 1.0x either side (BENCH_runtime.json once claimed 0.973 with
+    # "jobs: 4" on a 1-CPU host).  Report null instead.
+    parallel_speedup = (None if serial_fallback
+                        else round(serial_s / parallel_s, 3))
     report = {
         "kernels": list(kernels),
         "stagger_values": list(MINI_SWEEP_STAGGERS),
         "runs": runs,
         "cpu_count": os.cpu_count(),
-        "jobs": args.jobs,
+        "jobs_requested": args.jobs,
+        "effective_jobs": effective_jobs,
+        "serial_fallback": serial_fallback,
         "serial_seconds": round(serial_s, 3),
         "parallel_seconds": round(parallel_s, 3),
         "warm_cache_seconds": round(warm_s, 3),
-        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "parallel_speedup": parallel_speedup,
         "warm_cache_speedup": round(serial_s / warm_s, 3),
         "seconds_per_run_serial": round(serial_s / runs, 4),
     }
     out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print("parallel speedup %.2fx, warm-cache speedup %.2fx "
-          "(cpu_count=%s)"
-          % (report["parallel_speedup"], report["warm_cache_speedup"],
-             report["cpu_count"]))
+    if parallel_speedup is None:
+        print("parallel speedup n/a (serial fallback: 1 effective "
+              "worker is the same code path), warm-cache speedup "
+              "%.2fx (cpu_count=%s)"
+              % (report["warm_cache_speedup"], report["cpu_count"]))
+    else:
+        print("parallel speedup %.2fx, warm-cache speedup %.2fx "
+              "(cpu_count=%s)"
+              % (parallel_speedup, report["warm_cache_speedup"],
+                 report["cpu_count"]))
     print("wrote %s" % out_path)
 
 

@@ -2,11 +2,19 @@
 
 Commands:
 
-* ``run <kernel> [--stagger N] [--late-core {0,1}]`` — one redundant
-  run with SafeDM counters.
+* ``run <kernel> [--stagger N] [--late-core {0,1}] [--mode M]
+  [--threshold N] [--capture FILE | --replay FILE]`` — one redundant
+  run with SafeDM counters; ``--capture`` records the raw signature
+  streams to FILE, ``--replay`` recomputes the counters from such a
+  file without simulating.
 * ``row <kernel>`` — one full Table I row (all staggering setups).
-* ``table1 [kernels...] [--jobs N] [--no-cache]`` — the Table I sweep
-  (all 29 by default), parallel across cores and run-cached.
+* ``table1 [kernels...] [--jobs N] [--no-cache] [--capture]
+  [--replay]`` — the Table I sweep (all 29 by default), parallel
+  across cores and run-cached; ``--capture``/``--replay`` wire the
+  sweep into the stream-trace cache.
+* ``sweep-monitor <kernel> [--thresholds ...] [--modes ...]
+  [--is-variants ...] [--ds-depths ...]`` — evaluate many monitor
+  configurations over ONE simulation via capture-once/replay-many.
 * ``campaign <kernel> [--injections N] [--shared]`` — CCF
   fault-injection campaign with SafeDM cross-referencing.
 * ``lint [kernels...|--all] [--format text|json]`` — static analysis
@@ -102,13 +110,47 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from .soc.experiment import run_redundant
+    from .core.monitor import ReportingMode
     from .workloads import program
     metrics, tracer = _make_telemetry(args)
-    result = run_redundant(program(args.kernel), benchmark=args.kernel,
-                           stagger_nops=args.stagger,
-                           late_core=args.late_core,
-                           metrics=metrics, tracer=tracer)
+    mode = ReportingMode(args.mode)
+    if args.replay:
+        from .replay import replay_run
+        from .trace import StreamTrace
+        trace = StreamTrace.load(args.replay)
+        meta = trace.meta
+        if (meta.benchmark != args.kernel
+                or meta.stagger_nops != args.stagger
+                or meta.late_core != args.late_core):
+            print("error: trace %s was captured for %s nops=%d late=%d;"
+                  " a different simulation cannot be replayed —"
+                  " re-simulate (repro run %s --capture ...)"
+                  % (args.replay, meta.benchmark, meta.stagger_nops,
+                     meta.late_core, args.kernel), file=sys.stderr)
+            return 2
+        result = replay_run(trace, mode=mode,
+                            threshold=args.threshold)
+        print("replayed from %s (%d cycles captured)"
+              % (args.replay, meta.cycles), file=sys.stderr)
+    elif args.capture:
+        from .soc.experiment import run_redundant_captured
+        result, trace = run_redundant_captured(
+            program(args.kernel), benchmark=args.kernel,
+            stagger_nops=args.stagger, late_core=args.late_core,
+            mode=mode, threshold=args.threshold, metrics=metrics,
+            tracer=tracer)
+        trace.save(args.capture)
+        print("stream trace written to %s (%d samples, %d bytes)"
+              % (args.capture, len(trace), trace.byte_size()),
+              file=sys.stderr)
+    else:
+        from .soc.experiment import run_redundant
+        result = run_redundant(program(args.kernel),
+                               benchmark=args.kernel,
+                               stagger_nops=args.stagger,
+                               late_core=args.late_core,
+                               mode=mode, threshold=args.threshold,
+                               metrics=metrics, tracer=tracer)
     print(result.summary())
     print("finished=%s committed=%d ipc=%.2f interrupts=%d"
           % (result.finished, result.committed, result.ipc,
@@ -139,7 +181,8 @@ def _cmd_table1(args) -> int:
     names = args.kernels or all_names()
     metrics, tracer = _make_telemetry(args)
     sweep = ParallelSweep(jobs=args.jobs, use_cache=not args.no_cache,
-                          progress=True, metrics=metrics, tracer=tracer)
+                          progress=True, metrics=metrics, tracer=tracer,
+                          capture=args.capture, replay=args.replay)
     rows = sweep.run_table(names, stagger_values=PAPER_STAGGER_VALUES)
     print(format_table1(rows, PAPER_STAGGER_VALUES))
     if args.csv:
@@ -148,6 +191,62 @@ def _cmd_table1(args) -> int:
         print("CSV written to %s" % args.csv, file=sys.stderr)
     _save_telemetry(args, metrics, tracer, command="table1",
                     kernels=len(names), jobs=sweep.jobs)
+    return 0
+
+
+def _cmd_sweep_monitor(args) -> int:
+    from .core.monitor import ReportingMode
+    from .core.signatures import IsVariant, SignatureConfig
+    from .replay import MonitorPoint, MonitorSweep
+    metrics, tracer = _make_telemetry(args)
+
+    signatures = [SignatureConfig(is_variant=IsVariant(variant),
+                                  num_ports=ports, ds_depth=depth)
+                  for variant in args.is_variants
+                  for ports in args.num_ports
+                  for depth in args.ds_depths]
+    points = [MonitorPoint(mode=ReportingMode(mode), threshold=thr,
+                           signature=sig)
+              for sig in signatures
+              for mode in args.modes
+              for thr in args.thresholds]
+
+    sweep = MonitorSweep(use_cache=not args.no_cache,
+                         metrics=metrics, tracer=tracer)
+    outcome = sweep.sweep(args.kernel, points,
+                          stagger_nops=args.stagger,
+                          late_core=args.late_core,
+                          max_cycles=args.max_cycles)
+
+    rows = [(p.mode.value, p.threshold, p.signature.is_variant.value,
+             p.signature.num_ports, p.signature.ds_depth,
+             r.no_diversity_cycles, r.no_data_diversity_cycles,
+             r.no_instruction_diversity_cycles,
+             r.zero_staggering_cycles, r.interrupts)
+            for p, r in zip(outcome.points, outcome.results)]
+    print(format_columns(rows, headers=(
+        "mode", "thr", "is", "ports", "depth", "no_div", "no_data",
+        "no_instr", "zero_stag", "irq"), min_width=8))
+
+    parts = ["%d point(s) over %d simulated cycles"
+             % (len(points), outcome.cycles)]
+    if outcome.cache_hits:
+        parts.append("%d from run cache" % outcome.cache_hits)
+    if outcome.captured:
+        parts.append("captured once in %.2fs (%d KiB trace)"
+                     % (outcome.capture_seconds,
+                        outcome.trace_bytes // 1024))
+    elif len(points) > outcome.cache_hits:
+        parts.append("trace reused from cache")
+    if outcome.replay_seconds:
+        parts.append("replayed in %.2fs" % outcome.replay_seconds)
+    speedup = outcome.speedup_estimate()
+    if speedup is not None:
+        parts.append("~%.1fx vs per-point simulation" % speedup)
+    print("; ".join(parts), file=sys.stderr)
+
+    _save_telemetry(args, metrics, tracer, command="sweep-monitor",
+                    kernel=args.kernel, points=len(points))
     return 0
 
 
@@ -309,6 +408,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--stagger", type=int, default=0)
     p_run.add_argument("--late-core", type=int, choices=(0, 1),
                        default=1)
+    p_run.add_argument("--mode", default="polling",
+                       choices=("polling", "interrupt_first",
+                                "interrupt_threshold"),
+                       help="SafeDM reporting mode")
+    p_run.add_argument("--threshold", type=int, default=1,
+                       help="episode threshold for interrupt_threshold")
+    group = p_run.add_mutually_exclusive_group()
+    group.add_argument("--capture", default=None, metavar="FILE",
+                       help="record the raw signature streams to FILE "
+                            "for later replay")
+    group.add_argument("--replay", default=None, metavar="FILE",
+                       help="recompute counters from a captured stream "
+                            "trace instead of simulating")
     _add_telemetry_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -324,8 +436,48 @@ def build_parser() -> argparse.ArgumentParser:
                            "1 = serial in-process)")
     p_t1.add_argument("--no-cache", action="store_true",
                       help="ignore and do not populate the run cache")
+    p_t1.add_argument("--capture", action="store_true",
+                      help="record executed runs' signature streams "
+                           "into the trace cache")
+    p_t1.add_argument("--replay", action="store_true",
+                      help="answer cache misses from cached stream "
+                           "traces instead of re-simulating")
     _add_telemetry_flags(p_t1)
     p_t1.set_defaults(func=_cmd_table1)
+
+    p_sm = sub.add_parser(
+        "sweep-monitor",
+        help="many monitor configurations over one simulation "
+             "(capture-once / replay-many)")
+    p_sm.add_argument("kernel")
+    p_sm.add_argument("--thresholds", type=int, nargs="+",
+                      default=list(range(1, 17)), metavar="N",
+                      help="episode thresholds to sweep "
+                           "(default: 1..16)")
+    p_sm.add_argument("--modes", nargs="+",
+                      default=["interrupt_threshold"],
+                      choices=("polling", "interrupt_first",
+                               "interrupt_threshold"),
+                      help="reporting modes to sweep")
+    p_sm.add_argument("--is-variants", nargs="+",
+                      default=["per_stage"],
+                      choices=("per_stage", "inflight"),
+                      help="instruction-signature variants to sweep")
+    p_sm.add_argument("--num-ports", type=int, nargs="+", default=[4],
+                      metavar="N",
+                      help="monitored register-port counts to sweep")
+    p_sm.add_argument("--ds-depths", type=int, nargs="+", default=[6],
+                      metavar="N",
+                      help="data-signature FIFO depths to sweep")
+    p_sm.add_argument("--stagger", type=int, default=0)
+    p_sm.add_argument("--late-core", type=int, choices=(0, 1),
+                      default=1)
+    p_sm.add_argument("--max-cycles", type=int, default=2_000_000)
+    p_sm.add_argument("--no-cache", action="store_true",
+                      help="do not consult or populate the run/trace "
+                           "caches")
+    _add_telemetry_flags(p_sm)
+    p_sm.set_defaults(func=_cmd_sweep_monitor)
 
     p_camp = sub.add_parser("campaign",
                             help="CCF fault-injection campaign")

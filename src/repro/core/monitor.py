@@ -146,6 +146,9 @@ class DiversityMonitor:
         # Optional per-cycle telemetry counters (attach_metrics); the
         # disabled state costs the hot loop one None check per cycle.
         self._mx = None
+        # Optional raw-stream capture hook (attach_capture); same
+        # disabled-state cost as the telemetry counters.
+        self._capture = None
 
     # -- telemetry -------------------------------------------------------------
 
@@ -172,6 +175,25 @@ class DiversityMonitor:
 
     def has_metrics_attached(self) -> bool:
         return self._mx is not None
+
+    # -- capture -----------------------------------------------------------
+
+    def attach_capture(self, recorder):
+        """Bind a raw-stream recorder (capture-once / replay-many).
+
+        ``recorder`` (see :class:`repro.trace.stream_trace.
+        StreamRecorder`) receives ``record(cycle, core0, core1)`` once
+        per observed cycle, *before* the signature units sample — so a
+        recorded run holds exactly the streams any monitor
+        configuration would have consumed, and :mod:`repro.replay` can
+        recompute :class:`MonitorStats` for other configurations
+        without re-simulating.  Like :meth:`attach_metrics`, the hook
+        is purely observational and is detached by :meth:`reset`.
+        """
+        self._capture = recorder
+
+    def has_capture_attached(self) -> bool:
+        return self._capture is not None
 
     @property
     def last_report(self) -> Optional[CycleReport]:
@@ -219,6 +241,8 @@ class DiversityMonitor:
         """
         if not self.enabled:
             return
+        if self._capture is not None:
+            self._capture.record(cycle, core0, core1)
         ds0, ds1 = self.ds_units
         is0, is1 = self.is_units
         hold0, hold1 = core0.hold, core1.hold
@@ -314,6 +338,7 @@ class DiversityMonitor:
         self.stats = MonitorStats()
         self._have_report = False
         self._mx = None
+        self._capture = None
 
     def block_diagram(self) -> str:
         """Fig. 4-style description of the monitor's internal blocks."""

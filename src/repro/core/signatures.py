@@ -87,6 +87,23 @@ class SignatureConfig:
 IDLE = (0, 0)
 
 
+def inflight_from_stage_words(stage_words) -> Tuple[int, ...]:
+    """In-flight instruction window derived from per-stage occupancy.
+
+    The INFLIGHT fallback's fetched-but-not-retired FIFO is exactly the
+    pipeline contents read deepest-stage-first
+    (:meth:`repro.cpu.core.Core.inflight_words` walks the stages the
+    same way), so a captured per-stage stream
+    (:mod:`repro.trace.stream_trace`) can be replayed under either IS
+    variant without re-simulating.
+    """
+    words: List[int] = []
+    for group in reversed(stage_words):
+        if group:
+            words.extend(group)
+    return tuple(words)
+
+
 class DataSignatureUnit:
     """Per-register-port FIFOs feeding the Data Signature (Fig. 2a).
 

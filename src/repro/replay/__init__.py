@@ -1,0 +1,41 @@
+"""Capture-once / replay-many engine for SafeDM monitor sweeps.
+
+SafeDM never perturbs the cores it monitors, so the raw per-cycle
+signature streams a simulation produces are independent of the monitor
+configuration consuming them.  This package exploits that: capture the
+streams once (:mod:`repro.trace.stream_trace`), then recompute monitor
+outcomes — bit-identical to live runs — for any number of monitor
+configurations without touching the simulator again.
+
+* :mod:`~repro.replay.engine` — the replay itself
+  (:class:`ReplayMonitor` reference path, :class:`ReplayEngine` fast
+  many-point path).
+* :mod:`~repro.replay.monitor_sweep` — the sweep driver wiring replay
+  into the run/trace caches and telemetry.
+"""
+
+from .engine import (
+    ReplayEngine,
+    ReplayMonitor,
+    ReplayOutcome,
+    replay_run,
+)
+from .monitor_sweep import (
+    MonitorPoint,
+    MonitorSweep,
+    MonitorSweepResult,
+    ReplayMismatchError,
+    threshold_points,
+)
+
+__all__ = [
+    "ReplayEngine",
+    "ReplayMonitor",
+    "ReplayOutcome",
+    "replay_run",
+    "MonitorPoint",
+    "MonitorSweep",
+    "MonitorSweepResult",
+    "ReplayMismatchError",
+    "threshold_points",
+]

@@ -10,9 +10,14 @@ from .cache import (
     CACHE_SCHEMA_VERSION,
     DEFAULT_CACHE_DIR,
     RunCache,
+    TraceCache,
     config_digest,
+    monitor_key,
     program_digest,
     run_key,
+    signature_digest,
+    sim_config_digest,
+    simulation_key,
 )
 from .progress import NullProgress, SweepProgress
 from .sweep import (
@@ -31,10 +36,15 @@ __all__ = [
     "RunCache",
     "RunSpec",
     "SweepProgress",
+    "TraceCache",
     "cell_specs",
     "config_digest",
     "execute_spec",
     "merge_cell",
+    "monitor_key",
     "program_digest",
     "run_key",
+    "signature_digest",
+    "sim_config_digest",
+    "simulation_key",
 ]

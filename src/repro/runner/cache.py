@@ -1,18 +1,26 @@
-"""Content-addressed run cache for the sweep engine.
+"""Content-addressed run and trace caches for the sweep engines.
 
-Every simulated run is deterministic: its outcome is a pure function
-of the program image, the platform configuration, and the run
-parameters (staggering, late core, arbiter start, cycle budget,
-reporting mode).  The cache therefore keys each :class:`RunResult` by
-a SHA-256 digest of exactly those inputs and persists it as JSON under
-``benchmarks/out/.runcache/`` — repeated sweeps and ablations skip
-already-simulated cells entirely.
+Every simulated run is deterministic, and SafeDM is purely
+observational — so a run's inputs split into two layers:
 
-A cache entry never goes stale silently: any change to the program
-bytes or to any field of :class:`~repro.soc.config.SocConfig`
-(including nested core/bus/cache/signature geometry) changes the key.
-``CACHE_SCHEMA_VERSION`` is baked into every key so behavioural
-changes to the simulator can invalidate old entries wholesale.
+* the **simulation key**: program image, platform configuration *minus*
+  the signature section, staggering, late core, arbiter start, cycle
+  budget.  Everything the cores/bus/memory ever see.
+* the **monitor key** layered on top: the signature geometry
+  (:class:`~repro.core.signatures.SignatureConfig`), reporting mode,
+  and episode threshold.  None of it can perturb the simulation.
+
+:func:`run_key` composes the two: a :class:`RunResult` is cached under
+the full (simulation + monitor) key, while a raw signature-stream
+:class:`~repro.trace.stream_trace.StreamTrace` is cached under the
+simulation key alone — one captured simulation serves every monitor
+configuration via :mod:`repro.replay`.
+
+Entries never go stale silently: any input change changes the key, and
+``CACHE_SCHEMA_VERSION`` is baked into every key so behavioural changes
+to the simulator can invalidate old entries wholesale.  Entries that
+*do* turn out dead on read (corrupt JSON, old schema) are evicted from
+disk immediately instead of missing forever.
 """
 
 from __future__ import annotations
@@ -26,13 +34,16 @@ import pathlib
 import tempfile
 from typing import Optional
 
+from ..core.signatures import SignatureConfig
 from ..isa.program import Program
 from ..soc.config import SocConfig
 from ..soc.experiment import RunResult
+from ..trace.stream_trace import StreamTrace
 
 #: Bump to invalidate every previously cached run (e.g. after a change
 #: that alters simulated behaviour rather than just the API).
-CACHE_SCHEMA_VERSION = 1
+#: 2: the key split into simulation + monitor layers.
+CACHE_SCHEMA_VERSION = 2
 
 #: Default persistent location, per the repo layout: benchmark outputs
 #: live under benchmarks/out/.
@@ -61,12 +72,35 @@ def _sha256(payload: bytes) -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
+def _digest_payload(obj) -> str:
+    return _sha256(json.dumps(_canonical(obj), sort_keys=True,
+                              separators=(",", ":")).encode("utf-8"))
+
+
 def config_digest(config: Optional[SocConfig]) -> str:
     """Stable digest of a full platform configuration."""
+    return _digest_payload(config if config is not None else SocConfig())
+
+
+def sim_config_digest(config: Optional[SocConfig]) -> str:
+    """Digest of the platform configuration the *simulation* sees.
+
+    The ``signature`` section is excluded: SafeDM only observes, so the
+    signature geometry cannot change a single simulated cycle.  It is
+    keyed separately by :func:`signature_digest` / :func:`monitor_key`.
+    """
     resolved = config if config is not None else SocConfig()
-    payload = json.dumps(_canonical(resolved), sort_keys=True,
-                         separators=(",", ":"))
-    return _sha256(payload.encode("utf-8"))
+    return _digest_payload({
+        field.name: _canonical(getattr(resolved, field.name))
+        for field in dataclasses.fields(resolved)
+        if field.name != "signature"
+    })
+
+
+def signature_digest(signature: Optional[SignatureConfig]) -> str:
+    """Stable digest of a signature-unit geometry."""
+    return _digest_payload(signature if signature is not None
+                           else SignatureConfig())
 
 
 def program_digest(program: Program) -> str:
@@ -79,31 +113,68 @@ def program_digest(program: Program) -> str:
     return hasher.hexdigest()
 
 
-def run_key(program_dig: str, config_dig: str, *, benchmark: str,
-            stagger_nops: int, late_core: int, rr_start: int,
-            max_cycles: int, mode_value: str, threshold: int) -> str:
-    """Cache key for one redundant run."""
+def simulation_key(program_dig: str, sim_cfg_dig: str, *, benchmark: str,
+                   stagger_nops: int, late_core: int, rr_start: int,
+                   max_cycles: int) -> str:
+    """Cache key for one simulation (monitor-independent).
+
+    Stream traces are content-addressed by this key: any monitor
+    configuration replayed over the same simulation shares it.
+    """
     payload = json.dumps({
         "schema": CACHE_SCHEMA_VERSION,
+        "kind": "simulation",
         "program": program_dig,
-        "config": config_dig,
+        "config": sim_cfg_dig,
         "benchmark": benchmark,
         "stagger_nops": stagger_nops,
         "late_core": late_core,
         "rr_start": rr_start,
         "max_cycles": max_cycles,
+    }, sort_keys=True, separators=(",", ":"))
+    return _sha256(payload.encode("utf-8"))
+
+
+def monitor_key(sim_key: str, *, signature_dig: str, mode_value: str,
+                threshold: int) -> str:
+    """Monitor-configuration key layered on a simulation key."""
+    payload = json.dumps({
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": "monitor",
+        "simulation": sim_key,
+        "signature": signature_dig,
         "mode": mode_value,
         "threshold": threshold,
     }, sort_keys=True, separators=(",", ":"))
     return _sha256(payload.encode("utf-8"))
 
 
-class RunCache:
-    """Persistent key -> :class:`RunResult` store (one JSON file each).
+def run_key(program_dig: str, config: Optional[SocConfig] = None, *,
+            benchmark: str, stagger_nops: int, late_core: int,
+            rr_start: int, max_cycles: int, mode_value: str,
+            threshold: int) -> str:
+    """Full cache key for one redundant run: monitor over simulation."""
+    resolved = config if config is not None else SocConfig()
+    sim_key = simulation_key(program_dig, sim_config_digest(resolved),
+                             benchmark=benchmark,
+                             stagger_nops=stagger_nops,
+                             late_core=late_core, rr_start=rr_start,
+                             max_cycles=max_cycles)
+    return monitor_key(sim_key,
+                       signature_dig=signature_digest(resolved.signature),
+                       mode_value=mode_value, threshold=threshold)
+
+
+class _DiskStore:
+    """Shared plumbing: atomic one-file-per-key stores under ``root``.
 
     Writes are atomic (tempfile + rename), so concurrent sweeps sharing
     a cache directory at worst redo a run — they never corrupt it.
+    Entries that fail to decode are *evicted* (unlinked) rather than
+    left to miss forever.
     """
+
+    SUFFIX = ".json"
 
     def __init__(self, root=None):
         self.root = pathlib.Path(root) if root is not None \
@@ -111,34 +182,31 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     def _path(self, key: str) -> pathlib.Path:
-        return self.root / (key + ".json")
+        return self.root / (key + self.SUFFIX)
 
-    def get(self, key: str) -> Optional[RunResult]:
-        """Cached result for ``key``, or None (counted as a miss)."""
+    def _read(self, key: str) -> Optional[bytes]:
+        """Raw entry bytes, or None (a plain miss) when absent."""
         try:
-            raw = self._path(key).read_text()
-            payload = json.loads(raw)
-            if payload.get("schema") != CACHE_SCHEMA_VERSION:
-                raise ValueError("schema mismatch")
-            result = RunResult(**payload["result"])
-        except (OSError, ValueError, TypeError, KeyError):
-            self.misses += 1
+            return self._path(key).read_bytes()
+        except OSError:
             return None
-        self.hits += 1
-        return result
 
-    def put(self, key: str, result: RunResult):
-        """Persist ``result`` under ``key`` (atomic)."""
+    def _evict(self, key: str):
+        """Drop a dead entry so it cannot keep missing forever."""
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+        self.evictions += 1
+
+    def _store(self, key: str, payload: bytes):
         self.root.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps({
-            "schema": CACHE_SCHEMA_VERSION,
-            "result": dataclasses.asdict(result),
-        }, sort_keys=True)
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as handle:
+            with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
             os.replace(tmp_name, self._path(key))
         except BaseException:
@@ -153,7 +221,7 @@ class RunCache:
         """Delete every cached entry."""
         if not self.root.is_dir():
             return
-        for path in self.root.glob("*.json"):
+        for path in self.root.glob("*" + self.SUFFIX):
             try:
                 path.unlink()
             except OSError:
@@ -162,4 +230,72 @@ class RunCache:
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("*.json"))
+        return sum(1 for _ in self.root.glob("*" + self.SUFFIX))
+
+
+class RunCache(_DiskStore):
+    """Persistent full-key -> :class:`RunResult` store (JSON files)."""
+
+    SUFFIX = ".json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """Cached result for ``key``, or None (counted as a miss).
+
+        Corrupt or stale-schema entries are deleted on the spot and
+        counted in :attr:`evictions` (surfaced as the
+        ``repro_runner_cache_evictions_total`` telemetry counter).
+        """
+        raw = self._read(key)
+        if raw is None:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(raw)
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            result = RunResult(**payload["result"])
+        except (ValueError, TypeError, KeyError):
+            self._evict(key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult):
+        """Persist ``result`` under ``key`` (atomic)."""
+        payload = json.dumps({
+            "schema": CACHE_SCHEMA_VERSION,
+            "result": dataclasses.asdict(result),
+        }, sort_keys=True)
+        self._store(key, payload.encode("utf-8"))
+
+
+class TraceCache(_DiskStore):
+    """Persistent simulation-key -> :class:`StreamTrace` store.
+
+    Lives alongside the run cache (same directory, ``.trace`` files).
+    The trace carries its own schema version in its binary header, so
+    decode failures — including format bumps — evict like the run
+    cache's.
+    """
+
+    SUFFIX = ".trace"
+
+    def get(self, sim_key: str) -> Optional[StreamTrace]:
+        """Cached trace for ``sim_key``, or None (counted as a miss)."""
+        raw = self._read(sim_key)
+        if raw is None:
+            self.misses += 1
+            return None
+        try:
+            trace = StreamTrace.decode(raw)
+        except (ValueError, TypeError, KeyError, EOFError):
+            self._evict(sim_key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def put(self, sim_key: str, trace: StreamTrace):
+        """Persist ``trace`` under its simulation key (atomic)."""
+        self._store(sim_key, trace.encode())

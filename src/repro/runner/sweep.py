@@ -36,7 +36,15 @@ from ..soc.experiment import (
     RunResult,
     run_redundant,
 )
-from .cache import RunCache, config_digest, program_digest, run_key
+from .cache import (
+    RunCache,
+    TraceCache,
+    monitor_key,
+    program_digest,
+    signature_digest,
+    sim_config_digest,
+    simulation_key,
+)
 from .progress import NullProgress, SweepProgress
 
 
@@ -111,12 +119,23 @@ _WORKER: dict = {}
 
 
 def _init_worker(config: Optional[SocConfig], mode: ReportingMode,
-                 threshold: int):
+                 threshold: int, trace_dir=None):
     """Pool initializer: stash per-sweep constants in the worker."""
     _WORKER["config"] = config
     _WORKER["mode"] = mode
     _WORKER["threshold"] = threshold
     _WORKER["programs"] = {}
+    _WORKER["trace_dir"] = trace_dir
+    _WORKER["prog_digs"] = {}
+
+
+def _worker_program(benchmark: str) -> Program:
+    programs = _WORKER["programs"]
+    program = programs.get(benchmark)
+    if program is None:
+        from ..workloads import program as build_program
+        program = programs[benchmark] = build_program(benchmark)
+    return program
 
 
 def _run_spec_in_worker(spec: RunSpec) -> Tuple[RunResult, float]:
@@ -126,16 +145,45 @@ def _run_spec_in_worker(spec: RunSpec) -> Tuple[RunResult, float]:
     parent can report per-spec timings without trusting its own
     scheduling-noise-laden completion deltas.
     """
-    programs = _WORKER["programs"]
-    program = programs.get(spec.benchmark)
-    if program is None:
-        from ..workloads import program as build_program
-        program = programs[spec.benchmark] = build_program(spec.benchmark)
+    program = _worker_program(spec.benchmark)
     start = time.perf_counter()
     result = execute_spec(spec, config=_WORKER["config"],
                           mode=_WORKER["mode"],
                           threshold=_WORKER["threshold"], program=program)
     return result, time.perf_counter() - start
+
+
+def _capture_spec_in_worker(spec: RunSpec) -> Tuple[RunResult, float]:
+    """Like :func:`_run_spec_in_worker`, but capture a stream trace.
+
+    The worker writes the trace straight into the shared trace cache
+    (atomic one-file-per-key store) instead of pickling megabytes of
+    samples back to the parent; it recomputes the simulation key
+    locally from the same inputs the parent would use.
+    """
+    from ..soc.experiment import run_redundant_captured
+    program = _worker_program(spec.benchmark)
+    config = _WORKER["config"]
+    prog_digs = _WORKER["prog_digs"]
+    prog_dig = prog_digs.get(spec.benchmark)
+    if prog_dig is None:
+        prog_dig = prog_digs[spec.benchmark] = program_digest(program)
+    sim_key = simulation_key(prog_dig, sim_config_digest(config),
+                             benchmark=spec.benchmark,
+                             stagger_nops=spec.stagger_nops,
+                             late_core=spec.late_core,
+                             rr_start=spec.rr_start,
+                             max_cycles=spec.max_cycles)
+    start = time.perf_counter()
+    result, trace = run_redundant_captured(
+        program, benchmark=spec.benchmark,
+        stagger_nops=spec.stagger_nops, late_core=spec.late_core,
+        config=config, mode=_WORKER["mode"],
+        threshold=_WORKER["threshold"], max_cycles=spec.max_cycles,
+        rr_start=spec.rr_start, sim_key=sim_key)
+    seconds = time.perf_counter() - start
+    TraceCache(_WORKER["trace_dir"]).put(sim_key, trace)
+    return result, seconds
 
 
 # -- the engine ---------------------------------------------------------------
@@ -166,6 +214,16 @@ class ParallelSweep:
     tracer:
         Optional :class:`repro.telemetry.Tracer`; receives one span
         per executed run plus a ``sweep`` umbrella span.
+    capture:
+        Record every *executed* run's raw signature streams into the
+        trace cache (keyed by simulation key), so later sweeps with a
+        different monitor configuration can replay instead of
+        re-simulate.
+    replay:
+        Before simulating a run-cache miss, look for a cached stream
+        trace of the same simulation and recompute the result from it
+        via :mod:`repro.replay` (bit-identical, orders of magnitude
+        cheaper).
 
     When ``jobs`` is unspecified, hosts without real parallelism
     (``os.cpu_count() <= 2``) clamp to serial in-process execution:
@@ -181,7 +239,8 @@ class ParallelSweep:
     def __init__(self, jobs: Optional[int] = None, use_cache: bool = True,
                  cache_dir=None, progress=False,
                  mode: ReportingMode = ReportingMode.POLLING,
-                 threshold: int = 1, metrics=None, tracer=None):
+                 threshold: int = 1, metrics=None, tracer=None,
+                 capture: bool = False, replay: bool = False):
         self.serial_fallback = False
         if jobs is None:
             cpus = os.cpu_count() or 1
@@ -192,6 +251,10 @@ class ParallelSweep:
                 jobs = cpus
         self.jobs = max(1, jobs)
         self.cache = RunCache(cache_dir) if use_cache else None
+        self.capture = capture
+        self.replay = replay
+        self.traces = TraceCache(cache_dir) if (capture or replay) \
+            else None
         self.mode = mode
         self.threshold = threshold
         self.metrics = metrics
@@ -203,6 +266,10 @@ class ParallelSweep:
         #: Worker-side wall seconds per executed spec, last run_cells.
         self._timings: Dict[RunSpec, float] = {}
         self._cached_specs: set = set()
+        self._replayed_specs: set = set()
+        self._captured_specs: set = set()
+        #: Evictions already folded into the metrics registry.
+        self._evictions_folded = 0
 
     # -- public API -----------------------------------------------------
 
@@ -269,12 +336,17 @@ class ParallelSweep:
                  progress) -> Dict[RunSpec, RunResult]:
         results: Dict[RunSpec, RunResult] = {}
         keys: Dict[RunSpec, str] = {}
+        sim_keys: Dict[RunSpec, str] = {}
         pending: List[RunSpec] = []
         self._timings = {}
         self._cached_specs = set()
+        self._replayed_specs = set()
+        self._captured_specs = set()
 
-        if self.cache is not None:
-            cfg_dig = config_digest(config)
+        if self.cache is not None or self.traces is not None:
+            resolved = config if config is not None else SocConfig()
+            sim_cfg_dig = sim_config_digest(resolved)
+            sig_dig = signature_digest(resolved.signature)
             prog_digs: Dict[str, str] = {}
             from ..workloads import program as build_program
             for spec in specs:
@@ -282,37 +354,74 @@ class ParallelSweep:
                 if prog_dig is None:
                     prog_dig = program_digest(build_program(spec.benchmark))
                     prog_digs[spec.benchmark] = prog_dig
-                key = run_key(prog_dig, cfg_dig,
-                              benchmark=spec.benchmark,
-                              stagger_nops=spec.stagger_nops,
-                              late_core=spec.late_core,
-                              rr_start=spec.rr_start,
-                              max_cycles=spec.max_cycles,
-                              mode_value=self.mode.value,
-                              threshold=self.threshold)
-                keys[spec] = key
-                cached = self.cache.get(key)
-                if cached is not None:
-                    results[spec] = cached
-                    self._cached_specs.add(spec)
-                    progress.update(spec.describe(), cached=True)
-                else:
-                    pending.append(spec)
+                sim_key = simulation_key(prog_dig, sim_cfg_dig,
+                                         benchmark=spec.benchmark,
+                                         stagger_nops=spec.stagger_nops,
+                                         late_core=spec.late_core,
+                                         rr_start=spec.rr_start,
+                                         max_cycles=spec.max_cycles)
+                sim_keys[spec] = sim_key
+                keys[spec] = monitor_key(sim_key, signature_dig=sig_dig,
+                                         mode_value=self.mode.value,
+                                         threshold=self.threshold)
+                if self.cache is not None:
+                    cached = self.cache.get(keys[spec])
+                    if cached is not None:
+                        results[spec] = cached
+                        self._cached_specs.add(spec)
+                        progress.update(spec.describe(), cached=True)
+                        continue
+                pending.append(spec)
         else:
             pending = list(specs)
 
-        if not pending:
-            return results
+        if self.replay and self.traces is not None and pending:
+            pending = self._replay_pending(pending, config, results,
+                                           progress, sim_keys)
 
-        if self.jobs == 1:
-            self._execute_serial(pending, config, results, progress)
-        else:
-            self._execute_pool(pending, config, results, progress)
+        if pending:
+            if self.jobs == 1:
+                self._execute_serial(pending, config, results, progress,
+                                     sim_keys)
+            else:
+                self._execute_pool(pending, config, results, progress)
+            if self.capture and self.jobs > 1:
+                self._captured_specs.update(pending)
 
         if self.cache is not None:
             for spec in pending:
                 self.cache.put(keys[spec], results[spec])
+            for spec in self._replayed_specs:
+                self.cache.put(keys[spec], results[spec])
         return results
+
+    def _replay_pending(self, pending: Sequence[RunSpec],
+                        config: Optional[SocConfig],
+                        results: Dict[RunSpec, RunResult],
+                        progress,
+                        sim_keys: Dict[RunSpec, str]) -> List[RunSpec]:
+        """Answer run-cache misses from cached stream traces.
+
+        Returns the specs still needing live simulation.  Imported
+        lazily: ``repro.replay`` itself depends on this package.
+        """
+        from ..replay.engine import replay_run
+        resolved = config if config is not None else SocConfig()
+        still_pending: List[RunSpec] = []
+        for spec in pending:
+            trace = self.traces.get(sim_keys[spec])
+            if trace is None:
+                still_pending.append(spec)
+                continue
+            with self.tracer.span("replay", spec=spec.describe()):
+                start = time.perf_counter()
+                results[spec] = replay_run(
+                    trace, signature=resolved.signature,
+                    mode=self.mode, threshold=self.threshold)
+                self._timings[spec] = time.perf_counter() - start
+            self._replayed_specs.add(spec)
+            progress.update(spec.describe(), cached=True)
+        return still_pending
 
     def _record_metrics(self, all_specs: Sequence[RunSpec],
                         results: Dict[RunSpec, RunResult],
@@ -352,14 +461,35 @@ class ParallelSweep:
                 timing = self._timings.get(spec)
                 if timing is not None:
                     seconds.observe(timing)
+        if self.capture or self.replay:
+            replays = registry.counter("repro_replay_replays_total")
+            captures = registry.counter("repro_replay_captures_total")
+            for spec in all_specs:
+                if spec in self._replayed_specs:
+                    replays.inc()
+                if spec in self._captured_specs:
+                    captures.inc()
+        if self.cache is not None or self.traces is not None:
+            seen = ((self.cache.evictions if self.cache is not None
+                     else 0)
+                    + (self.traces.evictions if self.traces is not None
+                       else 0))
+            registry.counter("repro_runner_cache_evictions_total").inc(
+                seen - self._evictions_folded)
+            self._evictions_folded = seen
         busy = sum(self._timings.values())
         if wall_seconds > 0:
             registry.gauge("repro_runner_worker_utilization").set(
                 busy / (wall_seconds * self.jobs))
 
-    def _execute_serial(self, pending, config, results, progress):
+    def _execute_serial(self, pending, config, results, progress,
+                        sim_keys=None):
         programs: Dict[str, Program] = {}
+        capturing = self.capture and self.traces is not None \
+            and sim_keys is not None
         from ..workloads import program as build_program
+        if capturing:
+            from ..soc.experiment import run_redundant_captured
         for spec in pending:
             program = programs.get(spec.benchmark)
             if program is None:
@@ -367,19 +497,40 @@ class ParallelSweep:
                     build_program(spec.benchmark)
             with self.tracer.span("run", spec=spec.describe()):
                 start = time.perf_counter()
-                results[spec] = execute_spec(spec, config=config,
-                                             mode=self.mode,
-                                             threshold=self.threshold,
-                                             program=program)
+                if capturing:
+                    result, trace = run_redundant_captured(
+                        program, benchmark=spec.benchmark,
+                        stagger_nops=spec.stagger_nops,
+                        late_core=spec.late_core, config=config,
+                        mode=self.mode, threshold=self.threshold,
+                        max_cycles=spec.max_cycles,
+                        rr_start=spec.rr_start,
+                        sim_key=sim_keys[spec])
+                    results[spec] = result
+                    self.traces.put(sim_keys[spec], trace)
+                    self._captured_specs.add(spec)
+                else:
+                    results[spec] = execute_spec(spec, config=config,
+                                                 mode=self.mode,
+                                                 threshold=self.threshold,
+                                                 program=program)
                 self._timings[spec] = time.perf_counter() - start
             progress.update(spec.describe())
 
     def _execute_pool(self, pending, config, results, progress):
+        capturing = self.capture and self.traces is not None
+        # Captured traces are written worker-side straight into the
+        # shared trace cache; shipping the trace dir (not the cache
+        # object) keeps the initargs picklable and cheap.
+        trace_dir = str(self.traces.root) if capturing else None
+        run = _capture_spec_in_worker if capturing \
+            else _run_spec_in_worker
         with ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(pending)),
                 initializer=_init_worker,
-                initargs=(config, self.mode, self.threshold)) as pool:
-            futures = {pool.submit(_run_spec_in_worker, spec): spec
+                initargs=(config, self.mode, self.threshold,
+                          trace_dir)) as pool:
+            futures = {pool.submit(run, spec): spec
                        for spec in pending}
             for future in as_completed(futures):
                 spec = futures[future]

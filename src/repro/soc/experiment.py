@@ -25,6 +25,7 @@ from typing import Callable, List, Optional, Sequence
 
 from ..core.monitor import ReportingMode
 from ..isa.program import Program
+from ..trace.stream_trace import StreamRecorder, TraceMeta
 from .config import SocConfig
 from .mpsoc import MPSoC
 
@@ -75,7 +76,7 @@ def run_redundant(program: Program, benchmark: str = "program",
                   max_cycles: int = 2_000_000,
                   rr_start: int = 0,
                   soc_hook: Optional[Callable[[MPSoC], None]] = None,
-                  metrics=None, tracer=None) -> RunResult:
+                  metrics=None, tracer=None, capture=None) -> RunResult:
     """Run ``program`` redundantly on a fresh MPSoC and report counters.
 
     ``metrics`` (a :class:`repro.telemetry.MetricsRegistry`) receives
@@ -84,6 +85,11 @@ def run_redundant(program: Program, benchmark: str = "program",
     spans for platform build, program load, and the cycle loop.  Both
     are purely observational: counters in the returned
     :class:`RunResult` are bit-identical with or without them.
+
+    ``capture`` (a :class:`repro.trace.StreamRecorder`) taps the raw
+    per-cycle signature streams for later replay — see
+    :func:`run_redundant_captured` and :mod:`repro.replay`.  Also
+    observational.
     """
     if tracer is None:
         from ..telemetry import NULL_TRACER
@@ -99,6 +105,11 @@ def run_redundant(program: Program, benchmark: str = "program",
         soc_hook(soc)
     if metrics is not None:
         soc.attach_telemetry(metrics)
+    if capture is not None:
+        # The preload set by start_redundant (program-level staggering
+        # correction) is part of the stream a replay must reproduce.
+        capture.diff_preload = soc.safedm.instruction_diff.diff
+        soc.safedm.attach_capture(capture)
     with tracer.span("cycle_loop", benchmark=benchmark,
                      stagger_nops=stagger_nops, late_core=late_core,
                      rr_start=rr_start):
@@ -127,6 +138,43 @@ def run_redundant(program: Program, benchmark: str = "program",
         finished=finished,
         ipc=core0.stats.ipc,
     )
+
+
+def run_redundant_captured(program: Program, benchmark: str = "program",
+                           stagger_nops: int = 0, late_core: int = 1,
+                           config: Optional[SocConfig] = None,
+                           mode: ReportingMode = ReportingMode.POLLING,
+                           threshold: int = 1,
+                           max_cycles: int = 2_000_000,
+                           rr_start: int = 0, metrics=None, tracer=None,
+                           sim_key: str = ""):
+    """:func:`run_redundant` plus raw-stream capture.
+
+    Returns ``(result, trace)`` where ``trace`` is a
+    :class:`repro.trace.StreamTrace` holding everything
+    :mod:`repro.replay` needs to recompute the monitor side of
+    ``result`` — bit-identical — for *any* monitor configuration.
+    """
+    recorder = StreamRecorder()
+    result = run_redundant(program, benchmark=benchmark,
+                           stagger_nops=stagger_nops,
+                           late_core=late_core, config=config, mode=mode,
+                           threshold=threshold, max_cycles=max_cycles,
+                           rr_start=rr_start, metrics=metrics,
+                           tracer=tracer, capture=recorder)
+    trace = recorder.to_trace(TraceMeta(
+        benchmark=benchmark,
+        stagger_nops=stagger_nops,
+        late_core=late_core,
+        rr_start=rr_start,
+        max_cycles=max_cycles,
+        cycles=result.cycles,
+        committed=result.committed,
+        finished=result.finished,
+        ipc=result.ipc,
+        sim_key=sim_key,
+    ))
+    return result, trace
 
 
 def run_cell(program: Program, benchmark: str, stagger_nops: int,

@@ -1,4 +1,5 @@
-"""Tracing: VCD waveforms, pipeline text traces, signature captures."""
+"""Tracing: VCD waveforms, pipeline text traces, signature captures,
+and the raw signature-stream capture format behind ``repro.replay``."""
 
 from .pipeline_trace import PipelineTracer, TraceLine, trace_run
 from .signature_trace import (
@@ -6,13 +7,27 @@ from .signature_trace import (
     SignatureTrace,
     capture_signature_trace,
 )
+from .stream_trace import (
+    TRACE_SCHEMA_VERSION,
+    CoreSample,
+    CycleSample,
+    StreamRecorder,
+    StreamTrace,
+    TraceMeta,
+)
 from .vcd import VcdWriter, monitor_vcd
 
 __all__ = [
+    "CoreSample",
+    "CycleSample",
     "PipelineTracer",
     "SignatureSample",
     "SignatureTrace",
+    "StreamRecorder",
+    "StreamTrace",
+    "TRACE_SCHEMA_VERSION",
     "TraceLine",
+    "TraceMeta",
     "VcdWriter",
     "capture_signature_trace",
     "monitor_vcd",

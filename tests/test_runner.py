@@ -4,6 +4,8 @@ import dataclasses
 
 import pytest
 
+from repro.core.monitor import ReportingMode
+from repro.core.signatures import SignatureConfig
 from repro.runner import (
     ParallelSweep,
     RunCache,
@@ -11,8 +13,12 @@ from repro.runner import (
     cell_specs,
     config_digest,
     merge_cell,
+    monitor_key,
     program_digest,
     run_key,
+    signature_digest,
+    sim_config_digest,
+    simulation_key,
 )
 from repro.soc.config import SocConfig
 from repro.soc.experiment import RunResult, run_row
@@ -112,21 +118,48 @@ def test_changed_config_misses_cache(tmp_path):
 def test_run_key_sensitivity():
     prog = program(KERNELS[0])
     prog_dig = program_digest(prog)
-    cfg_dig = config_digest(None)
     base = dict(benchmark=KERNELS[0], stagger_nops=0, late_core=1,
                 rr_start=0, max_cycles=100, mode_value="polling",
                 threshold=1)
-    key = run_key(prog_dig, cfg_dig, **base)
-    assert key == run_key(prog_dig, cfg_dig, **base)  # stable
+    key = run_key(prog_dig, None, **base)
+    assert key == run_key(prog_dig, None, **base)  # stable
+    assert key == run_key(prog_dig, SocConfig(), **base)
     for field, value in [("stagger_nops", 100), ("late_core", 0),
                          ("rr_start", 1), ("max_cycles", 99),
                          ("mode_value", "interrupt_first"),
                          ("threshold", 2)]:
-        assert key != run_key(prog_dig, cfg_dig,
-                              **{**base, field: value})
+        assert key != run_key(prog_dig, None, **{**base, field: value})
     other_dig = program_digest(program(KERNELS[1]))
-    assert key != run_key(other_dig, cfg_dig, **base)
+    assert key != run_key(other_dig, None, **base)
     assert config_digest(None) == config_digest(SocConfig())
+
+
+def test_key_split_simulation_vs_monitor():
+    """The signature section keys the monitor layer, not the simulation."""
+    prog_dig = program_digest(program(KERNELS[0]))
+    base = dict(benchmark=KERNELS[0], stagger_nops=0, late_core=1,
+                rr_start=0, max_cycles=100)
+    plain = SocConfig()
+    fancy = SocConfig(signature=SignatureConfig(num_ports=2, ds_depth=3))
+    # Different signature geometry: same simulation...
+    assert sim_config_digest(plain) == sim_config_digest(fancy)
+    sim = simulation_key(prog_dig, sim_config_digest(plain), **base)
+    assert sim == simulation_key(prog_dig, sim_config_digest(fancy),
+                                 **base)
+    # ...but a different monitor key (so run results never collide).
+    mk = monitor_key(sim, signature_dig=signature_digest(plain.signature),
+                     mode_value="polling", threshold=1)
+    assert mk != monitor_key(
+        sim, signature_dig=signature_digest(fancy.signature),
+        mode_value="polling", threshold=1)
+    # A non-signature config change changes the simulation itself.
+    moved = SocConfig()
+    moved.data_bases = (0x4000_0000, 0x6000_0000)
+    assert sim_config_digest(moved) != sim_config_digest(plain)
+    # run_key composes the two layers.
+    full = run_key(prog_dig, plain, mode_value="polling", threshold=1,
+                   **base)
+    assert full == mk
 
 
 def test_cache_survives_corrupt_entry(tmp_path):
@@ -136,6 +169,53 @@ def test_cache_survives_corrupt_entry(tmp_path):
     assert cache.get("goodkey") == result
     (tmp_path / "badkey.json").write_text("{not json")
     assert cache.get("badkey") is None
-    assert len(cache) == 2
+    # The corrupt entry is evicted from disk, not left to miss forever.
+    assert cache.evictions == 1
+    assert not (tmp_path / "badkey.json").exists()
+    assert len(cache) == 1
     cache.clear()
     assert len(cache) == 0
+
+
+def test_cache_evicts_stale_schema_entry(tmp_path):
+    cache = RunCache(tmp_path)
+    (tmp_path / "oldkey.json").write_text(
+        '{"schema": 1, "result": {}}')
+    assert cache.get("oldkey") is None
+    assert cache.evictions == 1
+    assert not (tmp_path / "oldkey.json").exists()
+
+
+@pytest.mark.slow
+def test_sweep_capture_then_replay(tmp_path):
+    """A captured sweep's traces answer a later sweep with a different
+    monitor configuration — bit-identically to live simulation."""
+    name = KERNELS[0]
+    captured = ParallelSweep(jobs=1, cache_dir=tmp_path, capture=True)
+    captured.run_table([name], stagger_values=STAGGERS,
+                       max_cycles=20_000)
+    assert len(captured._captured_specs) == 4
+    assert len(captured.traces) == 4
+
+    # Different monitor config: run-cache misses, trace-cache hits.
+    replayer = ParallelSweep(jobs=1, cache_dir=tmp_path, replay=True,
+                             mode=ReportingMode.INTERRUPT_THRESHOLD,
+                             threshold=4)
+    rows = replayer.run_table([name], stagger_values=STAGGERS,
+                              max_cycles=20_000)
+    assert len(replayer._replayed_specs) == 4
+
+    live = ParallelSweep(jobs=1, use_cache=False,
+                         mode=ReportingMode.INTERRUPT_THRESHOLD,
+                         threshold=4)
+    live_rows = live.run_table([name], stagger_values=STAGGERS,
+                               max_cycles=20_000)
+    assert _cells_as_dicts(rows[name]) == _cells_as_dicts(live_rows[name])
+
+    # The replayed results were cached: a third sweep is pure hits.
+    third = ParallelSweep(jobs=1, cache_dir=tmp_path, replay=True,
+                          mode=ReportingMode.INTERRUPT_THRESHOLD,
+                          threshold=4)
+    third.run_table([name], stagger_values=STAGGERS, max_cycles=20_000)
+    assert third.cache.hits == 4
+    assert len(third._replayed_specs) == 0
