@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Fault-campaign benchmark: fork-from-checkpoint vs from-scratch.
+
+Times an N-injection common-cause campaign over each kernel two ways:
+
+* ``scratch`` — every injection re-simulates from cycle 0 (the
+  pre-checkpoint cost, O(N*T)),
+* ``fork``    — one golden run drops checkpoints every K cycles; each
+  injection restores the nearest one and simulates only the suffix,
+  with convergence early-exit for masked faults (O(T + N*K)).
+
+Every forked :class:`repro.fault.InjectionResult` is asserted
+field-for-field identical to its from-scratch counterpart before any
+timing is reported — a fast wrong verdict would be worthless.  The
+report goes to ``BENCH_campaign.json`` at the repo root;
+``--min-speedup X`` turns the bench into a CI gate that exits
+non-zero when the aggregate speedup falls below ``X``.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_campaign.py
+        [--kernels K ...] [--injections N] [--checkpoint-every N]
+        [--quick] [--min-speedup X] [--out FILE]
+
+``--quick`` restricts the run to the countnegative kernel, for CI.
+The checkpoint cadence defaults to ~1/25th of the fault-free run
+(floor 200 cycles), which keeps the golden run's snapshot-encoding
+overhead well below the per-injection simulation it saves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+import time
+
+from repro.fault import run_ccf_campaign, shared_address_config, spread_cycles
+from repro.soc.experiment import run_redundant
+from repro.workloads import program as build_program
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+OUT_PATH = REPO_ROOT / "BENCH_campaign.json"
+
+DEFAULT_KERNELS = ("countnegative", "matrix1")
+QUICK_KERNELS = ("countnegative",)
+MAX_CYCLES = 200_000
+#: Floor for the automatic checkpoint cadence (run_cycles // 25).
+MIN_CADENCE = 200
+
+
+def bench_kernel(name, injections, cadence_override):
+    prog = build_program(name)
+    config = shared_address_config()
+    probe = run_redundant(prog, benchmark=name, config=config,
+                          max_cycles=MAX_CYCLES)
+    cycles = spread_cycles(probe.cycles, injections)
+    cadence = cadence_override or max(MIN_CADENCE, probe.cycles // 25)
+
+    scratch_start = time.perf_counter()
+    scratch = run_ccf_campaign(prog, cycles, config=config,
+                               max_cycles=MAX_CYCLES)
+    scratch_s = time.perf_counter() - scratch_start
+
+    fork_start = time.perf_counter()
+    fork = run_ccf_campaign(prog, cycles, config=config,
+                            max_cycles=MAX_CYCLES,
+                            checkpoint_every=cadence)
+    fork_s = time.perf_counter() - fork_start
+
+    # Correctness first: bit-identical per injection, or no timing claims.
+    assert len(fork.injections) == len(scratch.injections)
+    for a, b in zip(scratch.injections, fork.injections):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b), \
+            "fork diverged at cycle=%d:\n scratch: %r\n fork:    %r" \
+            % (a.fault_cycle, a, b)
+    assert scratch.silent_despite_diversity == 0
+
+    speedup = scratch_s / fork_s
+    print("%-14s inj=%-3d every=%-5d scratch %6.2fs  fork %6.2fs  "
+          "(%.2fx; masked=%d detected=%d)"
+          % (name, injections, cadence, scratch_s, fork_s, speedup,
+             fork.masked, fork.detected))
+    return {
+        "kernel": name,
+        "run_cycles": probe.cycles,
+        "injections": injections,
+        "checkpoint_every": cadence,
+        "scratch_seconds": round(scratch_s, 3),
+        "fork_seconds": round(fork_s, 3),
+        "speedup": round(speedup, 2),
+        "masked": fork.masked,
+        "detected": fork.detected,
+        "silent_ccf": fork.silent_ccf,
+        "silent_despite_diversity": fork.silent_despite_diversity,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kernels", nargs="+",
+                        default=list(DEFAULT_KERNELS),
+                        help="kernels to campaign over (default: %s)"
+                        % " ".join(DEFAULT_KERNELS))
+    parser.add_argument("--injections", type=int, default=None,
+                        metavar="N",
+                        help="injection instants per kernel "
+                             "(default: 12; 16 under --quick, where "
+                             "more injections amortize the one golden "
+                             "run further)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N",
+                        help="checkpoint cadence (default: "
+                             "run_cycles // 25, floor %d)" % MIN_CADENCE)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI subset: %s only"
+                        % " ".join(QUICK_KERNELS))
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit non-zero if aggregate speedup < X")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="report path (default: BENCH_campaign.json "
+                             "at the repo root)")
+    args = parser.parse_args()
+    out_path = pathlib.Path(args.out) if args.out else OUT_PATH
+    kernels = list(QUICK_KERNELS) if args.quick else args.kernels
+    injections = args.injections if args.injections is not None \
+        else (16 if args.quick else 12)
+
+    print("common-cause campaign, %d injection(s)/kernel, "
+          "max_cycles=%d%s" % (injections, MAX_CYCLES,
+                               " (quick)" if args.quick else ""))
+    rows = [bench_kernel(name, injections, args.checkpoint_every)
+            for name in kernels]
+
+    scratch_total = sum(row["scratch_seconds"] for row in rows)
+    fork_total = sum(row["fork_seconds"] for row in rows)
+    speedup = scratch_total / fork_total
+    print("exactness: fork == scratch field-for-field on all %d "
+          "injection(s)" % (len(rows) * injections))
+    print("aggregate speedup %.1fx (scratch %.2fs, fork %.2fs)"
+          % (speedup, scratch_total, fork_total))
+
+    report = {
+        "kernels": rows,
+        "injections_per_kernel": injections,
+        "max_cycles": MAX_CYCLES,
+        "quick": bool(args.quick),
+        "scratch_seconds": round(scratch_total, 3),
+        "fork_seconds": round(fork_total, 3),
+        "speedup": round(speedup, 2),
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print("wrote %s" % out_path)
+
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print("FAIL: speedup %.1fx below required %.1fx"
+              % (speedup, args.min_speedup), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

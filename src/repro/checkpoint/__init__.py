@@ -1,0 +1,38 @@
+"""Uniform snapshot/restore protocol for the simulator stack.
+
+Every stateful component implements ``state_dict()`` (a JSON-friendly
+tree with accumulators under ``"stats"`` keys) and
+``load_state_dict()``; :class:`MPSoC <repro.soc.mpsoc.MPSoC>` composes
+them recursively.  This package holds the pieces the components share:
+the binary :class:`Snapshot` codec and the request-identity contexts.
+"""
+
+from .codec import (
+    ACCUMULATOR_KEY,
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointMeta,
+    Snapshot,
+    dynamic_view,
+    from_jsonable,
+    jsonable,
+)
+from .protocol import (
+    RestoreContext,
+    SnapshotContext,
+    load_stats_state,
+    stats_state,
+)
+
+__all__ = [
+    "ACCUMULATOR_KEY",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointMeta",
+    "RestoreContext",
+    "Snapshot",
+    "SnapshotContext",
+    "dynamic_view",
+    "from_jsonable",
+    "jsonable",
+    "load_stats_state",
+    "stats_state",
+]

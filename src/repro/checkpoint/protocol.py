@@ -1,0 +1,100 @@
+"""Shared-reference plumbing for the snapshot/restore protocol.
+
+Components serialize themselves with ``state_dict()`` and restore with
+``load_state_dict()``; both are plain trees of JSON-friendly values
+except for one wrinkle: an in-flight :class:`~repro.mem.bus.BusRequest`
+is *shared by reference* between the bus queue and whichever unit issued
+it (a core's fetch stage, a pipeline group's memory stage, or a store
+buffer).  Serializing each holder's copy independently would restore
+distinct objects and silently break the completion handshake — the bus
+mutates the request in place and the issuer polls ``done()`` on the
+very same object.
+
+:class:`SnapshotContext` preserves identity: every holder interns its
+request and stores only the table index; the root (MPSoC) emits the
+table once.  :class:`RestoreContext` rebuilds one instance per table
+entry, so all holders resolve back to the same object.
+
+The small ``stats_state`` / ``load_stats_state`` helpers serialize the
+flat accumulator dataclasses (``CoreStats``, ``BusStats``, ...) that
+every component nests under its ``"stats"`` key (see
+:data:`repro.checkpoint.codec.ACCUMULATOR_KEY`).
+
+This module deliberately imports nothing from the simulator packages at
+module level so any layer (mem, cpu, core, soc) can import it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+
+def stats_state(stats) -> dict:
+    """Serialize a flat accumulator dataclass to a plain dict."""
+    return {field.name: getattr(stats, field.name)
+            for field in dataclasses.fields(stats)}
+
+
+def load_stats_state(stats, state) -> None:
+    """Restore a flat accumulator dataclass field-for-field."""
+    for field in dataclasses.fields(stats):
+        setattr(stats, field.name, state[field.name])
+
+
+class SnapshotContext:
+    """Interns shared :class:`BusRequest` instances for one snapshot.
+
+    Holders call :meth:`intern` and serialize the returned index; the
+    snapshot root serializes :meth:`request_table` once.  Keeping the
+    interned objects referenced also pins their ``id()`` for the
+    context's lifetime.
+    """
+
+    def __init__(self):
+        self._indices: Dict[int, int] = {}
+        self._requests: List[object] = []
+
+    def intern(self, request) -> int:
+        """Return the table index for *request*, adding it if new."""
+        index = self._indices.get(id(request))
+        if index is None:
+            index = len(self._requests)
+            self._indices[id(request)] = index
+            self._requests.append(request)
+        return index
+
+    def request_table(self) -> List[dict]:
+        """Serialized state of every interned request, in index order."""
+        return [dataclasses.asdict(request) for request in self._requests]
+
+
+class RestoreContext:
+    """Rebuilds the shared request instances for one restore.
+
+    Constructed from the serialized table; holders call
+    :meth:`resolve` with their stored index and all receive the same
+    rebuilt instance.
+    """
+
+    def __init__(self, request_table):
+        from ..mem.bus import BusRequest
+
+        self._requests = []
+        for entry in request_table:
+            l2_hit = entry["l2_hit"]
+            self._requests.append(BusRequest(
+                master=int(entry["master"]),
+                address=int(entry["address"]),
+                is_store=bool(entry["is_store"]),
+                is_ifetch=bool(entry["is_ifetch"]),
+                issue_cycle=int(entry["issue_cycle"]),
+                granted=bool(entry["granted"]),
+                complete_cycle=int(entry["complete_cycle"]),
+                l2_hit=None if l2_hit is None else bool(l2_hit),
+            ))
+
+    def resolve(self, index: int):
+        """The shared request instance for a serialized table index."""
+        return self._requests[index]

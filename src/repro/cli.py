@@ -3,10 +3,13 @@
 Commands:
 
 * ``run <kernel> [--stagger N] [--late-core {0,1}] [--mode M]
-  [--threshold N] [--capture FILE | --replay FILE]`` — one redundant
-  run with SafeDM counters; ``--capture`` records the raw signature
-  streams to FILE, ``--replay`` recomputes the counters from such a
-  file without simulating.
+  [--threshold N] [--capture FILE | --replay FILE]
+  [--checkpoint-every N [--resume]]`` — one redundant run with SafeDM
+  counters; ``--capture`` records the raw signature streams to FILE,
+  ``--replay`` recomputes the counters from such a file without
+  simulating.  ``--checkpoint-every`` snapshots the full machine state
+  into the run cache every N cycles; ``--resume`` restores the latest
+  such checkpoint and finishes the run from there.
 * ``row <kernel>`` — one full Table I row (all staggering setups).
 * ``table1 [kernels...] [--jobs N] [--no-cache] [--capture]
   [--replay]`` — the Table I sweep (all 29 by default), parallel
@@ -15,8 +18,11 @@ Commands:
 * ``sweep-monitor <kernel> [--thresholds ...] [--modes ...]
   [--is-variants ...] [--ds-depths ...]`` — evaluate many monitor
   configurations over ONE simulation via capture-once/replay-many.
-* ``campaign <kernel> [--injections N] [--shared]`` — CCF
-  fault-injection campaign with SafeDM cross-referencing.
+* ``campaign <kernel> [--injections N] [--shared] [--jobs N]
+  [--checkpoint-every N]`` — CCF fault-injection campaign with SafeDM
+  cross-referencing; ``--checkpoint-every`` forks each injection from
+  a golden-run checkpoint instead of re-simulating from cycle 0, and
+  ``--jobs`` spreads the injections across worker processes.
 * ``lint [kernels...|--all] [--format text|json]`` — static analysis
   (CFG + dataflow diagnostics) over kernel images; non-zero exit on
   error-severity findings.
@@ -109,11 +115,94 @@ def _cmd_list(args) -> int:
     return 0
 
 
+class _RunCheckpointer:
+    """Persists ``repro run`` snapshots into the run cache.
+
+    Checkpoints are keyed by the *monitor* key (simulation key plus
+    signature geometry, mode, and threshold): a snapshot holds the full
+    SoC state including the monitor, so two runs differing only in the
+    reporting mode must not share checkpoints.  A small index entry
+    (same cadence-qualified key space) records which cycles have
+    snapshots so ``--resume`` can find the latest one.
+    """
+
+    def __init__(self, args, mode):
+        from .runner.cache import (
+            CheckpointIndexStore,
+            CheckpointStore,
+            checkpoint_index_key,
+            checkpoint_key,
+            monitor_key,
+            program_digest,
+            signature_digest,
+            sim_config_digest,
+            simulation_key,
+        )
+        from .workloads import program
+        self._checkpoint_key = checkpoint_key
+        self.kernel = args.kernel
+        self.every = args.checkpoint_every
+        sim = simulation_key(program_digest(program(args.kernel)),
+                             sim_config_digest(None),
+                             benchmark=args.kernel,
+                             stagger_nops=args.stagger,
+                             late_core=args.late_core,
+                             rr_start=0, max_cycles=2_000_000)
+        self.key = monitor_key(sim, signature_dig=signature_digest(None),
+                               mode_value=mode.value,
+                               threshold=args.threshold)
+        self.index_key = checkpoint_index_key(self.key, every=self.every)
+        self.store = CheckpointStore()
+        self.index_store = CheckpointIndexStore()
+        self.cycles = []
+
+    def save(self, soc):
+        snap = soc.snapshot(benchmark=self.kernel,
+                            checkpoint_every=self.every,
+                            sim_key=self.key)
+        self.store.put_blob(
+            self._checkpoint_key(self.key, cycle=soc.cycle,
+                                 every=self.every),
+            snap.encode())
+        self.cycles.append(soc.cycle)
+
+    def latest(self):
+        """Latest decodable cached snapshot, or None."""
+        index = self.index_store.get(self.index_key)
+        if not index:
+            return None
+        cycles = sorted(int(c) for c in index.get("cycles", ()))
+        for cycle in reversed(cycles):
+            snap = self.store.get(self._checkpoint_key(
+                self.key, cycle=cycle, every=self.every))
+            if snap is not None:
+                # Seed the index with what is still on disk so finish()
+                # rewrites a truthful cycle list.
+                self.cycles = [c for c in cycles if c <= cycle]
+                return snap
+        return None
+
+    def finish(self):
+        if self.cycles:
+            self.index_store.put(self.index_key,
+                                 {"every": self.every,
+                                  "cycles": sorted(set(self.cycles))})
+
+
 def _cmd_run(args) -> int:
     from .core.monitor import ReportingMode
     from .workloads import program
     metrics, tracer = _make_telemetry(args)
     mode = ReportingMode(args.mode)
+    if (args.resume or args.checkpoint_every) \
+            and (args.capture or args.replay):
+        print("error: --checkpoint-every/--resume cannot be combined "
+              "with --capture/--replay", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint_every:
+        print("error: --resume needs --checkpoint-every N (the cadence "
+              "identifies the checkpoint set)", file=sys.stderr)
+        return 2
     if args.replay:
         from .replay import replay_run
         from .trace import StreamTrace
@@ -145,12 +234,34 @@ def _cmd_run(args) -> int:
               file=sys.stderr)
     else:
         from .soc.experiment import run_redundant
+        checkpointer = None
+        resume_from = None
+        if args.checkpoint_every:
+            checkpointer = _RunCheckpointer(args, mode)
+            if args.resume:
+                resume_from = checkpointer.latest()
+                if resume_from is None:
+                    print("error: no cached checkpoint for this run; "
+                          "run once with --checkpoint-every %d first"
+                          % args.checkpoint_every, file=sys.stderr)
+                    return 2
+                print("resuming from cycle %d" % resume_from.meta.cycle,
+                      file=sys.stderr)
         result = run_redundant(program(args.kernel),
                                benchmark=args.kernel,
                                stagger_nops=args.stagger,
                                late_core=args.late_core,
                                mode=mode, threshold=args.threshold,
-                               metrics=metrics, tracer=tracer)
+                               metrics=metrics, tracer=tracer,
+                               checkpoint_every=args.checkpoint_every,
+                               on_checkpoint=(checkpointer.save
+                                              if checkpointer else None),
+                               resume_from=resume_from)
+        if checkpointer is not None:
+            checkpointer.finish()
+            print("%d checkpoint(s) in the run cache; continue an "
+                  "interrupted run with --resume"
+                  % len(checkpointer.cycles), file=sys.stderr)
     print(result.summary())
     print("finished=%s committed=%d ipc=%.2f interrupts=%d"
           % (result.finished, result.committed, result.ipc,
@@ -268,7 +379,14 @@ def _cmd_campaign(args) -> int:
     cycles = spread_cycles(probe.cycles, args.injections)
     result = run_ccf_campaign(prog, cycles, stimuli=args.stimuli,
                               config=config, max_cycles=args.max_cycles,
-                              metrics=metrics, tracer=tracer)
+                              metrics=metrics, tracer=tracer,
+                              checkpoint_every=args.checkpoint_every,
+                              jobs=(args.jobs if args.jobs != 0
+                                    else None),
+                              cache_dir=(True if args.checkpoint_every
+                                         and not args.no_cache
+                                         else None),
+                              benchmark=args.kernel)
     print("%s over %d cycles:" % (args.kernel, probe.cycles))
     print(result.summary())
     print("detected-or-flagged=%d" % result.detected_or_flagged)
@@ -421,6 +539,14 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--replay", default=None, metavar="FILE",
                        help="recompute counters from a captured stream "
                             "trace instead of simulating")
+    p_run.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="N",
+                       help="snapshot the full machine state into the "
+                            "run cache every N cycles")
+    p_run.add_argument("--resume", action="store_true",
+                       help="restore the latest cached checkpoint "
+                            "(same kernel/flags/cadence) and finish "
+                            "the run from there")
     _add_telemetry_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -492,6 +618,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="use the CCF-vulnerable shared-data-region "
                              "configuration")
     p_camp.add_argument("--max-cycles", type=int, default=200_000)
+    p_camp.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the injection loop "
+                             "(0 = all cores; default: serial; results "
+                             "are bit-identical either way)")
+    p_camp.add_argument("--checkpoint-every", type=int, default=0,
+                        metavar="N",
+                        help="fork each injection from a golden-run "
+                             "checkpoint every N cycles instead of "
+                             "re-simulating from cycle 0")
+    p_camp.add_argument("--no-cache", action="store_true",
+                        help="do not persist or reuse golden "
+                             "checkpoints in the run cache")
     _add_telemetry_flags(p_camp)
     p_camp.set_defaults(func=_cmd_campaign)
 

@@ -162,6 +162,16 @@ class SafeDmApbSlave(ApbSlave):
             return
         raise ApbError("SafeDM: write of read-only register %#x" % offset)
 
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        # The wrapped monitor snapshots itself; the slave's only own
+        # state is the histogram read-out selector.
+        return {"hist_select": self._hist_select}
+
+    def load_state_dict(self, state):
+        self._hist_select = int(state["hist_select"]) & 0x3FF
+
 
 def make_monitored_slave(bin_size: int = 1, num_bins: int = 32,
                          **monitor_kwargs):

@@ -70,6 +70,28 @@ class HardwareFifo:
     def __len__(self) -> int:
         return self.depth
 
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "entries": [list(entry) if isinstance(entry, tuple) else entry
+                        for entry in self._entries],
+            "stats": {"pushes": self.pushes,
+                      "held_cycles": self.held_cycles},
+        }
+
+    def load_state_dict(self, state):
+        entries = [tuple(entry) if isinstance(entry, list) else entry
+                   for entry in state["entries"]]
+        if len(entries) != self.depth:
+            raise ValueError("snapshot has %d FIFO entries, expected %d"
+                             % (len(entries), self.depth))
+        self._entries = deque(entries, maxlen=self.depth)
+        self._contents_cache = None
+        stats = state["stats"]
+        self.pushes = int(stats["pushes"])
+        self.held_cycles = int(stats["held_cycles"])
+
     def __eq__(self, other) -> bool:
         if isinstance(other, HardwareFifo):
             return self.contents() == other.contents()

@@ -70,6 +70,29 @@ class EpisodeHistogram:
         self.longest = 0
         self._run = 0
 
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "run": self._run,
+            "stats": {"bins": list(self.bins),
+                      "total_cycles": self.total_cycles,
+                      "episodes": self.episodes,
+                      "longest": self.longest},
+        }
+
+    def load_state_dict(self, state):
+        stats = state["stats"]
+        bins = [int(count) for count in stats["bins"]]
+        if len(bins) != self.num_bins:
+            raise ValueError("snapshot has %d histogram bins, expected %d"
+                             % (len(bins), self.num_bins))
+        self._run = int(state["run"])
+        self.bins = bins
+        self.total_cycles = int(stats["total_cycles"])
+        self.episodes = int(stats["episodes"])
+        self.longest = int(stats["longest"])
+
 
 @dataclass
 class HistoryModule:
@@ -112,3 +135,15 @@ class HistoryModule:
     def reset(self):
         for histogram in self.histograms.values():
             histogram.reset()
+
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {name: histogram.state_dict()
+                for name, histogram in self.histograms.items()}
+
+    def load_state_dict(self, state):
+        # Loads *into* the existing histogram objects so the pre-bound
+        # references from _bind() stay valid.
+        for name, histogram in self.histograms.items():
+            histogram.load_state_dict(state[name])

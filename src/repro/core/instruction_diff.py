@@ -51,3 +51,14 @@ class InstructionDiff:
     def reset(self):
         self.diff = 0
         self.stats = InstructionDiffStats()
+
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        from ..checkpoint import stats_state
+        return {"diff": self.diff, "stats": stats_state(self.stats)}
+
+    def load_state_dict(self, state):
+        from ..checkpoint import load_stats_state
+        self.diff = int(state["diff"])
+        load_stats_state(self.stats, state["stats"])

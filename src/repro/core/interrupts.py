@@ -38,3 +38,14 @@ class InterruptLine:
     def reset(self):
         self.pending = False
         self.raised_count = 0
+
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        # Handlers are live wiring, not state; they stay subscribed.
+        return {"pending": self.pending,
+                "stats": {"raised_count": self.raised_count}}
+
+    def load_state_dict(self, state):
+        self.pending = bool(state["pending"])
+        self.raised_count = int(state["stats"]["raised_count"])

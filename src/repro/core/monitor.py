@@ -340,6 +340,50 @@ class DiversityMonitor:
         self._mx = None
         self._capture = None
 
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        from ..checkpoint import stats_state
+        return {
+            "enabled": self.enabled,
+            "mode": self.mode.value,
+            "threshold": self.threshold,
+            "ds_units": [unit.state_dict() for unit in self.ds_units],
+            "is_units": [unit.state_dict() for unit in self.is_units],
+            "instruction_diff": self.instruction_diff.state_dict(),
+            "history": (None if self.history is None
+                        else self.history.state_dict()),
+            "irq": self.irq.state_dict(),
+            "have_report": self._have_report,
+            "last_cycle": self._last_cycle,
+            "last_data_div": self._last_data_div,
+            "last_instr_div": self._last_instr_div,
+            "last_stagger": self._last_stagger,
+            "stats": stats_state(self.stats),
+        }
+
+    def load_state_dict(self, state):
+        from ..checkpoint import load_stats_state
+        self.enabled = bool(state["enabled"])
+        self.mode = ReportingMode(state["mode"])
+        self.threshold = int(state["threshold"])
+        for unit, entry in zip(self.ds_units, state["ds_units"]):
+            unit.load_state_dict(entry)
+        for unit, entry in zip(self.is_units, state["is_units"]):
+            unit.load_state_dict(entry)
+        self.instruction_diff.load_state_dict(state["instruction_diff"])
+        if self.history is not None:
+            if state["history"] is None:
+                raise ValueError("snapshot has no history module state")
+            self.history.load_state_dict(state["history"])
+        self.irq.load_state_dict(state["irq"])
+        self._have_report = bool(state["have_report"])
+        self._last_cycle = int(state["last_cycle"])
+        self._last_data_div = bool(state["last_data_div"])
+        self._last_instr_div = bool(state["last_instr_div"])
+        self._last_stagger = int(state["last_stagger"])
+        load_stats_state(self.stats, state["stats"])
+
     def block_diagram(self) -> str:
         """Fig. 4-style description of the monitor's internal blocks."""
         cfg = self.config

@@ -230,6 +230,46 @@ class DataSignatureUnit:
                 fifo.clear()
                 fifo.extend([IDLE] * self.config.ds_depth)
 
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        if self._every_cycle:
+            return {"rows": [[list(sample) for sample in row]
+                             for row in self._rows]}
+        return {"fifos": [[list(sample) for sample in fifo]
+                          for fifo in self._fifos]}
+
+    def load_state_dict(self, state):
+        depth = self.config.ds_depth
+        if self._every_cycle:
+            rows = [tuple((int(en), int(val)) for en, val in row)
+                    for row in state["rows"]]
+            if len(rows) != depth:
+                raise ValueError("snapshot has %d DS rows, expected %d"
+                                 % (len(rows), depth))
+            for row in rows:
+                if len(row) != self._num_ports:
+                    raise ValueError("snapshot DS row width mismatch")
+            self._rows = deque(rows, maxlen=depth)
+            # Digests are derived, never serialized: recompute with the
+            # same formula the live sampling path uses.
+            hashes = [hash(row) % _DIGEST_MOD for row in rows]
+            self._row_hashes = deque(hashes, maxlen=depth)
+            digest = 0
+            for h in hashes:
+                digest = (digest * _DIGEST_BASE + h) % _DIGEST_MOD
+            self._digest = digest
+        else:
+            fifos = state["fifos"]
+            if len(fifos) != self._num_ports:
+                raise ValueError("snapshot has %d DS FIFOs, expected %d"
+                                 % (len(fifos), self._num_ports))
+            self._fifos = [
+                deque(((int(en), int(val)) for en, val in fifo),
+                      maxlen=depth)
+                for fifo in fifos
+            ]
+
 
 class InstructionSignatureUnit:
     """Per-stage slot capture feeding the Instruction Signature (Fig. 2b)."""
@@ -353,4 +393,28 @@ class InstructionSignatureUnit:
     def reset(self):
         self._stage_words = [None] * self.config.pipeline_stages
         self._inflight_words = (0,) * self.config.inflight_depth
+        self._digest = self._compute_digest()
+
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "stage_words": [None if words is None else list(words)
+                            for words in self._stage_words],
+            "inflight_words": list(self._inflight_words),
+        }
+
+    def load_state_dict(self, state):
+        stage_words = [None if words is None
+                       else tuple(int(word) for word in words)
+                       for words in state["stage_words"]]
+        if len(stage_words) != self.config.pipeline_stages:
+            raise ValueError("snapshot has %d IS stages, expected %d"
+                             % (len(stage_words),
+                                self.config.pipeline_stages))
+        inflight = tuple(int(word) for word in state["inflight_words"])
+        if len(inflight) != self.config.inflight_depth:
+            raise ValueError("snapshot in-flight window depth mismatch")
+        self._stage_words = stage_words
+        self._inflight_words = inflight
         self._digest = self._compute_digest()

@@ -215,6 +215,82 @@ class Core:
                 words.extend(fi.word for fi in group.instrs)
         return tuple(words)
 
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        from ..checkpoint import stats_state
+        return {
+            "stages": [None if group is None else group.state_dict(ctx)
+                       for group in self.stages],
+            "fetch_pc": self.fetch_pc,
+            "fetch_enabled": self.fetch_enabled,
+            "halted": self.halted,
+            "seq": self._seq,
+            # Decode-cache entries are fully determined by (pc, page
+            # version): the word is re-read from the restored memory.
+            "fetch_cache": {pc: entry[1]
+                            for pc, entry in self._fetch_cache.items()},
+            "ifetch_req": (None if self._ifetch_req is None
+                           else ctx.intern(self._ifetch_req)),
+            "jalr_block": self._jalr_block,
+            "hold": self.hold,
+            "commits_this_cycle": self.commits_this_cycle,
+            "committed_words": list(self.committed_words),
+            "regfile": self.regfile.state_dict(),
+            "icache": self.icache.state_dict(),
+            "dcache": self.dcache.state_dict(),
+            "store_buffer": self.store_buffer.state_dict(ctx),
+            "predictor": self.predictor.state_dict(),
+            "stats": stats_state(self.stats),
+        }
+
+    def load_state_dict(self, state, ctx):
+        from ..checkpoint import load_stats_state
+        stages = state["stages"]
+        if len(stages) != NUM_STAGES:
+            raise ValueError("snapshot has %d pipeline stages, expected %d"
+                             % (len(stages), NUM_STAGES))
+        self.stages = [None if entry is None
+                       else Group.from_state(entry, ctx)
+                       for entry in stages]
+        self.fetch_pc = int(state["fetch_pc"])
+        self.fetch_enabled = bool(state["fetch_enabled"])
+        self.halted = bool(state["halted"])
+        self._seq = int(state["seq"])
+        self._load_fetch_cache(state["fetch_cache"])
+        ifetch = state["ifetch_req"]
+        self._ifetch_req = None if ifetch is None else ctx.resolve(ifetch)
+        self._jalr_block = bool(state["jalr_block"])
+        self.hold = bool(state["hold"])
+        self.commits_this_cycle = int(state["commits_this_cycle"])
+        self.committed_words = [int(word)
+                                for word in state["committed_words"]]
+        self.regfile.load_state_dict(state["regfile"])
+        self.icache.load_state_dict(state["icache"])
+        self.dcache.load_state_dict(state["dcache"])
+        self.store_buffer.load_state_dict(state["store_buffer"], ctx)
+        self.predictor.load_state_dict(state["predictor"])
+        load_stats_state(self.stats, state["stats"])
+
+    def _load_fetch_cache(self, entries):
+        """Rebuild the decode cache against the *restored* memory.
+
+        Requires memory to be restored first.  An entry whose word no
+        longer decodes must be stale (its page changed after caching),
+        and a stale entry misses on its next access exactly like a
+        missing one — dropping it preserves behaviour and counters.
+        """
+        cache: Dict[int, Tuple[Instruction, int]] = {}
+        memory = self.memory
+        for pc_key, version in entries.items():
+            pc = int(pc_key)
+            try:
+                instr = decode(memory.read_word(pc))
+            except Exception:
+                continue
+            cache[pc] = (instr, int(version))
+        self._fetch_cache = cache
+
     # -- per-cycle step ----------------------------------------------------------
 
     def step(self, cycle: int):

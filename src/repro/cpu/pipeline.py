@@ -68,6 +68,53 @@ class Group:
     def __str__(self) -> str:
         return " | ".join(str(fi) for fi in self.instrs)
 
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        instr_slots = {id(fi): slot for slot, fi in enumerate(self.instrs)}
+        return {
+            "instrs": [_fetched_state(fi) for fi in self.instrs],
+            "ex_done_cycle": self.ex_done_cycle,
+            "me_initiated": self.me_initiated,
+            "me_ready_cycle": self.me_ready_cycle,
+            # The fetched half of each pair is always one of this
+            # group's own instructions; store its slot index.
+            "me_requests": [[ctx.intern(req), instr_slots[id(fi)]]
+                            for req, fi in self.me_requests],
+        }
+
+    @classmethod
+    def from_state(cls, state, ctx) -> "Group":
+        group = cls(instrs=[_fetched_from_state(entry)
+                            for entry in state["instrs"]])
+        group.ex_done_cycle = int(state["ex_done_cycle"])
+        group.me_initiated = bool(state["me_initiated"])
+        ready = state["me_ready_cycle"]
+        group.me_ready_cycle = None if ready is None else int(ready)
+        group.me_requests = [(ctx.resolve(int(index)),
+                              group.instrs[int(slot)])
+                             for index, slot in state["me_requests"]]
+        return group
+
+
+def _fetched_state(fetched: FetchedInstruction) -> list:
+    return [fetched.instr.word, fetched.pc, fetched.seq,
+            1 if fetched.predicted_taken else 0, fetched.result,
+            fetched.effective_address, fetched.store_value]
+
+
+def _fetched_from_state(entry) -> FetchedInstruction:
+    from ..isa.decoder import decode
+    word, pc, seq, predicted, result, effective, store_value = entry
+    fetched = FetchedInstruction(instr=decode(int(word)), pc=int(pc),
+                                 seq=int(seq))
+    fetched.predicted_taken = bool(predicted)
+    fetched.result = None if result is None else int(result)
+    fetched.effective_address = (None if effective is None
+                                 else int(effective))
+    fetched.store_value = None if store_value is None else int(store_value)
+    return fetched
+
 
 def can_pair(first: FetchedInstruction,
              second: FetchedInstruction) -> bool:
@@ -144,3 +191,22 @@ class BranchPredictor:
         self._table = [self.WEAK_NT] * self.entries
         self.predictions = 0
         self.mispredictions = 0
+
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "table": list(self._table),
+            "stats": {"predictions": self.predictions,
+                      "mispredictions": self.mispredictions},
+        }
+
+    def load_state_dict(self, state):
+        table = state["table"]
+        if len(table) != self.entries:
+            raise ValueError("snapshot has %d predictor entries, expected %d"
+                             % (len(table), self.entries))
+        self._table = [int(counter) for counter in table]
+        stats = state["stats"]
+        self.predictions = int(stats["predictions"])
+        self.mispredictions = int(stats["mispredictions"])

@@ -97,3 +97,29 @@ class RegisterFile:
         self.values = [0] * NUM_REGISTERS
         self.ready_cycle = [0] * NUM_REGISTERS
         self.begin_cycle()
+
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "values": list(self.values),
+            "ready_cycle": list(self.ready_cycle),
+            "read_samples": [list(sample) for sample in self.read_samples],
+            "write_samples": [list(sample) for sample in self.write_samples],
+        }
+
+    def load_state_dict(self, state):
+        values = [int(v) for v in state["values"]]
+        if len(values) != NUM_REGISTERS:
+            raise ValueError("snapshot has %d registers, expected %d"
+                             % (len(values), NUM_REGISTERS))
+        reads = state["read_samples"]
+        writes = state["write_samples"]
+        if (len(reads) != self.num_read_ports
+                or len(writes) != self.num_write_ports):
+            raise ValueError("snapshot port counts do not match regfile")
+        self.values = values
+        self.ready_cycle = [int(v) for v in state["ready_cycle"]]
+        # Samples must restore as tuples: signature rows hash them.
+        self.read_samples = [(int(en), int(val)) for en, val in reads]
+        self.write_samples = [(int(en), int(val)) for en, val in writes]

@@ -2,8 +2,11 @@
 
 from .campaign import CampaignResult, run_ccf_campaign, spread_cycles
 from .injector import (
+    ForkEngine,
+    GoldenArtifact,
     InjectionResult,
     golden_run,
+    golden_run_with_checkpoints,
     inject_common_cause,
     inject_transient,
     shared_address_config,
@@ -14,9 +17,12 @@ __all__ = [
     "CampaignResult",
     "CommonCauseFault",
     "FaultEffect",
+    "ForkEngine",
+    "GoldenArtifact",
     "InjectionResult",
     "TransientFault",
     "golden_run",
+    "golden_run_with_checkpoints",
     "inject_common_cause",
     "inject_transient",
     "run_ccf_campaign",

@@ -6,16 +6,38 @@ the injection instant.  The paper's no-false-negative claim translates
 to: *every* silent CCF escape happens in a cycle where SafeDM reported
 lack of diversity (SafeDM may over-report — false positives — but a
 CCF cannot slip through a cycle SafeDM called diverse).
+
+Execution modes (all bit-identical in their results):
+
+* plain — every injection simulates its run from cycle 0,
+* ``checkpoint_every > 0`` — one golden run drops snapshots; each
+  injection forks from the nearest one (see
+  :class:`repro.fault.injector.ForkEngine`),
+* ``jobs > 1`` — injections fan out over a process pool; results and
+  telemetry counters are folded in the canonical (stimulus-outer,
+  cycle-inner) order, never completion order, so ``jobs=1`` and
+  ``jobs=N`` campaigns are field-for-field identical,
+* ``cache_dir`` — golden snapshots and their index persist in the
+  content-addressed run-cache store, so a repeated campaign warm-starts
+  without re-simulating the golden run.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..isa.program import Program
 from ..soc.config import SocConfig
-from .injector import InjectionResult, golden_run, inject_common_cause
+from .injector import (
+    ForkEngine,
+    GoldenArtifact,
+    InjectionResult,
+    golden_run,
+    golden_run_with_checkpoints,
+    inject_common_cause,
+)
 
 
 @dataclass
@@ -96,35 +118,251 @@ class CampaignResult:
                          ).inc(self.detected_or_flagged)
 
 
+# -- golden artifact acquisition (with warm start) ----------------------------
+
+def _index_payload(artifact: GoldenArtifact) -> dict:
+    return {
+        "every": artifact.checkpoint_every,
+        "cycles": list(artifact.checkpoint_cycles),
+        "exempt_masks": [[list(mask) for mask in pair]
+                         for pair in artifact.exempt_masks],
+        "monitored": list(artifact.monitored),
+        "checksum": artifact.checksum,
+        "outputs": list(artifact.outputs),
+        "end_cycle": artifact.end_cycle,
+        "finished": artifact.finished,
+        "no_diversity_cycles": artifact.no_diversity_cycles,
+    }
+
+
+def _artifact_from_index(index: dict, sim_key: str, snapshots,
+                         checkpoint_every: int
+                         ) -> Optional[GoldenArtifact]:
+    """Rebuild a :class:`GoldenArtifact` from a cached index, fetching
+    each snapshot from the checkpoint store.  Any missing or stale
+    snapshot voids the warm start (``None`` — rerun the golden run)."""
+    from ..runner.cache import checkpoint_key
+    try:
+        cycles = [int(cycle) for cycle in index["cycles"]]
+        if int(index["every"]) != checkpoint_every:
+            return None
+        blobs = []
+        for cycle in cycles:
+            blob = snapshots.get_blob(
+                checkpoint_key(sim_key, cycle=cycle,
+                               every=checkpoint_every))
+            if blob is None:
+                return None
+            blobs.append(blob)
+        return GoldenArtifact(
+            checksum=int(index["checksum"]),
+            outputs=tuple(int(v) for v in index["outputs"]),
+            end_cycle=int(index["end_cycle"]),
+            finished=bool(index["finished"]),
+            no_diversity_cycles=int(index["no_diversity_cycles"]),
+            monitored=tuple(int(c) for c in index["monitored"]),
+            checkpoint_every=checkpoint_every,
+            checkpoint_cycles=tuple(cycles),
+            exempt_masks=tuple(
+                tuple(tuple(int(r) for r in mask) for mask in pair)
+                for pair in index["exempt_masks"]),
+            snapshots=tuple(blobs),
+            sim_key=sim_key,
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _golden_artifact(program: Program, config: Optional[SocConfig],
+                     max_cycles: int, checkpoint_every: int,
+                     cache_dir, benchmark: str):
+    """(artifact, warm): run the checkpointed golden run, or warm-start
+    it from the persistent checkpoint store when ``cache_dir`` is set
+    (``cache_dir=True`` selects the default run-cache location)."""
+    if not cache_dir:
+        return golden_run_with_checkpoints(
+            program, config=config, max_cycles=max_cycles,
+            checkpoint_every=checkpoint_every,
+            benchmark=benchmark), False
+    from ..runner.cache import (
+        CheckpointIndexStore,
+        CheckpointStore,
+        checkpoint_index_key,
+        checkpoint_key,
+        program_digest,
+        sim_config_digest,
+        simulation_key,
+    )
+    root = None if cache_dir is True else cache_dir
+    resolved = config if config is not None else SocConfig()
+    sim_key = simulation_key(program_digest(program),
+                             sim_config_digest(resolved),
+                             benchmark=benchmark, stagger_nops=0,
+                             late_core=1, rr_start=0,
+                             max_cycles=max_cycles)
+    indexes = CheckpointIndexStore(root)
+    snapshots = CheckpointStore(root)
+    index_key = checkpoint_index_key(sim_key, every=checkpoint_every)
+    index = indexes.get(index_key)
+    if index is not None:
+        artifact = _artifact_from_index(index, sim_key, snapshots,
+                                        checkpoint_every)
+        if artifact is not None:
+            return artifact, True
+    artifact = golden_run_with_checkpoints(
+        program, config=config, max_cycles=max_cycles,
+        checkpoint_every=checkpoint_every, benchmark=benchmark,
+        sim_key=sim_key)
+    for cycle, blob in zip(artifact.checkpoint_cycles,
+                           artifact.snapshots):
+        snapshots.put_blob(checkpoint_key(sim_key, cycle=cycle,
+                                          every=checkpoint_every), blob)
+    indexes.put(index_key, _index_payload(artifact))
+    return artifact, False
+
+
+# -- worker-process plumbing --------------------------------------------------
+
+_CAMPAIGN_WORKER: dict = {}
+
+
+def _init_campaign_worker(program: Program,
+                          config: Optional[SocConfig],
+                          max_cycles: int, golden: int,
+                          artifact: Optional[GoldenArtifact]):
+    """Pool initializer: per-campaign constants plus a private engine."""
+    engine = None
+    if artifact is not None and artifact.snapshots:
+        engine = ForkEngine(program, artifact, config=config)
+    _CAMPAIGN_WORKER["program"] = program
+    _CAMPAIGN_WORKER["config"] = config
+    _CAMPAIGN_WORKER["max_cycles"] = max_cycles
+    _CAMPAIGN_WORKER["golden"] = golden
+    _CAMPAIGN_WORKER["engine"] = engine
+
+
+def _run_campaign_task(task):
+    """One (stimulus, cycle) injection inside a pool worker.
+
+    Returns the result plus whether the convergence early-exit fired,
+    so the parent can fold the counter in canonical task order.
+    """
+    stimulus, cycle = task
+    worker = _CAMPAIGN_WORKER
+    engine = worker["engine"]
+    before = engine.converged if engine is not None else 0
+    result = inject_common_cause(worker["program"], cycle, stimulus,
+                                 worker["golden"],
+                                 config=worker["config"],
+                                 max_cycles=worker["max_cycles"],
+                                 engine=engine)
+    converged = (engine.converged - before) if engine is not None else 0
+    return result, converged
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is not None:
+        return max(1, jobs)
+    from ..runner.sweep import ParallelSweep
+    cpus = os.cpu_count() or 1
+    return 1 if cpus <= ParallelSweep.SERIAL_FALLBACK_CPUS else cpus
+
+
+# -- the campaign -------------------------------------------------------------
+
 def run_ccf_campaign(program: Program, cycles: List[int],
                      stimuli: Optional[List[int]] = None,
                      config: Optional[SocConfig] = None,
                      max_cycles: int = 2_000_000,
-                     metrics=None, tracer=None) -> CampaignResult:
+                     metrics=None, tracer=None,
+                     checkpoint_every: int = 0,
+                     jobs: Optional[int] = 1,
+                     cache_dir=None,
+                     benchmark: str = "program") -> CampaignResult:
     """Inject one common-cause fault per (cycle, stimulus) pair.
 
     ``metrics``/``tracer`` are optional telemetry sinks: the tracer
     gets one span per injection (plus the golden run), the registry
-    the per-classification counts of the finished campaign.
+    the per-classification counts of the finished campaign and — when
+    checkpointing is on — the ``repro_checkpoint_*`` counters.
+    ``jobs=None`` means one worker per core (serial on boxes without
+    real parallelism, mirroring the sweep engine).
     """
     if tracer is None:
         from ..telemetry import NULL_TRACER
         tracer = NULL_TRACER
-    with tracer.span("golden_run"):
-        golden = golden_run(program, config=config,
-                            max_cycles=max_cycles)
-    stimuli = stimuli or [0x5EED]
+    stimuli = list(stimuli) if stimuli else [0x5EED]
+    cycles = list(cycles)
+    jobs = _resolve_jobs(jobs)
+
+    engine = None
+    artifact = None
+    warm = False
+    if checkpoint_every > 0:
+        with tracer.span("golden_run",
+                         checkpoint_every=checkpoint_every):
+            artifact, warm = _golden_artifact(program, config,
+                                              max_cycles,
+                                              checkpoint_every,
+                                              cache_dir, benchmark)
+        golden = artifact.checksum
+        engine = ForkEngine(program, artifact, config=config)
+    else:
+        with tracer.span("golden_run"):
+            golden = golden_run(program, config=config,
+                                max_cycles=max_cycles)
+
+    tasks = [(stimulus, cycle) for stimulus in stimuli
+             for cycle in cycles]
     result = CampaignResult()
-    for stimulus in stimuli:
-        for cycle in cycles:
+    converged = 0
+    if jobs > 1 and len(tasks) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with tracer.span("injections", jobs=jobs, tasks=len(tasks)):
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(tasks)),
+                    initializer=_init_campaign_worker,
+                    initargs=(program, config, max_cycles, golden,
+                              artifact)) as pool:
+                # executor.map preserves task order: the fold below is
+                # canonical no matter how the pool schedules the work.
+                for injection, conv in pool.map(_run_campaign_task,
+                                                tasks):
+                    result.injections.append(injection)
+                    converged += conv
+    else:
+        for stimulus, cycle in tasks:
             with tracer.span("inject", cycle=cycle,
                              stimulus="%#x" % stimulus):
                 result.injections.append(
                     inject_common_cause(program, cycle, stimulus,
                                         golden, config=config,
-                                        max_cycles=max_cycles))
+                                        max_cycles=max_cycles,
+                                        engine=engine))
+        if engine is not None:
+            converged = engine.converged
+
     if metrics is not None:
         result.to_metrics(metrics)
+        if artifact is not None:
+            # Forks are a pure function of (tasks, checkpoint cycles),
+            # so the counters match the serial engine's tallies and are
+            # identical for jobs=1 and jobs=N.
+            first = (artifact.checkpoint_cycles[0]
+                     if artifact.checkpoint_cycles else None)
+            forks = sum(1 for _, cycle in tasks
+                        if first is not None and cycle >= first)
+            if not warm:
+                metrics.counter("repro_checkpoint_saves_total").inc(
+                    len(artifact.snapshots))
+                metrics.counter("repro_checkpoint_bytes_total").inc(
+                    sum(len(blob) for blob in artifact.snapshots))
+            metrics.counter("repro_checkpoint_index_hits_total").inc(
+                1 if warm else 0)
+            metrics.counter("repro_checkpoint_forks_total").inc(forks)
+            metrics.counter("repro_checkpoint_restores_total").inc(forks)
+            metrics.counter("repro_checkpoint_converged_total").inc(
+                converged)
     return result
 
 

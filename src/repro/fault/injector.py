@@ -1,12 +1,34 @@
-"""Single fault-injection runs on the MPSoC."""
+"""Single fault-injection runs on the MPSoC, plus the fork engine.
+
+Historically every injection simulated its run from cycle 0, making a
+campaign of N injections over a T-cycle run cost O(N * T).  The
+snapshot protocol (:mod:`repro.checkpoint`) turns that into a
+fork-from-checkpoint scheme:
+
+* :func:`golden_run_with_checkpoints` performs ONE fault-free run,
+  dropping a snapshot every K cycles and recording which registers are
+  provably dead at each checkpoint,
+* a :class:`ForkEngine` then starts each injection from the nearest
+  snapshot at or before its fault cycle — O(T + N * K) — and, once the
+  forked run's dynamic state re-converges with the golden run's at a
+  later checkpoint, reconstructs the rest of the result analytically
+  instead of simulating it.
+
+Both mechanisms are exact: an engine-driven injection returns an
+:class:`InjectionResult` field-for-field identical to the from-scratch
+one (``tests/test_checkpoint.py`` asserts this over every kernel).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..baselines.unaware import RedundancyOutcome, compare_outputs
+from ..checkpoint import Snapshot, dynamic_view, jsonable
+from ..cpu.regfile import RegisterFile
 from ..isa.program import Program
+from ..isa.registers import NUM_REGISTERS, XMASK
 from ..soc.config import SocConfig
 from ..soc.mpsoc import MPSoC
 from .models import CommonCauseFault, TransientFault
@@ -91,38 +113,59 @@ def golden_run(program: Program, config: Optional[SocConfig] = None,
     return golden0
 
 
-def inject_common_cause(program: Program, cycle: int, stimulus: int,
-                        golden: int,
-                        config: Optional[SocConfig] = None,
-                        max_cycles: int = 2_000_000) -> InjectionResult:
-    """Run redundantly with one common-cause fault at ``cycle``."""
-    soc = MPSoC(config=config)
-    soc.start_redundant(program)
-    fault = CommonCauseFault(cycle=cycle, stimulus=stimulus)
+# -- the one injected-run loop -------------------------------------------------
+
+def _drive(soc: MPSoC, cycle: int, golden: int, max_cycles: int,
+           before_step=None, after_step=None,
+           convergence=None) -> InjectionResult:
+    """Drive one injected run to completion (or to convergence).
+
+    ``before_step(soc)`` fires when ``soc.cycle == cycle`` — the
+    transient model corrupts state and then simulates the cycle.
+    ``after_step(soc)`` fires on the clock edge that ends the fault
+    cycle — the common-cause corruption is modulated by the state
+    SafeDM just sampled.  Either hook returns the fault effects.
+
+    ``convergence(soc)`` (see :meth:`ForkEngine.convergence`) is
+    consulted only after the fault has been applied; a non-``None``
+    return is the analytically reconstructed
+    ``(no_diversity_cycles, finished, outputs)`` tail of the run.
+
+    The cycle budget is absolute (``soc.cycle < max_cycles``), so a SoC
+    forked mid-run observes exactly the budget a from-scratch run would.
+    """
+    cores = [soc.cores[i] for i in soc.monitored]
     effects = ()
     diversity_at_injection = None
-    start = soc.cycle
-    while soc.cycle - start < max_cycles:
-        if all(soc.cores[i].finished for i in soc.monitored):
+    while soc.cycle < max_cycles:
+        if all(core.finished for core in cores):
             break
+        if before_step is not None and soc.cycle == cycle:
+            effects = before_step(soc)
         soc.step()
-        if soc.cycle - 1 == cycle:
-            # Inject on the clock edge that ends the fault cycle: the
-            # corruption is modulated by the state SafeDM just sampled.
-            core0 = soc.cores[soc.monitored[0]]
-            core1 = soc.cores[soc.monitored[1]]
-            effects = fault.inject(core0, core1,
-                                   _activity_digest(soc, 0),
-                                   _activity_digest(soc, 1))
+        if after_step is not None and soc.cycle - 1 == cycle:
+            effects = after_step(soc)
             if soc.safedm.last_report is not None:
                 diversity_at_injection = soc.safedm.last_report.diversity
+        if convergence is not None and soc.cycle > cycle:
+            tail = convergence(soc)
+            if tail is not None:
+                no_diversity, finished, outputs = tail
+                return InjectionResult(
+                    fault_cycle=cycle,
+                    outcome=compare_outputs(outputs[0], outputs[1],
+                                            golden),
+                    diversity_at_injection=diversity_at_injection,
+                    no_diversity_cycles=no_diversity,
+                    effects=effects,
+                    finished=finished,
+                )
     soc.safedm.finish()
-    finished = all(soc.cores[i].finished for i in soc.monitored)
+    finished = all(core.finished for core in cores)
     output0, output1 = _core_outputs(soc)
-    outcome = compare_outputs(output0, output1, golden)
     return InjectionResult(
         fault_cycle=cycle,
-        outcome=outcome,
+        outcome=compare_outputs(output0, output1, golden),
         diversity_at_injection=diversity_at_injection,
         no_diversity_cycles=soc.safedm.stats.no_diversity_cycles,
         effects=effects,
@@ -130,32 +173,374 @@ def inject_common_cause(program: Program, cycle: int, stimulus: int,
     )
 
 
+def _prepare(program: Program, cycle: int,
+             config: Optional[SocConfig], engine):
+    """The SoC an injection runs on, plus its convergence probe."""
+    if engine is not None:
+        return engine.fork(cycle), engine.convergence()
+    soc = MPSoC(config=config)
+    soc.start_redundant(program)
+    return soc, None
+
+
+def inject_common_cause(program: Program, cycle: int, stimulus: int,
+                        golden: int,
+                        config: Optional[SocConfig] = None,
+                        max_cycles: int = 2_000_000,
+                        engine: Optional["ForkEngine"] = None
+                        ) -> InjectionResult:
+    """Run redundantly with one common-cause fault at ``cycle``."""
+    fault = CommonCauseFault(cycle=cycle, stimulus=stimulus)
+
+    def after_step(soc):
+        # Inject on the clock edge that ends the fault cycle: the
+        # corruption is modulated by the state SafeDM just sampled.
+        core0 = soc.cores[soc.monitored[0]]
+        core1 = soc.cores[soc.monitored[1]]
+        return fault.inject(core0, core1, _activity_digest(soc, 0),
+                            _activity_digest(soc, 1))
+
+    soc, convergence = _prepare(program, cycle, config, engine)
+    return _drive(soc, cycle, golden, max_cycles, after_step=after_step,
+                  convergence=convergence)
+
+
 def inject_transient(program: Program, cycle: int, core: int,
                      register: int, bit: int, golden: int,
                      config: Optional[SocConfig] = None,
-                     max_cycles: int = 2_000_000) -> InjectionResult:
+                     max_cycles: int = 2_000_000,
+                     engine: Optional["ForkEngine"] = None
+                     ) -> InjectionResult:
     """Run redundantly with one single-core transient at ``cycle``."""
-    soc = MPSoC(config=config)
-    soc.start_redundant(program)
     fault = TransientFault(cycle=cycle, core=core, register=register,
                            bit=bit)
-    effects = ()
-    start = soc.cycle
-    while soc.cycle - start < max_cycles:
-        if all(soc.cores[i].finished for i in soc.monitored):
-            break
-        if soc.cycle == cycle:
-            effects = (fault.inject(soc.cores[core]),)
-        soc.step()
-    soc.safedm.finish()
-    finished = all(soc.cores[i].finished for i in soc.monitored)
-    output0, output1 = _core_outputs(soc)
-    outcome = compare_outputs(output0, output1, golden)
-    return InjectionResult(
-        fault_cycle=cycle,
-        outcome=outcome,
-        diversity_at_injection=None,
+
+    def before_step(soc):
+        return (fault.inject(soc.cores[core]),)
+
+    soc, convergence = _prepare(program, cycle, config, engine)
+    return _drive(soc, cycle, golden, max_cycles,
+                  before_step=before_step, convergence=convergence)
+
+
+# -- golden run with checkpoints ----------------------------------------------
+
+class _RecordingRegisterFile(RegisterFile):
+    """A :class:`RegisterFile` that logs architectural accesses.
+
+    Used only on the golden run, to drive the dead-register analysis:
+    ``(0, r)`` = read of ``r``, ``(1, r)`` = write, ``(2, i)`` =
+    checkpoint ``i`` was taken at this point in the access stream.
+    Behaviour is bit-identical to the base class — the overrides only
+    append to a list.
+    """
+
+    __slots__ = ("log",)
+
+    def __init__(self, source: RegisterFile):
+        super().__init__(num_read_ports=source.num_read_ports,
+                         num_write_ports=source.num_write_ports)
+        self.values = list(source.values)
+        self.ready_cycle = list(source.ready_cycle)
+        self.read_samples = list(source.read_samples)
+        self.write_samples = list(source.write_samples)
+        self.log: List[Tuple[int, int]] = []
+
+    def read(self, index: int) -> int:
+        if index:
+            self.log.append((0, index))
+            return self.values[index]
+        return 0
+
+    def write(self, index: int, value: int):
+        if index:
+            self.log.append((1, index))
+            self.values[index] = value & XMASK
+
+
+def _exempt_masks(log, num_checkpoints: int):
+    """Per-checkpoint dead registers from one core's access log.
+
+    Walking the log backwards, a register is exempt at a checkpoint iff
+    its next architectural access afterwards is a write (or never
+    comes): its value at the checkpoint then cannot influence anything
+    observable, so a forked run may differ from the golden run in that
+    register and still be bisimilar from the checkpoint on.
+    """
+    masks = [()] * num_checkpoints
+    next_kind: Dict[int, int] = {}
+    for kind, value in reversed(log):
+        if kind == 2:
+            masks[value] = tuple(
+                register for register in range(1, NUM_REGISTERS)
+                if next_kind.get(register, 1) != 0)
+        else:
+            next_kind[value] = kind
+    return masks
+
+
+@dataclass
+class GoldenArtifact:
+    """Everything a :class:`ForkEngine` needs from one golden run.
+
+    Snapshots are kept encoded (``bytes``) so the artifact pickles
+    cheaply to campaign pool workers; engines decode them lazily.
+    """
+
+    checksum: int
+    outputs: Tuple[int, int]
+    end_cycle: int
+    finished: bool
+    no_diversity_cycles: int
+    monitored: Tuple[int, int]
+    checkpoint_every: int
+    #: Cycle each snapshot was taken at (ascending).
+    checkpoint_cycles: Tuple[int, ...]
+    #: Per checkpoint, per monitored core: registers provably dead there.
+    exempt_masks: tuple
+    #: Encoded snapshots, aligned with :attr:`checkpoint_cycles`.
+    snapshots: Tuple[bytes, ...]
+    sim_key: str = ""
+
+
+def golden_run_with_checkpoints(program: Program,
+                                config: Optional[SocConfig] = None,
+                                max_cycles: int = 2_000_000,
+                                checkpoint_every: int = 0,
+                                benchmark: str = "program",
+                                sim_key: str = "") -> GoldenArtifact:
+    """Fault-free run that drops snapshots and a dead-register map.
+
+    With ``checkpoint_every == 0`` no snapshots are taken and the
+    artifact only carries the golden summary (``checksum`` replaces a
+    separate :func:`golden_run`).
+    """
+    soc = MPSoC(config=config)
+    soc.start_redundant(program)
+    # Swap in recording register files AFTER start_redundant: the
+    # gp/sp/tp environment writes are initial state, not accesses the
+    # dead-register analysis should see.
+    recorders: List[_RecordingRegisterFile] = []
+    for index in soc.monitored:
+        core = soc.cores[index]
+        recorder = _RecordingRegisterFile(core.regfile)
+        core.regfile = recorder
+        recorders.append(recorder)
+    blobs: List[bytes] = []
+    cycles: List[int] = []
+
+    def on_checkpoint(snap_soc):
+        index = len(blobs)
+        for recorder in recorders:
+            recorder.log.append((2, index))
+        cycles.append(snap_soc.cycle)
+        blobs.append(snap_soc.snapshot(
+            benchmark=benchmark, checkpoint_every=checkpoint_every,
+            sim_key=sim_key).encode())
+
+    soc.run(max_cycles=max_cycles, checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint if checkpoint_every > 0
+            else None)
+    # The halt-time checksum readout is an architectural read.
+    for recorder in recorders:
+        recorder.log.append((0, RESULT_REGISTER))
+    outputs = _core_outputs(soc)
+    if outputs[0] != outputs[1]:
+        raise RuntimeError("golden run is not deterministic")
+    masks = [_exempt_masks(recorder.log, len(blobs))
+             for recorder in recorders]
+    return GoldenArtifact(
+        checksum=outputs[0],
+        outputs=outputs,
+        end_cycle=soc.cycle,
+        finished=all(soc.cores[i].finished for i in soc.monitored),
         no_diversity_cycles=soc.safedm.stats.no_diversity_cycles,
-        effects=effects,
-        finished=finished,
+        monitored=tuple(soc.monitored),
+        checkpoint_every=checkpoint_every,
+        checkpoint_cycles=tuple(cycles),
+        exempt_masks=tuple(zip(*masks)) if blobs else (),
+        snapshots=tuple(blobs),
+        sim_key=sim_key,
     )
+
+
+# -- convergence views --------------------------------------------------------
+
+def _campaign_view(state: dict, monitored, exempt_masks) -> dict:
+    """Accumulator-free view of a (memory-less) state dict for the
+    convergence compare: dead registers zeroed on the monitored cores,
+    decode caches dropped (they influence only their own counters — a
+    restored-then-dropped stale entry and a live stale entry both miss
+    identically on their next access)."""
+    view = dynamic_view(state)
+    for entry in view["cores"]:
+        entry.pop("fetch_cache", None)
+    for core_id, mask in zip(monitored, exempt_masks):
+        values = view["cores"][core_id]["regfile"]["values"]
+        for register in mask:
+            values[register] = 0
+    return view
+
+
+def _live_probe(soc: MPSoC, monitored, exempt_masks) -> tuple:
+    """Cheap discriminator of a live SoC (subset of the full view)."""
+    items = []
+    for core_id, mask in zip(monitored, exempt_masks):
+        core = soc.cores[core_id]
+        values = list(core.regfile.values)
+        for register in mask:
+            values[register] = 0
+        items.append((core.fetch_pc, bool(core.halted), tuple(values)))
+    items.append(soc.safedm.instruction_diff.diff)
+    return tuple(items)
+
+
+def _state_probe(state: dict, monitored, exempt_masks) -> tuple:
+    """:func:`_live_probe` computed from a decoded snapshot state."""
+    items = []
+    for core_id, mask in zip(monitored, exempt_masks):
+        entry = state["cores"][core_id]
+        values = [int(v) for v in entry["regfile"]["values"]]
+        for register in mask:
+            values[register] = 0
+        items.append((int(entry["fetch_pc"]), bool(entry["halted"]),
+                      tuple(values)))
+    items.append(int(state["monitors"][0]["instruction_diff"]["diff"]))
+    return tuple(items)
+
+
+class _GoldenView:
+    """Memoized convergence reference for one golden checkpoint."""
+
+    __slots__ = ("probe", "rest", "pages", "versions", "no_div_at")
+
+    def __init__(self, state: dict, monitored, exempt_masks):
+        self.probe = _state_probe(state, monitored, exempt_masks)
+        memory = state["memory"]
+        self.pages = {int(key): bytes(page)
+                      for key, page in memory["pages"].items()}
+        self.versions = {int(key): int(version)
+                         for key, version in memory["versions"].items()}
+        rest = dict(state)
+        del rest["memory"]
+        self.rest = jsonable(_campaign_view(rest, monitored,
+                                            exempt_masks))
+        self.no_div_at = int(
+            state["monitors"][0]["stats"]["no_diversity_cycles"])
+
+
+class ForkEngine:
+    """Fork injected runs from golden checkpoints instead of cycle 0.
+
+    ``fork(cycle)`` restores the nearest golden snapshot at or before
+    the fault cycle into a fresh :class:`MPSoC`; ``convergence()``
+    builds the probe :func:`_drive` consults to cut a forked run short
+    once its dynamic state provably rejoins the golden run's.
+    """
+
+    def __init__(self, program: Program, artifact: GoldenArtifact,
+                 config: Optional[SocConfig] = None):
+        self.program = program
+        self.artifact = artifact
+        self.config = config
+        self._snapshots: Dict[int, Snapshot] = {}
+        self._views: Dict[int, _GoldenView] = {}
+        self._cycle_to_index = {
+            cycle: index for index, cycle
+            in enumerate(artifact.checkpoint_cycles)}
+        self.forks = 0
+        self.restores = 0
+        self.scratch_runs = 0
+        self.converged = 0
+
+    # -- forking ----------------------------------------------------------
+
+    def nearest_checkpoint(self, fault_cycle: int) -> Optional[int]:
+        """Index of the latest checkpoint at or before ``fault_cycle``."""
+        best = None
+        for index, cycle in enumerate(self.artifact.checkpoint_cycles):
+            if cycle > fault_cycle:
+                break
+            best = index
+        return best
+
+    def _snapshot(self, index: int) -> Snapshot:
+        snapshot = self._snapshots.get(index)
+        if snapshot is None:
+            snapshot = Snapshot.decode(self.artifact.snapshots[index])
+            self._snapshots[index] = snapshot
+        return snapshot
+
+    def fork(self, fault_cycle: int) -> MPSoC:
+        """A SoC positioned to inject at ``fault_cycle``."""
+        index = self.nearest_checkpoint(fault_cycle)
+        if index is None:
+            # Fault before the first checkpoint: plain from-scratch run.
+            self.scratch_runs += 1
+            soc = MPSoC(config=self.config)
+            soc.start_redundant(self.program)
+            return soc
+        soc = MPSoC(config=self.config)
+        soc.load_state_dict(self._snapshot(index).state)
+        self.forks += 1
+        self.restores += 1
+        return soc
+
+    # -- convergence ------------------------------------------------------
+
+    def _golden_view(self, index: int) -> _GoldenView:
+        view = self._views.get(index)
+        if view is None:
+            view = _GoldenView(self._snapshot(index).state,
+                               self.artifact.monitored,
+                               self.artifact.exempt_masks[index])
+            self._views[index] = view
+        return view
+
+    def convergence(self):
+        """A ``convergence(soc)`` callable for :func:`_drive`.
+
+        At every golden checkpoint cycle the fork reaches (after the
+        fault), compare its dynamic state against the golden run's,
+        exempting provably dead registers.  A match means the two runs
+        are bisimilar from here on, so the remaining cycles need not be
+        simulated: the final counters are the fork's own (they include
+        the restored golden prefix and the divergence window) plus the
+        golden tail, and the outputs are the golden outputs.
+        """
+        artifact = self.artifact
+        if not artifact.checkpoint_cycles:
+            return None
+        cycle_to_index = self._cycle_to_index
+
+        def check(soc: MPSoC):
+            index = cycle_to_index.get(soc.cycle)
+            if index is None:
+                return None
+            golden = self._golden_view(index)
+            mask = artifact.exempt_masks[index]
+            if _live_probe(soc, artifact.monitored, mask) != golden.probe:
+                return None
+            # Memory compared natively (bytes, no JSON round trip) —
+            # it dominates state size and almost always matches or
+            # mismatches on the first page.
+            pages = soc.memory._pages
+            if pages.keys() != golden.pages.keys():
+                return None
+            for key, page in pages.items():
+                if golden.pages[key] != page:
+                    return None
+            if soc.memory.page_versions != golden.versions:
+                return None
+            state = soc.state_dict()
+            del state["memory"]
+            if jsonable(_campaign_view(state, artifact.monitored,
+                                       mask)) != golden.rest:
+                return None
+            self.converged += 1
+            no_diversity = (soc.safedm.stats.no_diversity_cycles
+                            + artifact.no_diversity_cycles
+                            - golden.no_div_at)
+            return (no_diversity, artifact.finished, artifact.outputs)
+
+        return check

@@ -200,3 +200,27 @@ class AhbBus:
         self._inflight = None
         self._rr_next = self.rr_start
         self.l2.invalidate_all()
+
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        from ..checkpoint import stats_state
+        return {
+            "queue": [ctx.intern(req) for req in self._queue],
+            "inflight": (None if self._inflight is None
+                         else ctx.intern(self._inflight)),
+            "rr_start": self.rr_start,
+            "rr_next": self._rr_next,
+            "l2": self.l2.state_dict(),
+            "stats": stats_state(self.stats),
+        }
+
+    def load_state_dict(self, state, ctx):
+        from ..checkpoint import load_stats_state
+        self._queue = [ctx.resolve(index) for index in state["queue"]]
+        inflight = state["inflight"]
+        self._inflight = None if inflight is None else ctx.resolve(inflight)
+        self.rr_start = int(state["rr_start"]) % self.num_masters
+        self._rr_next = int(state["rr_next"]) % self.num_masters
+        self.l2.load_state_dict(state["l2"])
+        load_stats_state(self.stats, state["stats"])

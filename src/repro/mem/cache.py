@@ -110,3 +110,22 @@ class Cache:
     def resident_lines(self) -> int:
         """Number of valid lines currently cached."""
         return sum(len(tags) for tags in self._sets)
+
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        from ..checkpoint import stats_state
+        return {
+            "sets": [list(tags) for tags in self._sets],
+            "stats": stats_state(self.stats),
+        }
+
+    def load_state_dict(self, state):
+        from ..checkpoint import load_stats_state
+        sets = state["sets"]
+        if len(sets) != self.config.num_sets:
+            raise ValueError("snapshot has %d sets for %s, expected %d"
+                             % (len(sets), self.config.name,
+                                self.config.num_sets))
+        self._sets = [[int(tag) for tag in tags] for tags in sets]
+        load_stats_state(self.stats, state["stats"])

@@ -104,3 +104,23 @@ class Memory:
     def touched_pages(self) -> int:
         """Number of allocated 4 KiB pages (for tests and stats)."""
         return len(self._pages)
+
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "pages": {key: bytes(page)
+                      for key, page in self._pages.items()},
+            "versions": dict(self.page_versions),
+        }
+
+    def load_state_dict(self, state):
+        pages = {}
+        for key, page in state["pages"].items():
+            if len(page) != PAGE_SIZE:
+                raise ValueError("snapshot page has %d bytes, expected %d"
+                                 % (len(page), PAGE_SIZE))
+            pages[int(key)] = bytearray(page)
+        self._pages = pages
+        self.page_versions = {int(key): int(version)
+                              for key, version in state["versions"].items()}

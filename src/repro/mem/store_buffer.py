@@ -115,3 +115,24 @@ class StoreBuffer:
     def reset(self):
         self._entries.clear()
         self._inflight = None
+
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self, ctx) -> dict:
+        from ..checkpoint import stats_state
+        return {
+            "entries": [[entry.line_address, entry.stores]
+                        for entry in self._entries],
+            "inflight": (None if self._inflight is None
+                         else ctx.intern(self._inflight)),
+            "stats": stats_state(self.stats),
+        }
+
+    def load_state_dict(self, state, ctx):
+        from ..checkpoint import load_stats_state
+        self._entries = [StoreEntry(line_address=int(line),
+                                    stores=int(stores))
+                         for line, stores in state["entries"]]
+        inflight = state["inflight"]
+        self._inflight = None if inflight is None else ctx.resolve(inflight)
+        load_stats_state(self.stats, state["stats"])

@@ -43,7 +43,8 @@ from ..trace.stream_trace import StreamTrace
 #: Bump to invalidate every previously cached run (e.g. after a change
 #: that alters simulated behaviour rather than just the API).
 #: 2: the key split into simulation + monitor layers.
-CACHE_SCHEMA_VERSION = 2
+#: 3: checkpoint snapshots and checkpoint indexes join the store.
+CACHE_SCHEMA_VERSION = 3
 
 #: Default persistent location, per the repo layout: benchmark outputs
 #: live under benchmarks/out/.
@@ -145,6 +146,35 @@ def monitor_key(sim_key: str, *, signature_dig: str, mode_value: str,
         "signature": signature_dig,
         "mode": mode_value,
         "threshold": threshold,
+    }, sort_keys=True, separators=(",", ":"))
+    return _sha256(payload.encode("utf-8"))
+
+
+def checkpoint_key(sim_key: str, *, cycle: int, every: int) -> str:
+    """Cache key for one mid-run snapshot of a simulation.
+
+    Keyed by (simulation, cycle, cadence): a simulation's state at
+    cycle ``c`` is deterministic, and including the cadence keeps
+    differently-spaced checkpoint sets from shadowing each other's
+    indexes.
+    """
+    payload = json.dumps({
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": "checkpoint",
+        "simulation": sim_key,
+        "cycle": cycle,
+        "every": every,
+    }, sort_keys=True, separators=(",", ":"))
+    return _sha256(payload.encode("utf-8"))
+
+
+def checkpoint_index_key(sim_key: str, *, every: int) -> str:
+    """Cache key for the checkpoint index of one (simulation, cadence)."""
+    payload = json.dumps({
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": "checkpoint_index",
+        "simulation": sim_key,
+        "every": every,
     }, sort_keys=True, separators=(",", ":"))
     return _sha256(payload.encode("utf-8"))
 
@@ -299,3 +329,102 @@ class TraceCache(_DiskStore):
     def put(self, sim_key: str, trace: StreamTrace):
         """Persist ``trace`` under its simulation key (atomic)."""
         self._store(sim_key, trace.encode())
+
+
+class CheckpointStore(_DiskStore):
+    """Persistent checkpoint-key -> :class:`Snapshot` store.
+
+    Lives alongside the run cache (same directory, ``.ckpt`` files).
+    Snapshots carry their own schema version in the binary header
+    (:data:`repro.checkpoint.CHECKPOINT_SCHEMA_VERSION`), so format
+    bumps evict on read like the other stores.
+    """
+
+    SUFFIX = ".ckpt"
+
+    def __init__(self, root=None):
+        super().__init__(root)
+        self.bytes_written = 0
+
+    def get(self, key: str):
+        """Cached snapshot for ``key``, or None (counted as a miss)."""
+        from ..checkpoint import Snapshot
+        raw = self._read(key)
+        if raw is None:
+            self.misses += 1
+            return None
+        try:
+            snapshot = Snapshot.decode(raw)
+        except (ValueError, TypeError, KeyError, EOFError):
+            self._evict(key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return snapshot
+
+    def get_blob(self, key: str) -> Optional[bytes]:
+        """Like :meth:`get`, but return the validated encoded form.
+
+        Used by consumers that decode lazily (e.g. the fork engine,
+        which ships encoded snapshots to pool workers).
+        """
+        from ..checkpoint import Snapshot
+        raw = self._read(key)
+        if raw is None:
+            self.misses += 1
+            return None
+        try:
+            Snapshot.decode(raw)
+        except (ValueError, TypeError, KeyError, EOFError):
+            self._evict(key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return raw
+
+    def put(self, key: str, snapshot):
+        """Persist ``snapshot`` under ``key`` (atomic)."""
+        self.put_blob(key, snapshot.encode())
+
+    def put_blob(self, key: str, blob: bytes):
+        """Persist an already-encoded snapshot under ``key`` (atomic)."""
+        self._store(key, blob)
+        self.bytes_written += len(blob)
+
+
+class CheckpointIndexStore(_DiskStore):
+    """Persistent index of one simulation's checkpoint set.
+
+    The index (a small JSON payload: checkpoint cycles, golden-run
+    summary, liveness masks) is what makes a checkpointed campaign
+    warm-startable: if the index is present, the golden simulation can
+    be skipped and the snapshots fetched lazily by key.
+    """
+
+    SUFFIX = ".ckidx"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Cached index payload for ``key``, or None."""
+        raw = self._read(key)
+        if raw is None:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(raw)
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            index = payload["index"]
+        except (ValueError, TypeError, KeyError):
+            self._evict(key)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return index
+
+    def put(self, key: str, index: dict):
+        """Persist ``index`` under ``key`` (atomic)."""
+        payload = json.dumps({
+            "schema": CACHE_SCHEMA_VERSION,
+            "index": index,
+        }, sort_keys=True)
+        self._store(key, payload.encode("utf-8"))

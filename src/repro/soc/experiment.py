@@ -76,7 +76,9 @@ def run_redundant(program: Program, benchmark: str = "program",
                   max_cycles: int = 2_000_000,
                   rr_start: int = 0,
                   soc_hook: Optional[Callable[[MPSoC], None]] = None,
-                  metrics=None, tracer=None, capture=None) -> RunResult:
+                  metrics=None, tracer=None, capture=None,
+                  checkpoint_every: int = 0, on_checkpoint=None,
+                  resume_from=None) -> RunResult:
     """Run ``program`` redundantly on a fresh MPSoC and report counters.
 
     ``metrics`` (a :class:`repro.telemetry.MetricsRegistry`) receives
@@ -90,20 +92,38 @@ def run_redundant(program: Program, benchmark: str = "program",
     per-cycle signature streams for later replay — see
     :func:`run_redundant_captured` and :mod:`repro.replay`.  Also
     observational.
+
+    ``checkpoint_every``/``on_checkpoint`` forward to
+    :meth:`MPSoC.run`: the callback receives the SoC at every cadence
+    multiple (snapshot it via ``soc.snapshot()``).  ``resume_from`` (a
+    :class:`repro.checkpoint.Snapshot`) restores a previous run's state
+    instead of loading the program; counters and the cycle budget are
+    then *absolute* — the returned result equals the uninterrupted
+    run's.  Per-cycle metrics attachment is skipped on resume (the
+    end-of-run collection still reports full totals); resuming under
+    ``capture`` is unsupported since the stream's prefix is gone.
     """
     if tracer is None:
         from ..telemetry import NULL_TRACER
         tracer = NULL_TRACER
+    if resume_from is not None and capture is not None:
+        raise ValueError("cannot capture a resumed run: the signature "
+                         "stream before the checkpoint was not recorded")
     with tracer.span("soc_build", benchmark=benchmark):
         soc = MPSoC(config=config, mode=mode, threshold=threshold,
                     rr_start=rr_start)
-    with tracer.span("load_program", benchmark=benchmark,
-                     stagger_nops=stagger_nops):
-        soc.start_redundant(program, late_core=late_core,
-                            stagger_nops=stagger_nops)
+    if resume_from is not None:
+        with tracer.span("restore_checkpoint", benchmark=benchmark,
+                         cycle=resume_from.meta.cycle):
+            soc.load_state_dict(resume_from.state)
+    else:
+        with tracer.span("load_program", benchmark=benchmark,
+                         stagger_nops=stagger_nops):
+            soc.start_redundant(program, late_core=late_core,
+                                stagger_nops=stagger_nops)
     if soc_hook is not None:
         soc_hook(soc)
-    if metrics is not None:
+    if metrics is not None and resume_from is None:
         soc.attach_telemetry(metrics)
     if capture is not None:
         # The preload set by start_redundant (program-level staggering
@@ -113,7 +133,10 @@ def run_redundant(program: Program, benchmark: str = "program",
     with tracer.span("cycle_loop", benchmark=benchmark,
                      stagger_nops=stagger_nops, late_core=late_core,
                      rr_start=rr_start):
-        cycles = soc.run(max_cycles=max_cycles)
+        budget = max(0, max_cycles - soc.cycle)
+        soc.run(max_cycles=budget, checkpoint_every=checkpoint_every,
+                on_checkpoint=on_checkpoint)
+        cycles = soc.cycle
     if metrics is not None:
         with tracer.span("collect_metrics", benchmark=benchmark):
             soc.collect_metrics(metrics)

@@ -58,6 +58,7 @@ class MPSoC:
         self.monitors: List[DiversityMonitor] = []
         self.apb = ApbBridge(base=cfg.apb_base)
         self._slave_bases: List[int] = []
+        self._apb_slaves: List[SafeDmApbSlave] = []
         for index, pair in enumerate(self.monitor_pairs):
             history = HistoryModule(bin_size=history_bin_size,
                                     num_bins=history_bins)
@@ -65,8 +66,9 @@ class MPSoC:
                                        threshold=threshold,
                                        history=history)
             self.monitors.append(monitor)
-            base = self.apb.attach(SafeDmApbSlave(monitor),
-                                   0x100 * index,
+            slave = SafeDmApbSlave(monitor)
+            self._apb_slaves.append(slave)
+            base = self.apb.attach(slave, 0x100 * index,
                                    "safedm%d" % index)
             self._slave_bases.append(base)
         #: First pair's monitor (the common single-pair case).
@@ -165,10 +167,15 @@ class MPSoC:
             return True
         return not any(self.cores[idx].finished for idx in pair)
 
-    def run(self, max_cycles: int = 2_000_000) -> int:
+    def run(self, max_cycles: int = 2_000_000, checkpoint_every: int = 0,
+            on_checkpoint=None) -> int:
         """Run until every monitored core finishes (or ``max_cycles``).
 
-        Returns the number of cycles simulated.
+        With ``checkpoint_every`` > 0 and an ``on_checkpoint`` callback,
+        the callback receives this SoC whenever ``cycle`` reaches a
+        multiple of the cadence (checkpoint-taking lives in a separate
+        loop so the common path stays hot-loop tight).  Returns the
+        number of cycles simulated.
         """
         start = self.cycle
         watched = list(dict.fromkeys(
@@ -176,13 +183,74 @@ class MPSoC:
             for idx in pair))
         step = self.step
         limit = start + max_cycles
-        while self.cycle < limit:
-            if all(core.finished for core in watched):
-                break
-            step()
+        if checkpoint_every > 0 and on_checkpoint is not None:
+            while self.cycle < limit:
+                if all(core.finished for core in watched):
+                    break
+                step()
+                if self.cycle % checkpoint_every == 0:
+                    on_checkpoint(self)
+        else:
+            while self.cycle < limit:
+                if all(core.finished for core in watched):
+                    break
+                step()
         for monitor in self.monitors:
             monitor.finish()
         return self.cycle - start
+
+    # -- snapshot protocol ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serialize the whole platform (children recurse; shared
+        bus-request identity goes through one SnapshotContext)."""
+        from ..checkpoint import SnapshotContext
+        ctx = SnapshotContext()
+        state = {
+            "cycle": self.cycle,
+            "gate_monitor_on_finish": self.gate_monitor_on_finish,
+            "memory": self.memory.state_dict(),
+            "cores": [core.state_dict(ctx) for core in self.cores],
+            "bus": self.bus.state_dict(ctx),
+            "monitors": [monitor.state_dict()
+                         for monitor in self.monitors],
+            "apb_slaves": [slave.state_dict()
+                           for slave in self._apb_slaves],
+        }
+        # Emitted after the children so every holder has interned.
+        state["requests"] = ctx.request_table()
+        return state
+
+    def load_state_dict(self, state):
+        """Restore a :meth:`state_dict` into this (same-config) SoC."""
+        from ..checkpoint import RestoreContext
+        if len(state["cores"]) != len(self.cores):
+            raise ValueError("snapshot has %d cores, this SoC has %d"
+                             % (len(state["cores"]), len(self.cores)))
+        if len(state["monitors"]) != len(self.monitors):
+            raise ValueError("snapshot monitor count mismatch")
+        ctx = RestoreContext(state["requests"])
+        self.cycle = int(state["cycle"])
+        self.gate_monitor_on_finish = bool(state["gate_monitor_on_finish"])
+        # Memory first: core restore re-decodes fetch caches from it.
+        self.memory.load_state_dict(state["memory"])
+        for core, entry in zip(self.cores, state["cores"]):
+            core.load_state_dict(entry, ctx)
+        self.bus.load_state_dict(state["bus"], ctx)
+        for monitor, entry in zip(self.monitors, state["monitors"]):
+            monitor.load_state_dict(entry)
+        for slave, entry in zip(self._apb_slaves, state["apb_slaves"]):
+            slave.load_state_dict(entry)
+
+    def snapshot(self, benchmark: str = "program",
+                 checkpoint_every: int = 0, sim_key: str = ""):
+        """Convenience: the current state as a codec-ready Snapshot."""
+        from ..checkpoint import CheckpointMeta, Snapshot
+        return Snapshot(self.state_dict(),
+                        CheckpointMeta(benchmark=benchmark,
+                                       cycle=self.cycle,
+                                       checkpoint_every=checkpoint_every,
+                                       sim_key=sim_key))
 
     # -- telemetry -----------------------------------------------------------------
 
