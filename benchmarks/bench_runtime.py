@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Sweep-engine runtime benchmark: serial vs parallel vs warm cache.
+"""Runtime benchmark: sweep configurations and execution tiers.
 
-Times a fixed 6-kernel mini Table I sweep (12 cells, 24 runs) through
-three configurations of the sweep engine:
+Part 1 — sweep engine.  Times a fixed 6-kernel mini Table I sweep
+(12 cells, 24 runs) through three configurations:
 
 * ``serial``   — ``jobs=1``, cache disabled (the reference path),
 * ``parallel`` — ``--jobs`` workers (default: let the engine decide,
@@ -10,20 +10,34 @@ three configurations of the sweep engine:
   cache,
 * ``warm``     — same cache directory again, so every run is a hit.
 
+Part 2 — execution tiers (:mod:`repro.engine`).  Times the same
+kernels serially under the ``reference`` interpreter and the ``fast``
+block-compiled tier (best-of-N per point to resist scheduler noise),
+asserts the two produce field-for-field identical results, and records
+per-kernel and aggregate speedups plus the fast tier's hit rate and
+deopt rate.
+
 Results are written to ``BENCH_runtime.json`` at the repo root,
 including the machine's honest ``cpu_count``, the ``effective_jobs``
 the engine actually used, and a ``serial_fallback`` flag.  When the
 "parallel" pass fell back to the serial code path (1 effective
 worker), ``parallel_speedup`` is reported as ``null`` rather than a
 meaningless ~1.0x comparison of the same code path against itself.
-The three passes must agree cell-for-cell; the bench fails otherwise.
+All passes must agree cell-for-cell; the bench fails otherwise.
 
 Usage:
     PYTHONPATH=src python benchmarks/bench_runtime.py [--jobs N]
-        [--kernels cosf countnegative] [--out FILE]
+        [--kernels cosf countnegative] [--out FILE] [--quick]
+        [--min-speedup X] [--max-deopt-rate X] [--profile FILE]
 
-``--kernels`` swaps the fixed 6-kernel set for a subset (CI times a
-2-kernel sweep to stay fast); the report records which set ran.
+``--kernels`` swaps the fixed 6-kernel set for a subset; the report
+records which set ran.  ``--quick`` is the CI shape: engine-tier
+comparison only, over a 2-kernel subset.  ``--min-speedup`` /
+``--max-deopt-rate`` turn the report into a gate (non-zero exit when
+the fast tier regresses).  ``--profile`` additionally records one
+profiled fast-tier pass per kernel as a Chrome ``about://tracing``
+trace (``repro.telemetry.Tracer`` spans: platform build, program
+load, cycle loop, metrics collection — each tagged with the engine).
 """
 
 from __future__ import annotations
@@ -47,6 +61,9 @@ OUT_PATH = REPO_ROOT / "BENCH_runtime.json"
 MINI_SWEEP_KERNELS = ("cosf", "ludcmp", "fft", "countnegative",
                       "recursion", "sha")
 MINI_SWEEP_STAGGERS = (0, 100)
+#: The ``--quick`` (CI) subset: one arithmetic and one control-heavy
+#: kernel keep the signal while staying under a minute on one CPU.
+QUICK_KERNELS = ("cosf", "countnegative")
 
 
 def _rows_as_dicts(rows):
@@ -63,6 +80,133 @@ def _timed_sweep(kernels, jobs, cache_dir, use_cache=True):
     return time.perf_counter() - start, _rows_as_dicts(rows), sweep
 
 
+# -- execution-tier comparison ------------------------------------------------
+
+class _SocGrab:
+    """``soc_hook`` that keeps the SoC so engine stats survive the run."""
+
+    soc = None
+
+    def __call__(self, soc):
+        self.soc = soc
+
+
+def _timed_run(program, kernel, stagger, engine, repeats,
+               tracer=None):
+    """Best-of-``repeats`` wall time for one redundant run.
+
+    Returns ``(seconds, result_dict, cycles, engine_stats)`` — stats
+    from the last repetition (they are deterministic, only the wall
+    time varies).
+    """
+    from repro.soc.experiment import run_redundant
+    best = None
+    result = None
+    grab = _SocGrab()
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_redundant(program, benchmark=kernel,
+                               stagger_nops=stagger, engine=engine,
+                               soc_hook=grab, tracer=tracer)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    stats = grab.soc.engine_stats
+    return (best, dataclasses.asdict(result), result.cycles,
+            stats.as_dict() if stats is not None else None)
+
+
+def _bench_engines(kernels, staggers, repeats):
+    """Reference vs fast tier, serially, per (kernel, stagger) point."""
+    from repro.workloads import program as build_program
+    per_kernel = {}
+    ref_total = fast_total = 0.0
+    cycles_total = 0
+    deopts = fast_issues = ref_issues = fast_cycles = 0
+    for kernel in kernels:
+        prog = build_program(kernel)
+        ref_s = fast_s = 0.0
+        kernel_cycles = 0
+        hit_num = hit_den = kernel_deopts = 0
+        for stagger in staggers:
+            rs, ref_result, cycles, _ = _timed_run(
+                prog, kernel, stagger, "reference", repeats)
+            fs, fast_result, _, stats = _timed_run(
+                prog, kernel, stagger, "fast", repeats)
+            assert fast_result == ref_result, \
+                "fast tier diverged from reference on %s stagger=%d" \
+                % (kernel, stagger)
+            assert stats is not None \
+                and stats["fallback_reason"] is None, \
+                "fast tier fell back on %s: %s" % (kernel, stats)
+            ref_s += rs
+            fast_s += fs
+            kernel_cycles += cycles
+            kernel_deopts += stats["deopts"]
+            hit_num += stats["issue_fast"]
+            hit_den += stats["issue_fast"] + stats["issue_ref"]
+            deopts += stats["deopts"]
+            fast_issues += stats["issue_fast"]
+            ref_issues += stats["issue_ref"]
+            fast_cycles += stats["fast_cycles"]
+        ref_total += ref_s
+        fast_total += fast_s
+        cycles_total += kernel_cycles
+        per_kernel[kernel] = {
+            "reference_seconds": round(ref_s, 3),
+            "fast_seconds": round(fast_s, 3),
+            "speedup": round(ref_s / fast_s, 3),
+            "cycles": kernel_cycles,
+            "tier_hit_rate": round(hit_num / hit_den, 6) if hit_den
+            else 0.0,
+            "deopts": kernel_deopts,
+            "deopt_rate": round(kernel_deopts / kernel_cycles, 6)
+            if kernel_cycles else 0.0,
+        }
+        print("engine %-14s ref %6.2fs  fast %6.2fs  %5.2fx  "
+              "hit %6.2f%%  deopts %d"
+              % (kernel, ref_s, fast_s, ref_s / fast_s,
+                 100.0 * per_kernel[kernel]["tier_hit_rate"],
+                 kernel_deopts))
+    issued = fast_issues + ref_issues
+    return {
+        "engine": "fast",
+        "staggers": list(staggers),
+        "repeats": repeats,
+        "per_kernel": per_kernel,
+        "reference_seconds": round(ref_total, 3),
+        "fast_seconds": round(fast_total, 3),
+        "speedup": round(ref_total / fast_total, 3),
+        "cycles": cycles_total,
+        "reference_cycles_per_second": round(
+            cycles_total / ref_total) if ref_total else None,
+        "fast_cycles_per_second": round(
+            cycles_total / fast_total) if fast_total else None,
+        "tier_hit_rate": round(fast_issues / issued, 6) if issued
+        else 0.0,
+        "deopts": deopts,
+        "deopt_rate": round(deopts / fast_cycles, 6) if fast_cycles
+        else 0.0,
+        "bit_identical": True,
+    }
+
+
+def _profile_engines(kernels, staggers, path):
+    """One profiled fast-tier pass per point, saved as a Chrome trace."""
+    from repro.telemetry import Tracer
+    from repro.workloads import program as build_program
+    tracer = Tracer()
+    for kernel in kernels:
+        prog = build_program(kernel)
+        for stagger in staggers:
+            for engine in ("reference", "fast"):
+                _timed_run(prog, kernel, stagger, engine, repeats=1,
+                           tracer=tracer)
+    tracer.save(path)
+    print("profile trace written to %s (%d spans)"
+          % (path, len(tracer)))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -77,13 +221,56 @@ def main():
     parser.add_argument("--out", default=None, metavar="FILE",
                         help="report path (default: BENCH_runtime.json "
                              "at the repo root)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI shape: engine-tier comparison only, "
+                             "over a 2-kernel subset")
+    parser.add_argument("--repeats", type=int, default=3, metavar="N",
+                        help="best-of-N timing for the engine "
+                             "comparison (default: 3)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless the fast tier's aggregate "
+                             "speedup over reference is at least X")
+    parser.add_argument("--max-deopt-rate", type=float, default=None,
+                        metavar="X",
+                        help="fail if the fast tier's deopts-per-cycle "
+                             "rate exceeds X")
+    parser.add_argument("--profile", default=None, metavar="FILE",
+                        help="record one profiled pass per point as a "
+                             "Chrome about://tracing trace")
     args = parser.parse_args()
-    kernels = tuple(args.kernels or MINI_SWEEP_KERNELS)
+    kernels = tuple(args.kernels
+                    or (QUICK_KERNELS if args.quick
+                        else MINI_SWEEP_KERNELS))
     out_path = pathlib.Path(args.out) if args.out else OUT_PATH
 
     missing = set(kernels) - set(all_names())
     assert not missing, "unknown bench kernels: %s" % sorted(missing)
     runs = len(kernels) * len(MINI_SWEEP_STAGGERS) * 2
+
+    repeats = max(1, 2 if args.quick and args.repeats == 3
+                  else args.repeats)
+    engine_report = _bench_engines(kernels, MINI_SWEEP_STAGGERS,
+                                   repeats)
+    print("engine aggregate: %.2fx speedup, tier hit rate %.2f%%, "
+          "deopt rate %.4f%%"
+          % (engine_report["speedup"],
+             100.0 * engine_report["tier_hit_rate"],
+             100.0 * engine_report["deopt_rate"]))
+    if args.profile:
+        _profile_engines(kernels, MINI_SWEEP_STAGGERS, args.profile)
+
+    if args.quick:
+        report = {
+            "quick": True,
+            "kernels": list(kernels),
+            "stagger_values": list(MINI_SWEEP_STAGGERS),
+            "cpu_count": os.cpu_count(),
+            "engine": engine_report,
+        }
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        print("wrote %s" % out_path)
+        return _gate(args, engine_report)
 
     print("mini sweep: %d kernels x %d staggers = %d runs"
           % (len(kernels), len(MINI_SWEEP_STAGGERS), runs))
@@ -137,6 +324,7 @@ def main():
         "parallel_speedup": parallel_speedup,
         "warm_cache_speedup": round(serial_s / warm_s, 3),
         "seconds_per_run_serial": round(serial_s / runs, 4),
+        "engine": engine_report,
     }
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     if parallel_speedup is None:
@@ -150,7 +338,26 @@ def main():
               % (parallel_speedup, report["warm_cache_speedup"],
                  report["cpu_count"]))
     print("wrote %s" % out_path)
+    return _gate(args, engine_report)
+
+
+def _gate(args, engine_report) -> int:
+    """Turn the engine report into an exit code per the gate flags."""
+    status = 0
+    if args.min_speedup is not None \
+            and engine_report["speedup"] < args.min_speedup:
+        print("FAIL: fast-tier speedup %.2fx below the %.2fx floor"
+              % (engine_report["speedup"], args.min_speedup))
+        status = 1
+    if args.max_deopt_rate is not None \
+            and engine_report["deopt_rate"] > args.max_deopt_rate:
+        print("FAIL: fast-tier deopt rate %.4f%% above the %.4f%% "
+              "ceiling" % (100.0 * engine_report["deopt_rate"],
+                           100.0 * args.max_deopt_rate))
+        status = 1
+    return status
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+    sys.exit(main())

@@ -36,6 +36,11 @@ Commands:
 ``run``, ``table1``, and ``campaign`` accept ``--metrics FILE`` (JSON
 telemetry snapshot, see ``repro metrics``) and ``--trace FILE``
 (Chrome ``about://tracing`` / Perfetto span timeline).
+
+``run``, ``table1``, ``sweep-monitor``, and ``campaign`` accept
+``--engine {reference,fast}`` to select the execution tier
+(:mod:`repro.engine`); results are bit-identical, the fast tier is
+just faster.
 """
 
 from __future__ import annotations
@@ -72,6 +77,14 @@ def format_columns(rows, headers=None, min_width=16) -> str:
         lines.append("-" * max(len(fmt(row)) for row in sized))
     lines.extend(fmt(row) for row in rows)
     return "\n".join(lines)
+
+
+def _add_engine_flag(parser):
+    parser.add_argument("--engine", default="reference",
+                        choices=("reference", "fast"),
+                        help="execution tier: the reference interpreter "
+                             "or the block-compiled fast tier "
+                             "(bit-identical results)")
 
 
 def _add_telemetry_flags(parser):
@@ -227,13 +240,21 @@ def _cmd_run(args) -> int:
             program(args.kernel), benchmark=args.kernel,
             stagger_nops=args.stagger, late_core=args.late_core,
             mode=mode, threshold=args.threshold, metrics=metrics,
-            tracer=tracer)
+            tracer=tracer, engine=args.engine)
         trace.save(args.capture)
         print("stream trace written to %s (%d samples, %d bytes)"
               % (args.capture, len(trace), trace.byte_size()),
               file=sys.stderr)
     else:
         from .soc.experiment import run_redundant
+
+        class _Grab:
+            soc = None
+
+            def __call__(self, soc):
+                self.soc = soc
+
+        grab = _Grab()
         checkpointer = None
         resume_from = None
         if args.checkpoint_every:
@@ -256,7 +277,20 @@ def _cmd_run(args) -> int:
                                checkpoint_every=args.checkpoint_every,
                                on_checkpoint=(checkpointer.save
                                               if checkpointer else None),
-                               resume_from=resume_from)
+                               resume_from=resume_from,
+                               engine=args.engine,
+                               soc_hook=grab)
+        if grab.soc is not None and grab.soc.engine_stats is not None:
+            stats = grab.soc.engine_stats
+            if stats.fallback_reason is not None:
+                print("engine: fell back to reference (%s)"
+                      % stats.fallback_reason, file=sys.stderr)
+            elif stats.engine == "fast":
+                print("engine: fast tier, %d block(s) compiled, "
+                      "tier hit rate %.1f%%, %d deopt(s)"
+                      % (stats.blocks_compiled,
+                         100.0 * stats.tier_hit_rate, stats.deopts),
+                      file=sys.stderr)
         if checkpointer is not None:
             checkpointer.finish()
             print("%d checkpoint(s) in the run cache; continue an "
@@ -293,7 +327,8 @@ def _cmd_table1(args) -> int:
     metrics, tracer = _make_telemetry(args)
     sweep = ParallelSweep(jobs=args.jobs, use_cache=not args.no_cache,
                           progress=True, metrics=metrics, tracer=tracer,
-                          capture=args.capture, replay=args.replay)
+                          capture=args.capture, replay=args.replay,
+                          engine=args.engine)
     rows = sweep.run_table(names, stagger_values=PAPER_STAGGER_VALUES)
     print(format_table1(rows, PAPER_STAGGER_VALUES))
     if args.csv:
@@ -323,7 +358,8 @@ def _cmd_sweep_monitor(args) -> int:
               for thr in args.thresholds]
 
     sweep = MonitorSweep(use_cache=not args.no_cache,
-                         metrics=metrics, tracer=tracer)
+                         metrics=metrics, tracer=tracer,
+                         engine=args.engine)
     outcome = sweep.sweep(args.kernel, points,
                           stagger_nops=args.stagger,
                           late_core=args.late_core,
@@ -375,7 +411,8 @@ def _cmd_campaign(args) -> int:
     # A fault-free probe run fixes the timeline length the injection
     # instants are spread across.
     probe = run_redundant(prog, benchmark=args.kernel, config=config,
-                          max_cycles=args.max_cycles, tracer=tracer)
+                          max_cycles=args.max_cycles, tracer=tracer,
+                          engine=args.engine)
     cycles = spread_cycles(probe.cycles, args.injections)
     result = run_ccf_campaign(prog, cycles, stimuli=args.stimuli,
                               config=config, max_cycles=args.max_cycles,
@@ -386,7 +423,8 @@ def _cmd_campaign(args) -> int:
                               cache_dir=(True if args.checkpoint_every
                                          and not args.no_cache
                                          else None),
-                              benchmark=args.kernel)
+                              benchmark=args.kernel,
+                              engine=args.engine)
     print("%s over %d cycles:" % (args.kernel, probe.cycles))
     print(result.summary())
     print("detected-or-flagged=%d" % result.detected_or_flagged)
@@ -547,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="restore the latest cached checkpoint "
                             "(same kernel/flags/cadence) and finish "
                             "the run from there")
+    _add_engine_flag(p_run)
     _add_telemetry_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -568,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_t1.add_argument("--replay", action="store_true",
                       help="answer cache misses from cached stream "
                            "traces instead of re-simulating")
+    _add_engine_flag(p_t1)
     _add_telemetry_flags(p_t1)
     p_t1.set_defaults(func=_cmd_table1)
 
@@ -602,6 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sm.add_argument("--no-cache", action="store_true",
                       help="do not consult or populate the run/trace "
                            "caches")
+    _add_engine_flag(p_sm)
     _add_telemetry_flags(p_sm)
     p_sm.set_defaults(func=_cmd_sweep_monitor)
 
@@ -630,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--no-cache", action="store_true",
                         help="do not persist or reuse golden "
                              "checkpoints in the run cache")
+    _add_engine_flag(p_camp)
     _add_telemetry_flags(p_camp)
     p_camp.set_defaults(func=_cmd_campaign)
 

@@ -49,6 +49,17 @@ class EpisodeHistogram:
         self.episodes += 1
         self._run = 0
 
+    def _close_run_at(self, run: int):
+        """Close an episode of externally-tracked length ``run``.
+
+        Used by the fast tier (:mod:`repro.engine.fast`), which keeps
+        the running episode length in a local and only reconciles
+        ``_run`` at span boundaries.
+        """
+        index = min((run - 1) // self.bin_size, self.num_bins - 1)
+        self.bins[index] += 1
+        self.episodes += 1
+
     def finish(self):
         """Close any open episode (end of run)."""
         if self._run:

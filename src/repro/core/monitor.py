@@ -159,7 +159,14 @@ class DiversityMonitor:
         one attribute add per firing verdict.  Attach a fresh registry
         per run; :meth:`reset` detaches (a reset zeroes ``stats`` and
         leaving stale counters bound would desynchronize the two).
+
+        A disabled registry (:data:`repro.telemetry.NULL_REGISTRY`) is
+        not attached at all: the per-cycle path then skips the metric
+        branch entirely instead of calling four no-op ``inc``\\ s.
         """
+        if not getattr(registry, "enabled", True):
+            self._mx = None
+            return
         labels = (("pair", str(pair)),)
         self._mx = (
             registry.counter("repro_monitor_sampled_cycles_total",

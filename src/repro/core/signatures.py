@@ -280,9 +280,11 @@ class InstructionSignatureUnit:
     def __init__(self, config: SignatureConfig):
         self.config = config
         self._variant = config.is_variant
-        #: PER_STAGE: per-stage word tuples (None = empty stage).
-        self._stage_words: List[Optional[Tuple[int, ...]]] = \
-            [None] * config.pipeline_stages
+        #: PER_STAGE: per-stage word tuples (None = empty stage).  Kept
+        #: as a tuple so the sampled value can be stored as-is (the fast
+        #: execution tier writes the stage tuple it already built).
+        self._stage_words: Tuple[Optional[Tuple[int, ...]], ...] = \
+            (None,) * config.pipeline_stages
         #: INFLIGHT: zero-padded window of in-flight words.
         self._inflight_words: Tuple[int, ...] = \
             (0,) * config.inflight_depth
@@ -290,7 +292,7 @@ class InstructionSignatureUnit:
 
     def _compute_digest(self) -> int:
         if self._variant is IsVariant.PER_STAGE:
-            return hash(tuple(self._stage_words))
+            return hash(self._stage_words)
         return hash(self._inflight_words)
 
     # -- clocking ----------------------------------------------------------
@@ -313,7 +315,7 @@ class InstructionSignatureUnit:
         if len(words) != self.config.pipeline_stages:
             raise ValueError("expected %d stages, got %d"
                              % (self.config.pipeline_stages, len(words)))
-        self._stage_words = list(words)
+        self._stage_words = words
         self._digest = hash(words)
 
     def sample_stages(self, stage_slots: Sequence[Sequence[Tuple[int, int]]],
@@ -391,7 +393,7 @@ class InstructionSignatureUnit:
             for stage in range(cfg.pipeline_stages)))
 
     def reset(self):
-        self._stage_words = [None] * self.config.pipeline_stages
+        self._stage_words = (None,) * self.config.pipeline_stages
         self._inflight_words = (0,) * self.config.inflight_depth
         self._digest = self._compute_digest()
 
@@ -405,9 +407,9 @@ class InstructionSignatureUnit:
         }
 
     def load_state_dict(self, state):
-        stage_words = [None if words is None
-                       else tuple(int(word) for word in words)
-                       for words in state["stage_words"]]
+        stage_words = tuple(None if words is None
+                            else tuple(int(word) for word in words)
+                            for words in state["stage_words"])
         if len(stage_words) != self.config.pipeline_stages:
             raise ValueError("snapshot has %d IS stages, expected %d"
                              % (len(stage_words),

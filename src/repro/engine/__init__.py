@@ -1,0 +1,173 @@
+"""Tiered execution engine for the SafeDM platform model.
+
+Two tiers drive the same :class:`~repro.soc.mpsoc.MPSoC` objects:
+
+* ``reference`` — :meth:`MPSoC.run`, the interpreter in
+  :mod:`repro.cpu`.  It is the oracle: every observable (architectural
+  state, signatures, monitor statistics, histograms, telemetry
+  counters, checkpoints, capture streams) is defined by it.
+* ``fast`` — :class:`repro.engine.fast.FastRunner` over a
+  :class:`repro.engine.plan.ProgramPlan`.  Straight-line fetch groups
+  are specialized into generated per-PC step code operating on the
+  *same live objects*; anything the specialization cannot prove static
+  (cache misses, memory-stage traffic, self-modifying code, plan
+  misses) deoptimizes to the corresponding reference method mid-cycle.
+  The fast tier is bit-identical by construction — it never skips a
+  cycle, because SafeDM samples signatures every cycle.
+
+:func:`run_soc` is the engine selector used by
+:func:`repro.soc.experiment.run_redundant` and everything above it.
+SoC shapes the fast tier does not model (extra cores, nonstandard
+monitor geometry, instrumented register files) silently fall back to
+the reference tier, recording ``fallback_reason``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..core import signatures
+from ..core.signatures import IsVariant
+from ..cpu.regfile import RegisterFile
+
+from .plan import ProgramPlan  # noqa: F401  (re-export)
+
+#: Engines accepted by ``run_soc`` / the ``--engine`` CLI flag.
+ENGINES: Tuple[str, ...] = ("reference", "fast")
+
+
+def resolve_engine(name: Optional[str]) -> str:
+    """Validate an engine name (None means reference)."""
+    if name is None:
+        return "reference"
+    if name not in ENGINES:
+        raise ValueError("unknown engine %r (expected one of %s)"
+                         % (name, ", ".join(ENGINES)))
+    return name
+
+
+@dataclass
+class EngineStats:
+    """What the engine did for one run (exposed as ``soc.engine_stats``).
+
+    ``deopts`` counts delegations to reference code paths (memory-stage
+    handling, plan misses, outstanding instruction fetches);
+    ``issue_fast``/``issue_ref`` split issued groups by tier.
+    """
+
+    engine: str = "reference"
+    blocks_compiled: int = 0
+    fast_cycles: int = 0
+    deopts: int = 0
+    issue_fast: int = 0
+    issue_ref: int = 0
+    #: Why a requested fast run fell back to reference (None = ran fast).
+    fallback_reason: Optional[str] = None
+
+    @property
+    def tier_hit_rate(self) -> float:
+        """Fraction of issued groups handled by generated code."""
+        total = self.issue_fast + self.issue_ref
+        if total == 0:
+            return 0.0
+        return self.issue_fast / total
+
+    def to_metrics(self, registry):
+        """Publish engine counters into a telemetry registry."""
+        if not getattr(registry, "enabled", True):
+            return
+        labels = (("engine", self.engine),)
+        registry.counter("repro_engine_blocks_compiled_total",
+                         labels).inc(self.blocks_compiled)
+        registry.counter("repro_engine_fast_cycles_total",
+                         labels).inc(self.fast_cycles)
+        registry.counter("repro_engine_deopts_total",
+                         labels).inc(self.deopts)
+        registry.counter("repro_engine_fast_issues_total",
+                         labels).inc(self.issue_fast)
+        registry.counter("repro_engine_reference_issues_total",
+                         labels).inc(self.issue_ref)
+
+    def as_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "blocks_compiled": self.blocks_compiled,
+            "fast_cycles": self.fast_cycles,
+            "deopts": self.deopts,
+            "issue_fast": self.issue_fast,
+            "issue_ref": self.issue_ref,
+            "tier_hit_rate": self.tier_hit_rate,
+            "fallback_reason": self.fallback_reason,
+        }
+
+
+def _fast_supported(soc) -> Optional[str]:
+    """None when the fast tier models this SoC exactly, else a reason.
+
+    Every guard here corresponds to an assumption baked into the
+    generated code; relaxing one requires extending the fast tier, not
+    this list.
+    """
+    if len(soc.cores) != 2:
+        return "fast tier models exactly two cores"
+    if soc.monitor_pairs != ((0, 1),):
+        return "fast tier models a single (0, 1) monitor pair"
+    core0, core1 = soc.cores
+    if core0.config is not core1.config:
+        return "cores use distinct configs"
+    if core0.config.issue_width != 2:
+        return "fast tier assumes dual issue"
+    if len(core0.stages) != 7 or len(core1.stages) != 7:
+        return "fast tier assumes the 7-stage pipeline"
+    for core in (core0, core1):
+        if type(core.regfile) is not RegisterFile:
+            return "instrumented register file (%s)" \
+                % type(core.regfile).__name__
+    if signatures.DEBUG_SIGNATURE_CHECKS:
+        return "SAFEDM_DEBUG_SIGNATURES structural checks enabled"
+    monitor = soc.safedm
+    cfg = monitor.config
+    if cfg.is_variant is not IsVariant.PER_STAGE:
+        return "fast tier inlines only the PER_STAGE IS variant"
+    if not cfg.sample_every_cycle:
+        return "fast tier inlines only every-cycle DS sampling"
+    if cfg.num_ports != core0.regfile.num_read_ports:
+        return "DS ports do not match the register read ports"
+    if cfg.pipeline_stages != 7:
+        return "monitor geometry does not match the pipeline"
+    return None
+
+
+def run_soc(soc, engine: str = "reference", program=None,
+            max_cycles: int = 2_000_000, checkpoint_every: int = 0,
+            on_checkpoint=None):
+    """Run ``soc`` to completion under the selected engine.
+
+    Returns ``(cycles_run, EngineStats)`` and stores the stats on the
+    SoC as ``soc.engine_stats``.  ``program`` (optional) lets the fast
+    tier pre-compile every basic block up front; without it plans are
+    built lazily per fetched PC.
+    """
+    engine = resolve_engine(engine)
+    stats = EngineStats(engine=engine)
+    soc.engine_stats = stats
+    if engine == "fast":
+        reason = _fast_supported(soc)
+        if reason is None:
+            from .fast import FastRunner
+
+            plan = ProgramPlan(soc.memory, soc.cores[0].config)
+            if program is not None:
+                plan.compile_program(program)
+            runner = FastRunner(soc, plan, stats)
+            cycles = runner.run(max_cycles=max_cycles,
+                                checkpoint_every=checkpoint_every,
+                                on_checkpoint=on_checkpoint)
+            stats.blocks_compiled = plan.blocks_compiled
+            return cycles, stats
+        stats.fallback_reason = reason
+    cycles = soc.run(max_cycles=max_cycles,
+                     checkpoint_every=checkpoint_every,
+                     on_checkpoint=on_checkpoint)
+    return cycles, stats

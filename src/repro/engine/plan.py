@@ -1,0 +1,676 @@
+"""Static fetch-group plans for the fast execution tier.
+
+The fast tier (see :mod:`repro.engine.fast`) keeps all mutable state in
+the *same* objects the reference interpreter uses; what it specializes
+away is the per-cycle re-derivation of facts that are static for a given
+program image:
+
+* what the fetch unit will produce at a given PC — which instruction
+  words, whether they pair into a dual-issue group, and where fetch goes
+  next (:class:`PlanEntry`),
+* what issuing that group does — operand reads, the functional result,
+  scoreboard updates, branch resolution (a per-entry *issue handler*
+  generated as Python source and compiled once).
+
+A plan entry is valid for exactly one (pc, page-version) and is checked
+against the live :attr:`~repro.mem.memory.Memory.page_versions` on every
+fetch; any mismatch (self-modifying or reloaded code) falls back to the
+reference fetch path forever.  Entries are seeded from the basic blocks
+:class:`repro.lint.cfg.ControlFlowGraph` computes over the assembled
+image and built lazily for PCs outside it (stagger sleds).
+
+Bit-identity contract: every statement an issue handler emits is a
+transliteration of :meth:`repro.cpu.core.Core._issue` with the decoded
+operands folded to constants.  Anything the transliteration cannot
+prove static (unknown mnemonics, undecodable words, unallocated pages)
+yields ``entry = None`` — the fast tier then delegates that PC to the
+reference interpreter, reproducing even its error behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cpu.core import CoreConfig
+from ..cpu.exec_unit import execute_alu
+from ..cpu.pipeline import Group as _Group, can_pair
+from ..isa.decoder import decode
+from ..isa.instruction import FetchedInstruction, Instruction
+from ..isa.opcodes import (
+    CLASS_BRANCH,
+    CLASS_DIV,
+    CLASS_JUMP,
+    CLASS_MUL,
+)
+from ..isa.program import Program
+from ..lint.cfg import build_cfg
+from ..mem.memory import PAGE_BITS, PAGE_MASK, Memory
+
+#: Fetch-redirect kinds a plan entry can encode.
+KIND_STATIC = 0   #: next fetch PC is a constant (sequential or jal)
+KIND_JALR = 2     #: fetch blocks until the jalr issues
+KIND_BRANCH = 3   #: next fetch PC depends on the branch predictor
+KIND_HALT = 4     #: ecall/ebreak: fetch disables itself
+
+_XMASK = "0xFFFFFFFFFFFFFFFF"
+_PENDING = "0x4000000000000000"  # RegisterFile.PENDING == 1 << 62
+
+
+class PlanEntry:
+    """Everything static about fetching (and issuing) at one PC."""
+
+    __slots__ = ("pc", "page", "version", "words", "i0", "i1", "n",
+                 "fetch2", "kind", "next_pc", "btaken", "bfall", "bindex",
+                 "issue_maker", "fetch_maker")
+
+    def __init__(self, pc: int, page: int, version: int,
+                 words: Tuple[int, ...], i0: Instruction,
+                 i1: Optional[Instruction], n: int, fetch2: bool,
+                 kind: int, next_pc: int, btaken: int = 0, bfall: int = 0,
+                 bindex: int = 0):
+        self.pc = pc
+        self.page = page
+        self.version = version
+        self.words = words
+        self.i0 = i0
+        self.i1 = i1
+        self.n = n
+        #: True when the reference fetch also touches the decode cache
+        #: for ``pc + 4`` (paired, or pair considered-and-rejected).
+        self.fetch2 = fetch2
+        self.kind = kind
+        self.next_pc = next_pc
+        self.btaken = btaken
+        self.bfall = bfall
+        self.bindex = bindex
+        #: Lazily compiled closure factories (shared by both cores;
+        #: each core instantiates its own closures over its own state).
+        self.issue_maker = None
+        self.fetch_maker = None
+
+
+def _signed(var: str) -> str:
+    return ("(%s - 0x10000000000000000 if %s >= 0x8000000000000000 "
+            "else %s)" % (var, var, var))
+
+
+def _s32(var: str) -> str:
+    return "(((%s & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000)" % var
+
+
+def _wrap_w(expr: str) -> str:
+    return ("(((((%s) & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000) & %s"
+            ")" % (expr, _XMASK))
+
+
+def _alu_expr(instr: Instruction, a: str, b: str, sym) -> Optional[str]:
+    """Constant-folded expression for ``execute_alu(instr, a, b)``.
+
+    Immediates are lifted into the constant pool via ``sym`` so the
+    expression text is shape-stable.  Returns None for mnemonics left
+    to the interpreter fallback (the div/rem family — 20-cycle latency
+    makes inlining pointless — and anything unknown, which must raise
+    exactly like the reference).
+    """
+    name = instr.mnemonic
+    imm = instr.imm
+    if name == "addi":
+        return "(%s + %s) & %s" % (a, sym(imm), _XMASK)
+    if name == "slti":
+        return "1 if %s < %s else 0" % (_signed(a), sym(imm))
+    if name == "sltiu":
+        return "1 if %s < %s else 0" % (a, sym(imm & 0xFFFFFFFFFFFFFFFF))
+    if name == "xori":
+        return "(%s ^ %s) & %s" % (a, sym(imm), _XMASK)
+    if name == "ori":
+        return "(%s | %s) & %s" % (a, sym(imm), _XMASK)
+    if name == "andi":
+        return "(%s & %s) & %s" % (a, sym(imm), _XMASK)
+    if name == "slli":
+        return "(%s << %s) & %s" % (a, sym(imm), _XMASK)
+    if name == "srli":
+        return "%s >> %s" % (a, sym(imm))
+    if name == "srai":
+        return "(%s >> %s) & %s" % (_signed(a), sym(imm), _XMASK)
+    if name == "addiw":
+        return _wrap_w("%s + %s" % (a, sym(imm)))
+    if name == "slliw":
+        return _wrap_w("%s << %s" % (a, sym(imm)))
+    if name == "srliw":
+        return _wrap_w("(%s & 0xFFFFFFFF) >> %s" % (a, sym(imm)))
+    if name == "sraiw":
+        return _wrap_w("%s >> %s" % (_s32(a), sym(imm)))
+    if name == "add":
+        return "(%s + %s) & %s" % (a, b, _XMASK)
+    if name == "sub":
+        return "(%s - %s) & %s" % (a, b, _XMASK)
+    if name == "sll":
+        return "(%s << (%s & 63)) & %s" % (a, b, _XMASK)
+    if name == "slt":
+        return "1 if %s < %s else 0" % (_signed(a), _signed(b))
+    if name == "sltu":
+        return "1 if %s < %s else 0" % (a, b)
+    if name == "xor":
+        return "%s ^ %s" % (a, b)
+    if name == "srl":
+        return "%s >> (%s & 63)" % (a, b)
+    if name == "sra":
+        return "(%s >> (%s & 63)) & %s" % (_signed(a), b, _XMASK)
+    if name == "or":
+        return "%s | %s" % (a, b)
+    if name == "and":
+        return "%s & %s" % (a, b)
+    if name == "addw":
+        return _wrap_w("%s + %s" % (a, b))
+    if name == "subw":
+        return _wrap_w("%s - %s" % (a, b))
+    if name == "sllw":
+        return _wrap_w("%s << (%s & 31)" % (a, b))
+    if name == "srlw":
+        return _wrap_w("(%s & 0xFFFFFFFF) >> (%s & 31)" % (a, b))
+    if name == "sraw":
+        return _wrap_w("%s >> (%s & 31)" % (_s32(a), b))
+    if name == "mul":
+        return "(%s * %s) & %s" % (a, b, _XMASK)
+    if name == "mulh":
+        return "((%s * %s) >> 64) & %s" % (_signed(a), _signed(b), _XMASK)
+    if name == "mulhsu":
+        return "((%s * %s) >> 64) & %s" % (_signed(a), b, _XMASK)
+    if name == "mulhu":
+        return "((%s * %s) >> 64) & %s" % (a, b, _XMASK)
+    if name == "mulw":
+        return _wrap_w("%s * %s" % (a, b))
+    if name == "lui":
+        return sym(imm & 0xFFFFFFFFFFFFFFFF)
+    return None
+
+
+def _emit_squash(lines: List[str], indent: str):
+    """Transliteration of Core._squash_younger().
+
+    ``stats`` and ``stages`` are factory-scope bindings of the owning
+    core's objects (see build_issue_maker).
+    """
+    lines.append(indent + "stats.flushes += 1")
+    lines.append(indent + "stages[0] = None")
+    lines.append(indent + "stages[1] = None")
+    lines.append(indent + "core._jalr_block = False")
+
+
+_BRANCH_OPS = {"beq": "==", "bne": "!=", "bltu": "<", "bgeu": ">="}
+
+
+class _ConstPool:
+    """Collects per-entry constants during handler-source generation.
+
+    Every call to :meth:`sym` replaces one concrete value (a register
+    index, immediate, PC, decoded-instruction object, ...) with a fresh
+    symbolic parameter name.  The generated source then depends only on
+    the entry's *structure*, so entries that differ only in constants
+    share one compiled code object via :data:`_SHAPE_CACHE` — which is
+    what makes handler compilation cheap: a program has hundreds of
+    plan entries but only a couple dozen shapes, and the shapes repeat
+    across programs within a process.
+    """
+
+    def __init__(self):
+        self.values: List[object] = []
+
+    def sym(self, value) -> str:
+        name = "K%d" % len(self.values)
+        self.values.append(value)
+        return name
+
+
+#: handler source text -> compiled ``_make`` factory (module-wide).
+_SHAPE_CACHE: Dict[str, object] = {}
+
+
+def _shape_make(source: str):
+    make = _SHAPE_CACHE.get(source)
+    if make is None:
+        namespace: Dict[str, object] = {}
+        exec(compile(source, "<repro.engine shape>", "exec"), namespace)
+        make = _SHAPE_CACHE[source] = namespace["_make"]
+    return make
+
+
+class ProgramPlan:
+    """Per-PC :class:`PlanEntry` table for one memory image."""
+
+    def __init__(self, memory: Memory, core_config: CoreConfig):
+        self.memory = memory
+        self.config = core_config
+        line_size = core_config.l1i.line_size
+        self._line_shift = line_size.bit_length() - 1
+        self._set_mask = core_config.l1i.num_sets - 1
+        self._pred_mask = core_config.predictor_entries - 1
+        #: pc -> PlanEntry, or None for PCs pinned to the reference
+        #: path (undecodable, unallocated, page-crossing oddities).
+        self.entries: Dict[int, Optional[PlanEntry]] = {}
+        self.blocks_compiled = 0
+
+    # -- construction -----------------------------------------------------
+
+    def compile_program(self, program: Program):
+        """Seed entries for every instruction PC the CFG knows about.
+
+        Uses the lint CFG's basic blocks so the plan covers exactly the
+        decodable, non-data instruction stream (constant pools never
+        produce entries), and counts compiled blocks for telemetry.
+        Handler factories are pre-bound here too; thanks to the shape
+        cache this is mostly dictionary lookups, not compilation.
+        """
+        for block in build_cfg(program).blocks():
+            for pc, _ in block.instrs:
+                if pc not in self.entries:
+                    self.entries[pc] = self._build(pc)
+        for entry in self.entries.values():
+            if entry is not None:
+                self.build_issue_maker(entry)
+                self.build_fetch_maker(entry)
+
+    def entry_at(self, pc: int) -> Optional[PlanEntry]:
+        """The entry for ``pc``, built (and cached) on first use."""
+        entry = self._build(pc)
+        self.entries[pc] = entry
+        return entry
+
+    def _peek_word(self, address: int) -> Optional[int]:
+        """Read an instruction word without allocating memory pages.
+
+        The reference fetch path allocates a zero page on first touch;
+        the plan builder must not, so an unallocated page simply pins
+        the PC to the reference path (which then allocates — and fails
+        to decode — exactly as it would have without a plan).
+        """
+        page = self.memory._pages.get(address >> PAGE_BITS)
+        if page is None:
+            return None
+        start = address & PAGE_MASK
+        return int.from_bytes(page[start:start + 4], "little")
+
+    def _build(self, pc: int) -> Optional[PlanEntry]:
+        if pc & 3:
+            return None
+        word0 = self._peek_word(pc)
+        if word0 is None:
+            return None
+        try:
+            i0 = decode(word0)
+        except Exception:
+            return None
+        page = pc >> PAGE_BITS
+        version = self.memory.page_versions.get(page, 0)
+
+        def entry(words, i1, n, fetch2, kind, next_pc,
+                  btaken=0, bfall=0, bindex=0):
+            self.blocks_compiled += 1
+            return PlanEntry(pc, page, version, words, i0, i1, n, fetch2,
+                             kind, next_pc, btaken, bfall, bindex)
+
+        # First-slot redirects terminate the fetch group (mirrors
+        # Core._redirect_after on the first fetched instruction).
+        name = i0.mnemonic
+        if name == "jal":
+            return entry((word0,), None, 1, False, KIND_STATIC,
+                         pc + i0.imm)
+        if name == "jalr":
+            return entry((word0,), None, 1, False, KIND_JALR, pc + 4)
+        if i0.iclass == CLASS_BRANCH:
+            return entry((word0,), None, 1, False, KIND_BRANCH, 0,
+                         btaken=pc + i0.imm, bfall=pc + 4,
+                         bindex=(pc >> 2) & self._pred_mask)
+        if name in ("ecall", "ebreak"):
+            return entry((word0,), None, 1, False, KIND_HALT, pc + 4)
+
+        # Sequential first slot: the fetch unit tries to pair pc + 4
+        # from the same cache line.  Same line implies same page, and —
+        # because line presence is per-line — an icache hit on pc
+        # guarantees the probe of pc + 4 hits too, so pairing is static.
+        pc2 = pc + 4
+        if (pc2 >> self._line_shift) != (pc >> self._line_shift):
+            return entry((word0,), None, 1, False, KIND_STATIC, pc2)
+        word1 = self._peek_word(pc2)
+        if word1 is None:
+            return None
+        try:
+            i1 = decode(word1)
+        except Exception:
+            return None  # reference raises SimulationError; delegate
+        if not can_pair(FetchedInstruction(i0, pc),
+                        FetchedInstruction(i1, pc2)):
+            # Pair rejected: single-slot group, but the reference still
+            # ran pc2 through the decode cache (fetch2 bookkeeping).
+            return entry((word0,), i1, 1, True, KIND_STATIC, pc2)
+        name1 = i1.mnemonic
+        words = (word0, word1)
+        if name1 == "jal":
+            return entry(words, i1, 2, True, KIND_STATIC, pc2 + i1.imm)
+        if name1 == "jalr":
+            return entry(words, i1, 2, True, KIND_JALR, pc2 + 4)
+        if i1.iclass == CLASS_BRANCH:
+            return entry(words, i1, 2, True, KIND_BRANCH, 0,
+                         btaken=pc2 + i1.imm, bfall=pc2 + 4,
+                         bindex=(pc2 >> 2) & self._pred_mask)
+        if name1 in ("ecall", "ebreak"):
+            return entry(words, i1, 2, True, KIND_HALT, pc2 + 4)
+        return entry(words, i1, 2, True, KIND_STATIC, pc2 + 4)
+
+    # -- issue-handler generation -----------------------------------------
+
+    def build_issue_maker(self, entry: PlanEntry):
+        """The issue-handler factory for ``entry`` (cached on the entry).
+
+        The factory has the contract::
+
+            maker(core, values, ready, reads) -> fn
+            fn(group, cycle) -> bool
+
+        where ``values``/``ready``/``reads`` are the core's *live*
+        regfile lists.  ``fn`` returns False (no state change) when a
+        source or destination register is not ready — the same
+        condition Core._sources_ready evaluates — and otherwise
+        performs exactly what Core._issue does for this group, with
+        operands, targets, and port indices bound to per-entry
+        constants.  Code is compiled once per *shape* (see
+        :class:`_ConstPool`); each core instantiates its own closure.
+        """
+        maker = entry.issue_maker
+        if maker is not None:
+            return maker
+        source, consts = self._issue_maker_source(entry)
+        make = _shape_make(source)
+        args = (execute_alu, entry.i0, entry.i1) + tuple(consts)
+
+        def maker(core, values, ready, reads, _make=make, _args=args):
+            return _make(core, values, ready, reads, *_args)
+
+        entry.issue_maker = maker
+        return maker
+
+    def _issue_maker_source(self, entry: PlanEntry):
+        """(source, constants) for the ``_make`` issue factory.
+
+        The source depends only on the entry's structure; every
+        varying value is lifted into the constant pool and enters the
+        compiled code as a parameter that the handler re-binds as a
+        default argument (LOAD_FAST in the body).
+        """
+        pool = _ConstPool()
+        sym = pool.sym
+        slots = [(0, entry.i0, entry.pc)]
+        if entry.n == 2:
+            slots.append((1, entry.i1, entry.pc + 4))
+
+        lines: List[str] = []
+        guarded: Dict[int, None] = {}
+        for _, instr, _ in slots:
+            for reg in instr.sources():
+                if reg:
+                    guarded.setdefault(reg)
+            dest = instr.destination()
+            if dest is not None:
+                guarded.setdefault(dest)
+        for reg in guarded:
+            lines.append("    if ready[%s] > cycle:" % sym(reg))
+            lines.append("        return False")
+        lines.append("    group.ex_done_cycle = cycle + 1")
+
+        squash_slot = None
+        for slot, instr, pc in slots:
+            a = "a%d" % slot
+            b = "b%d" % slot
+            f = "f%d" % slot
+            if instr.rs1 is not None:
+                lines.append("    %s = %s" % (
+                    a, "values[%s]" % sym(instr.rs1) if instr.rs1
+                    else "0"))
+                lines.append("    reads[%d] = (1, %s)" % (2 * slot, a))
+            if instr.rs2 is not None:
+                lines.append("    %s = %s" % (
+                    b, "values[%s]" % sym(instr.rs2) if instr.rs2
+                    else "0"))
+                lines.append("    reads[%d] = (1, %s)" % (2 * slot + 1, b))
+
+            iclass = instr.iclass
+            name = instr.mnemonic
+            if iclass == CLASS_BRANCH:
+                op = _BRANCH_OPS.get(name)
+                if op is not None:
+                    taken = "%s %s %s" % (a, op, b)
+                elif name == "blt":
+                    taken = "%s < %s" % (_signed(a), _signed(b))
+                else:  # bge
+                    taken = "%s >= %s" % (_signed(a), _signed(b))
+                lines.append("    t = %s" % taken)
+                lines.append("    %s = group.instrs[%d]" % (f, slot))
+                lines.append("    m = t != %s.predicted_taken" % f)
+                lines.append("    predictor.update(%s, t, m)" % sym(pc))
+                lines.append("    if m:")
+                lines.append("        stats.branch_mispredicts += 1")
+                _emit_squash(lines, "        ")
+                lines.append("        core.fetch_pc = %s if t else %s"
+                             % (sym(pc + instr.imm), sym(pc + 4)))
+                lines.append("        core.fetch_enabled = not core.halted")
+            elif iclass == CLASS_JUMP:
+                klink = sym((pc + 4) & 0xFFFFFFFFFFFFFFFF)
+                lines.append("    %s = group.instrs[%d]" % (f, slot))
+                lines.append("    %s.result = %s" % (f, klink))
+                if instr.rd:
+                    krd = sym(instr.rd)
+                    lines.append("    values[%s] = %s" % (krd, klink))
+                    lines.append("    ready[%s] = cycle + 1" % krd)
+                if name == "jalr":
+                    _emit_squash(lines, "    ")
+                    lines.append("    core.fetch_pc = (%s + %s) & -2"
+                                 % (a, sym(instr.imm)))
+                    lines.append("    core.fetch_enabled = not core.halted")
+            elif iclass == "load":
+                lines.append("    %s = group.instrs[%d]" % (f, slot))
+                lines.append("    %s.effective_address = (%s + %s) & %s"
+                             % (f, a, sym(instr.imm), _XMASK))
+                if instr.destination() is not None:
+                    lines.append("    ready[%s] = %s"
+                                 % (sym(instr.rd), _PENDING))
+            elif iclass == "store":
+                lines.append("    %s = group.instrs[%d]" % (f, slot))
+                lines.append("    %s.effective_address = (%s + %s) & %s"
+                             % (f, a, sym(instr.imm), _XMASK))
+                lines.append("    %s.store_value = %s" % (f, b))
+            elif iclass == "system":
+                if name in ("ecall", "ebreak"):
+                    lines.append("    core.halted = True")
+                    lines.append("    core.fetch_enabled = False")
+                    _emit_squash(lines, "    ")
+                    squash_slot = slot
+                # fence: pipeline bubble, nothing to execute
+            else:
+                expr = _alu_expr(instr, a, b, sym)
+                if expr is None:
+                    expr = "_alu(I%d, %s, %s)" % (
+                        slot,
+                        a if instr.rs1 is not None else "0",
+                        b if instr.rs2 is not None else "0")
+                lines.append("    r = %s" % expr)
+                lines.append("    %s = group.instrs[%d]" % (f, slot))
+                lines.append("    %s.result = r" % f)
+                if instr.rd:
+                    lines.append("    values[%s] = r" % sym(instr.rd))
+                if iclass == CLASS_MUL:
+                    latency = self.config.mul_latency
+                elif iclass == CLASS_DIV:
+                    latency = self.config.div_latency
+                    lines.append("    group.ex_done_cycle = cycle + %d"
+                                 % latency)
+                else:
+                    latency = 1
+                if instr.destination() is not None:
+                    lines.append("    ready[%s] = cycle + %d"
+                                 % (sym(instr.rd), latency))
+        if squash_slot is not None:
+            lines.append("    group.truncate(%d)" % squash_slot)
+        lines.append("    return True")
+
+        names = ["K%d" % index for index in range(len(pool.values))]
+        tail = "".join(", %s" % name for name in names)
+        rebind = "".join(", %s=%s" % (name, name) for name in names)
+        source = (
+            "def _make(core, values, ready, reads, _alu, I0, I1%s):\n"
+            "    stats = core.stats\n"
+            "    stages = core.stages\n"
+            "    predictor = core.predictor\n"
+            "    def _issue(group, cycle, core=core, values=values,"
+            " ready=ready, reads=reads, stats=stats, stages=stages,"
+            " predictor=predictor, _alu=_alu, I0=I0, I1=I1%s):\n"
+            % (tail, rebind)
+            + "\n".join("    " + line for line in lines)
+            + "\n    return _issue")
+        return source, pool.values
+
+    # -- fetch-handler generation -----------------------------------------
+
+    def build_fetch_maker(self, entry: PlanEntry):
+        """The fetch-handler factory for ``entry`` (cached on the entry).
+
+        The factory has the contract::
+
+            maker(core, stages, stats, acc, isets, icstats, fcache,
+                  versions, request_line, predictor, ptable) -> fn
+            fn(cycle) -> int
+
+        ``fn`` performs one fetch attempt at this entry's PC with every
+        static fact bound as a constant (cache set index, decode-cache
+        keys, group shape, redirect target) and returns 1 when a group
+        entered FE, 0 when an I-line miss request was issued, or 2 when
+        the page version no longer matches (caller falls back to the
+        reference fetch path).  ``acc`` is the owning stepper's
+        deferred-counter list (see repro.engine.fast).
+        """
+        maker = entry.fetch_maker
+        if maker is not None:
+            return maker
+        source, consts = self._fetch_maker_source(entry)
+        make = _shape_make(source)
+        args = tuple(consts)
+
+        def maker(core, stages, stats, acc, isets, icstats, fcache,
+                  versions, request_line, predictor, ptable,
+                  _make=make, _args=args):
+            return _make(core, stages, stats, acc, isets, icstats,
+                         fcache, versions, request_line, predictor,
+                         ptable, *_args)
+
+        entry.fetch_maker = maker
+        return maker
+
+    def _fetch_maker_source(self, entry: PlanEntry):
+        """(source, constants) for the ``_make`` fetch factory."""
+        pool = _ConstPool()
+        sym = pool.sym
+        pc = entry.pc
+        line = pc >> self._line_shift
+        kpage = sym(entry.page)
+        kver = sym(entry.version)
+        kset = sym(line & self._set_mask)
+        kline = sym(line)
+        kpc = sym(pc)
+        w = ["    if versions.get(%s, 0) != %s:" % (kpage, kver),
+             "        return 2",
+             "    tags = isets[%s]" % kset,
+             "    if tags and tags[0] == %s:" % kline,
+             "        icstats.hits += 1",
+             "    elif %s in tags:" % kline,
+             "        tags.remove(%s)" % kline,
+             "        tags.insert(0, %s)" % kline,
+             "        icstats.hits += 1",
+             "    else:",
+             "        icstats.misses += 1",
+             "        core._ifetch_req = request_line(core_id, %s, cycle,"
+             " is_ifetch=True)" % kpc,
+             "        acc[6] += 1",  # stats.ifetch_miss_cycles
+             "        return 0"]
+
+        def decode_touch(kaddr, kcached):
+            w.extend([
+                "    c = fcache.get(%s)" % kaddr,
+                "    if c is not None and c[1] == %s:" % kver,
+                "        acc[7] += 1",   # decode_cache_hits
+                "    else:",
+                "        acc[8] += 1",   # decode_cache_misses
+                "        fcache[%s] = %s" % (kaddr, kcached),
+            ])
+
+        decode_touch(kpc, sym((entry.i0, entry.version)))
+        kpc2 = None
+        if entry.fetch2:
+            kpc2 = sym(pc + 4)
+            decode_touch(kpc2, sym((entry.i1, entry.version)))
+
+        w.append("    seq = core._seq")
+        w.append("    core._seq = seq + %d" % (2 if entry.fetch2
+                                               and entry.n == 2 else 1))
+        kfi = sym(FetchedInstruction)
+        for slot in range(entry.n):
+            f = "f%d" % slot
+            w.extend([
+                "    %s = %s.__new__(%s)" % (f, kfi, kfi),
+                "    %s.instr = %s" % (f, sym(entry.i0 if slot == 0
+                                              else entry.i1)),
+                "    %s.pc = %s" % (f, kpc if slot == 0 else kpc2),
+                "    %s.seq = seq%s" % (f, " + %d" % slot if slot else ""),
+                "    %s.effective_address = None" % f,
+                "    %s.predicted_taken = False" % f,
+                "    %s.result = None" % f,
+                "    %s.store_value = None" % f,
+            ])
+        kg = sym(_Group)
+        w.append("    g = %s.__new__(%s)" % (kg, kg))
+        w.append("    g.instrs = [%s]" % ", ".join(
+            "f%d" % s for s in range(entry.n)))
+        w.append("    g.ex_done_cycle = 0")
+        w.append("    g.me_initiated = False")
+        w.append("    g.me_ready_cycle = None")
+        w.append("    g.me_requests = []")
+        w.append("    g.words_cache = %s" % sym(entry.words))
+
+        last = "f%d" % (entry.n - 1)
+        if entry.kind == KIND_BRANCH:
+            if self.config.predictor_enabled:
+                w.extend([
+                    "    predictor.predictions += 1",
+                    "    if ptable[%s] >= 2:" % sym(entry.bindex),
+                    "        %s.predicted_taken = True" % last,
+                    "        core.fetch_pc = %s" % sym(entry.btaken),
+                    "    else:",
+                    "        core.fetch_pc = %s" % sym(entry.bfall),
+                ])
+            else:
+                w.append("    core.fetch_pc = %s" % sym(entry.bfall))
+        elif entry.kind == KIND_JALR:
+            w.append("    core._jalr_block = True")
+            w.append("    core.fetch_pc = %s" % sym(entry.next_pc))
+        elif entry.kind == KIND_HALT:
+            w.append("    core.fetch_enabled = False")
+            w.append("    core.fetch_pc = %s" % sym(entry.next_pc))
+        else:
+            w.append("    core.fetch_pc = %s" % sym(entry.next_pc))
+        w.append("    stages[0] = g")
+        w.append("    acc[2] += 1")   # stats.fetch_groups
+        w.append("    return 1")
+
+        names = ["K%d" % index for index in range(len(pool.values))]
+        tail = "".join(", %s" % name for name in names)
+        rebind = "".join(", %s=%s" % (name, name) for name in names)
+        source = (
+            "def _make(core, stages, stats, acc, isets, icstats,"
+            " fcache, versions, request_line, predictor, ptable%s):\n"
+            "    core_id = core.core_id\n"
+            "    def _fetch(cycle, core=core, stages=stages, acc=acc,"
+            " isets=isets, icstats=icstats, fcache=fcache,"
+            " versions=versions, request_line=request_line,"
+            " predictor=predictor, ptable=ptable, core_id=core_id%s):\n"
+            % (tail, rebind)
+            + "\n".join("    " + line for line in w)
+            + "\n    return _fetch")
+        return source, pool.values

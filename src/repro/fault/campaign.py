@@ -175,7 +175,8 @@ def _artifact_from_index(index: dict, sim_key: str, snapshots,
 
 def _golden_artifact(program: Program, config: Optional[SocConfig],
                      max_cycles: int, checkpoint_every: int,
-                     cache_dir, benchmark: str):
+                     cache_dir, benchmark: str,
+                     engine: str = "reference"):
     """(artifact, warm): run the checkpointed golden run, or warm-start
     it from the persistent checkpoint store when ``cache_dir`` is set
     (``cache_dir=True`` selects the default run-cache location)."""
@@ -183,7 +184,7 @@ def _golden_artifact(program: Program, config: Optional[SocConfig],
         return golden_run_with_checkpoints(
             program, config=config, max_cycles=max_cycles,
             checkpoint_every=checkpoint_every,
-            benchmark=benchmark), False
+            benchmark=benchmark, engine=engine), False
     from ..runner.cache import (
         CheckpointIndexStore,
         CheckpointStore,
@@ -212,7 +213,7 @@ def _golden_artifact(program: Program, config: Optional[SocConfig],
     artifact = golden_run_with_checkpoints(
         program, config=config, max_cycles=max_cycles,
         checkpoint_every=checkpoint_every, benchmark=benchmark,
-        sim_key=sim_key)
+        sim_key=sim_key, engine=engine)
     for cycle, blob in zip(artifact.checkpoint_cycles,
                            artifact.snapshots):
         snapshots.put_blob(checkpoint_key(sim_key, cycle=cycle,
@@ -229,15 +230,18 @@ _CAMPAIGN_WORKER: dict = {}
 def _init_campaign_worker(program: Program,
                           config: Optional[SocConfig],
                           max_cycles: int, golden: int,
-                          artifact: Optional[GoldenArtifact]):
-    """Pool initializer: per-campaign constants plus a private engine."""
-    engine = None
+                          artifact: Optional[GoldenArtifact],
+                          engine: str = "reference"):
+    """Pool initializer: per-campaign constants plus a private fork
+    engine."""
+    fork = None
     if artifact is not None and artifact.snapshots:
-        engine = ForkEngine(program, artifact, config=config)
+        fork = ForkEngine(program, artifact, config=config)
     _CAMPAIGN_WORKER["program"] = program
     _CAMPAIGN_WORKER["config"] = config
     _CAMPAIGN_WORKER["max_cycles"] = max_cycles
     _CAMPAIGN_WORKER["golden"] = golden
+    _CAMPAIGN_WORKER["fork"] = fork
     _CAMPAIGN_WORKER["engine"] = engine
 
 
@@ -249,14 +253,16 @@ def _run_campaign_task(task):
     """
     stimulus, cycle = task
     worker = _CAMPAIGN_WORKER
-    engine = worker["engine"]
-    before = engine.converged if engine is not None else 0
+    fork = worker["fork"]
+    before = fork.converged if fork is not None else 0
     result = inject_common_cause(worker["program"], cycle, stimulus,
                                  worker["golden"],
                                  config=worker["config"],
                                  max_cycles=worker["max_cycles"],
-                                 engine=engine)
-    converged = (engine.converged - before) if engine is not None else 0
+                                 fork=fork,
+                                 engine=worker.get("engine",
+                                                   "reference"))
+    converged = (fork.converged - before) if fork is not None else 0
     return result, converged
 
 
@@ -278,7 +284,8 @@ def run_ccf_campaign(program: Program, cycles: List[int],
                      checkpoint_every: int = 0,
                      jobs: Optional[int] = 1,
                      cache_dir=None,
-                     benchmark: str = "program") -> CampaignResult:
+                     benchmark: str = "program",
+                     engine: str = "reference") -> CampaignResult:
     """Inject one common-cause fault per (cycle, stimulus) pair.
 
     ``metrics``/``tracer`` are optional telemetry sinks: the tracer
@@ -286,7 +293,10 @@ def run_ccf_campaign(program: Program, cycles: List[int],
     the per-classification counts of the finished campaign and — when
     checkpointing is on — the ``repro_checkpoint_*`` counters.
     ``jobs=None`` means one worker per core (serial on boxes without
-    real parallelism, mirroring the sweep engine).
+    real parallelism, mirroring the sweep engine).  ``engine`` selects
+    the execution tier (:mod:`repro.engine`) for the golden run and
+    every fault-free stretch of the injected runs; results are
+    bit-identical across tiers.
     """
     if tracer is None:
         from ..telemetry import NULL_TRACER
@@ -295,7 +305,7 @@ def run_ccf_campaign(program: Program, cycles: List[int],
     cycles = list(cycles)
     jobs = _resolve_jobs(jobs)
 
-    engine = None
+    fork = None
     artifact = None
     warm = False
     if checkpoint_every > 0:
@@ -304,13 +314,14 @@ def run_ccf_campaign(program: Program, cycles: List[int],
             artifact, warm = _golden_artifact(program, config,
                                               max_cycles,
                                               checkpoint_every,
-                                              cache_dir, benchmark)
+                                              cache_dir, benchmark,
+                                              engine=engine)
         golden = artifact.checksum
-        engine = ForkEngine(program, artifact, config=config)
+        fork = ForkEngine(program, artifact, config=config)
     else:
         with tracer.span("golden_run"):
             golden = golden_run(program, config=config,
-                                max_cycles=max_cycles)
+                                max_cycles=max_cycles, engine=engine)
 
     tasks = [(stimulus, cycle) for stimulus in stimuli
              for cycle in cycles]
@@ -323,7 +334,7 @@ def run_ccf_campaign(program: Program, cycles: List[int],
                     max_workers=min(jobs, len(tasks)),
                     initializer=_init_campaign_worker,
                     initargs=(program, config, max_cycles, golden,
-                              artifact)) as pool:
+                              artifact, engine)) as pool:
                 # executor.map preserves task order: the fold below is
                 # canonical no matter how the pool schedules the work.
                 for injection, conv in pool.map(_run_campaign_task,
@@ -338,9 +349,9 @@ def run_ccf_campaign(program: Program, cycles: List[int],
                     inject_common_cause(program, cycle, stimulus,
                                         golden, config=config,
                                         max_cycles=max_cycles,
-                                        engine=engine))
-        if engine is not None:
-            converged = engine.converged
+                                        fork=fork, engine=engine))
+        if fork is not None:
+            converged = fork.converged
 
     if metrics is not None:
         result.to_metrics(metrics)

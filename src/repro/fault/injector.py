@@ -102,11 +102,13 @@ class InjectionResult:
 
 
 def golden_run(program: Program, config: Optional[SocConfig] = None,
-               max_cycles: int = 2_000_000) -> int:
+               max_cycles: int = 2_000_000,
+               engine: str = "reference") -> int:
     """Fault-free redundant run; returns the golden checksum."""
+    from ..engine import run_soc
     soc = MPSoC(config=config)
     soc.start_redundant(program)
-    soc.run(max_cycles=max_cycles)
+    run_soc(soc, engine, program=program, max_cycles=max_cycles)
     golden0, golden1 = _core_outputs(soc)
     if golden0 != golden1:
         raise RuntimeError("golden run is not deterministic")
@@ -115,9 +117,35 @@ def golden_run(program: Program, config: Optional[SocConfig] = None,
 
 # -- the one injected-run loop -------------------------------------------------
 
+def _tier_runner(soc: MPSoC, engine: str):
+    """A :class:`~repro.engine.fast.FastRunner` for ``soc``, or ``None``.
+
+    Mirrors :func:`repro.engine.run_soc`'s tier selection: the fast
+    tier is used only when requested *and* supported for this SoC
+    shape; otherwise the caller drives the reference interpreter.
+    Engine statistics land on ``soc.engine_stats`` either way.
+    """
+    from ..engine import EngineStats, _fast_supported, resolve_engine
+    engine = resolve_engine(engine)
+    stats = EngineStats(engine=engine)
+    soc.engine_stats = stats
+    if engine != "fast":
+        return None
+    reason = _fast_supported(soc)
+    if reason is not None:
+        stats.fallback_reason = reason
+        return None
+    from ..engine.fast import FastRunner
+    from ..engine.plan import ProgramPlan
+    plan = ProgramPlan(soc.memory, soc.cores[0].config)
+    runner = FastRunner(soc, plan, stats)
+    return runner
+
+
 def _drive(soc: MPSoC, cycle: int, golden: int, max_cycles: int,
            before_step=None, after_step=None,
-           convergence=None) -> InjectionResult:
+           convergence=None, runner=None,
+           probe_cycles=()) -> InjectionResult:
     """Drive one injected run to completion (or to convergence).
 
     ``before_step(soc)`` fires when ``soc.cycle == cycle`` — the
@@ -131,35 +159,78 @@ def _drive(soc: MPSoC, cycle: int, golden: int, max_cycles: int,
     return is the analytically reconstructed
     ``(no_diversity_cycles, finished, outputs)`` tail of the run.
 
+    ``runner`` (a :class:`~repro.engine.fast.FastRunner` over this SoC)
+    switches the fault-free stretches to the fast tier: spans run to
+    the fault cycle, between convergence probes, and to the budget.
+    The fault cycle itself always executes under the reference
+    interpreter so the injection hooks see mid-cycle reference state,
+    and the runner is rebuilt afterwards (hooks mutate state behind
+    the generated code's captured locals).  ``probe_cycles`` must list
+    every cycle at which ``convergence`` can possibly return
+    non-``None`` (the golden checkpoint cycles); the reference loop
+    consults it every cycle but it is a no-op off the probe grid.
+
     The cycle budget is absolute (``soc.cycle < max_cycles``), so a SoC
     forked mid-run observes exactly the budget a from-scratch run would.
     """
     cores = [soc.cores[i] for i in soc.monitored]
     effects = ()
     diversity_at_injection = None
-    while soc.cycle < max_cycles:
-        if all(core.finished for core in cores):
-            break
-        if before_step is not None and soc.cycle == cycle:
-            effects = before_step(soc)
-        soc.step()
-        if after_step is not None and soc.cycle - 1 == cycle:
-            effects = after_step(soc)
-            if soc.safedm.last_report is not None:
-                diversity_at_injection = soc.safedm.last_report.diversity
-        if convergence is not None and soc.cycle > cycle:
-            tail = convergence(soc)
-            if tail is not None:
-                no_diversity, finished, outputs = tail
-                return InjectionResult(
-                    fault_cycle=cycle,
-                    outcome=compare_outputs(outputs[0], outputs[1],
-                                            golden),
-                    diversity_at_injection=diversity_at_injection,
-                    no_diversity_cycles=no_diversity,
-                    effects=effects,
-                    finished=finished,
-                )
+
+    def reconstruct(tail):
+        no_diversity, finished, outputs = tail
+        return InjectionResult(
+            fault_cycle=cycle,
+            outcome=compare_outputs(outputs[0], outputs[1], golden),
+            diversity_at_injection=diversity_at_injection,
+            no_diversity_cycles=no_diversity,
+            effects=effects,
+            finished=finished,
+        )
+
+    if runner is not None:
+        finished = runner.run_span(min(cycle, max_cycles))
+        if not finished and soc.cycle == cycle and soc.cycle < max_cycles:
+            if before_step is not None:
+                effects = before_step(soc)
+            soc.step()
+            if after_step is not None:
+                effects = after_step(soc)
+                if soc.safedm.last_report is not None:
+                    diversity_at_injection = \
+                        soc.safedm.last_report.diversity
+            runner._rebuild()
+            if convergence is not None:
+                tail = convergence(soc)
+                if tail is not None:
+                    return reconstruct(tail)
+                for probe in probe_cycles:
+                    if probe <= soc.cycle:
+                        continue
+                    if probe > max_cycles:
+                        break
+                    if runner.run_span(probe):
+                        break
+                    tail = convergence(soc)
+                    if tail is not None:
+                        return reconstruct(tail)
+            runner.run_span(max_cycles)
+    else:
+        while soc.cycle < max_cycles:
+            if all(core.finished for core in cores):
+                break
+            if before_step is not None and soc.cycle == cycle:
+                effects = before_step(soc)
+            soc.step()
+            if after_step is not None and soc.cycle - 1 == cycle:
+                effects = after_step(soc)
+                if soc.safedm.last_report is not None:
+                    diversity_at_injection = \
+                        soc.safedm.last_report.diversity
+            if convergence is not None and soc.cycle > cycle:
+                tail = convergence(soc)
+                if tail is not None:
+                    return reconstruct(tail)
     soc.safedm.finish()
     finished = all(core.finished for core in cores)
     output0, output1 = _core_outputs(soc)
@@ -174,22 +245,30 @@ def _drive(soc: MPSoC, cycle: int, golden: int, max_cycles: int,
 
 
 def _prepare(program: Program, cycle: int,
-             config: Optional[SocConfig], engine):
-    """The SoC an injection runs on, plus its convergence probe."""
-    if engine is not None:
-        return engine.fork(cycle), engine.convergence()
+             config: Optional[SocConfig], fork, engine: str):
+    """The SoC an injection runs on, its convergence probe, its tier."""
+    if fork is not None:
+        soc = fork.fork(cycle)
+        return (soc, fork.convergence(),
+                fork.artifact.checkpoint_cycles,
+                _tier_runner(soc, engine))
     soc = MPSoC(config=config)
     soc.start_redundant(program)
-    return soc, None
+    return soc, None, (), _tier_runner(soc, engine)
 
 
 def inject_common_cause(program: Program, cycle: int, stimulus: int,
                         golden: int,
                         config: Optional[SocConfig] = None,
                         max_cycles: int = 2_000_000,
-                        engine: Optional["ForkEngine"] = None
-                        ) -> InjectionResult:
-    """Run redundantly with one common-cause fault at ``cycle``."""
+                        fork: Optional["ForkEngine"] = None,
+                        engine: str = "reference") -> InjectionResult:
+    """Run redundantly with one common-cause fault at ``cycle``.
+
+    ``fork`` (a :class:`ForkEngine`) starts the run from the nearest
+    golden checkpoint; ``engine`` picks the execution tier for the
+    fault-free stretches (:mod:`repro.engine`).  Both are exact.
+    """
     fault = CommonCauseFault(cycle=cycle, stimulus=stimulus)
 
     def after_step(soc):
@@ -200,17 +279,19 @@ def inject_common_cause(program: Program, cycle: int, stimulus: int,
         return fault.inject(core0, core1, _activity_digest(soc, 0),
                             _activity_digest(soc, 1))
 
-    soc, convergence = _prepare(program, cycle, config, engine)
+    soc, convergence, probes, runner = _prepare(program, cycle, config,
+                                                fork, engine)
     return _drive(soc, cycle, golden, max_cycles, after_step=after_step,
-                  convergence=convergence)
+                  convergence=convergence, runner=runner,
+                  probe_cycles=probes)
 
 
 def inject_transient(program: Program, cycle: int, core: int,
                      register: int, bit: int, golden: int,
                      config: Optional[SocConfig] = None,
                      max_cycles: int = 2_000_000,
-                     engine: Optional["ForkEngine"] = None
-                     ) -> InjectionResult:
+                     fork: Optional["ForkEngine"] = None,
+                     engine: str = "reference") -> InjectionResult:
     """Run redundantly with one single-core transient at ``cycle``."""
     fault = TransientFault(cycle=cycle, core=core, register=register,
                            bit=bit)
@@ -218,9 +299,11 @@ def inject_transient(program: Program, cycle: int, core: int,
     def before_step(soc):
         return (fault.inject(soc.cores[core]),)
 
-    soc, convergence = _prepare(program, cycle, config, engine)
+    soc, convergence, probes, runner = _prepare(program, cycle, config,
+                                                fork, engine)
     return _drive(soc, cycle, golden, max_cycles,
-                  before_step=before_step, convergence=convergence)
+                  before_step=before_step, convergence=convergence,
+                  runner=runner, probe_cycles=probes)
 
 
 # -- golden run with checkpoints ----------------------------------------------
@@ -308,12 +391,18 @@ def golden_run_with_checkpoints(program: Program,
                                 max_cycles: int = 2_000_000,
                                 checkpoint_every: int = 0,
                                 benchmark: str = "program",
-                                sim_key: str = "") -> GoldenArtifact:
+                                sim_key: str = "",
+                                engine: str = "reference"
+                                ) -> GoldenArtifact:
     """Fault-free run that drops snapshots and a dead-register map.
 
     With ``checkpoint_every == 0`` no snapshots are taken and the
     artifact only carries the golden summary (``checksum`` replaces a
     separate :func:`golden_run`).
+
+    ``engine`` is accepted for interface symmetry but the recording
+    register files make this run unsupported by the fast tier — the
+    engine selector falls back to reference and records the reason.
     """
     soc = MPSoC(config=config)
     soc.start_redundant(program)
@@ -338,7 +427,9 @@ def golden_run_with_checkpoints(program: Program,
             benchmark=benchmark, checkpoint_every=checkpoint_every,
             sim_key=sim_key).encode())
 
-    soc.run(max_cycles=max_cycles, checkpoint_every=checkpoint_every,
+    from ..engine import run_soc
+    run_soc(soc, engine, program=program, max_cycles=max_cycles,
+            checkpoint_every=checkpoint_every,
             on_checkpoint=on_checkpoint if checkpoint_every > 0
             else None)
     # The halt-time checksum readout is an architectural read.

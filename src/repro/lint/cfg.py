@@ -67,6 +67,10 @@ class BasicBlock:
     preds: List[int] = field(default_factory=list)
     #: Ends in a ``jalr`` whose target set is statically unknown.
     has_unknown_target: bool = False
+    #: Stable address-order index assigned by the CFG builder (-1 for
+    #: the virtual exit block).  Consumers that compile per-block code
+    #: (``repro.engine``) key on this instead of raw start addresses.
+    index: int = -1
 
     @property
     def is_exit(self) -> bool:
@@ -106,7 +110,12 @@ class ControlFlowGraph:
         self.invalid_targets: List[Tuple[int, int]] = []
         #: start pc -> BasicBlock (includes the virtual exit block).
         self._blocks: Dict[int, BasicBlock] = {}
+        #: start pc -> stable block index (address order, exit excluded).
+        self.block_index: Dict[int, int] = {}
         self._build()
+        for position, block in enumerate(self.blocks()):
+            block.index = position
+            self.block_index[block.start] = position
 
     # -- queries ---------------------------------------------------------
 

@@ -130,10 +130,13 @@ class MonitorSweep:
     """
 
     def __init__(self, use_cache: bool = True, cache_dir=None,
-                 metrics=None, tracer=None):
+                 metrics=None, tracer=None, engine: str = "reference"):
         self.use_cache = use_cache
         self.cache = RunCache(cache_dir) if use_cache else None
         self.traces = TraceCache(cache_dir) if use_cache else None
+        #: Execution tier for the capture run (not part of any cache
+        #: key: tiers are bit-identical, traces engine-independent).
+        self.engine = engine
         self.metrics = metrics
         if tracer is None:
             from ..telemetry import NULL_TRACER
@@ -203,7 +206,7 @@ class MonitorSweep:
                         config=live_config, mode=first.mode,
                         threshold=first.threshold,
                         max_cycles=max_cycles, rr_start=rr_start,
-                        sim_key=sim_key)
+                        sim_key=sim_key, engine=self.engine)
                 capture_seconds = time.perf_counter() - start
                 captured = True
                 if self.traces is not None:

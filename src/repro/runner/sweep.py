@@ -100,7 +100,8 @@ def merge_cell(benchmark: str, stagger_nops: int,
 def execute_spec(spec: RunSpec, config: Optional[SocConfig] = None,
                  mode: ReportingMode = ReportingMode.POLLING,
                  threshold: int = 1,
-                 program: Optional[Program] = None) -> RunResult:
+                 program: Optional[Program] = None,
+                 engine: str = "reference") -> RunResult:
     """Simulate one spec (building the program image if not supplied)."""
     if program is None:
         from ..workloads import program as build_program
@@ -110,7 +111,7 @@ def execute_spec(spec: RunSpec, config: Optional[SocConfig] = None,
                          late_core=spec.late_core,
                          rr_start=spec.rr_start,
                          config=config, mode=mode, threshold=threshold,
-                         max_cycles=spec.max_cycles)
+                         max_cycles=spec.max_cycles, engine=engine)
 
 
 # -- worker-process plumbing --------------------------------------------------
@@ -119,7 +120,8 @@ _WORKER: dict = {}
 
 
 def _init_worker(config: Optional[SocConfig], mode: ReportingMode,
-                 threshold: int, trace_dir=None):
+                 threshold: int, trace_dir=None,
+                 engine: str = "reference"):
     """Pool initializer: stash per-sweep constants in the worker."""
     _WORKER["config"] = config
     _WORKER["mode"] = mode
@@ -127,6 +129,7 @@ def _init_worker(config: Optional[SocConfig], mode: ReportingMode,
     _WORKER["programs"] = {}
     _WORKER["trace_dir"] = trace_dir
     _WORKER["prog_digs"] = {}
+    _WORKER["engine"] = engine
 
 
 def _worker_program(benchmark: str) -> Program:
@@ -149,7 +152,8 @@ def _run_spec_in_worker(spec: RunSpec) -> Tuple[RunResult, float]:
     start = time.perf_counter()
     result = execute_spec(spec, config=_WORKER["config"],
                           mode=_WORKER["mode"],
-                          threshold=_WORKER["threshold"], program=program)
+                          threshold=_WORKER["threshold"], program=program,
+                          engine=_WORKER.get("engine", "reference"))
     return result, time.perf_counter() - start
 
 
@@ -180,7 +184,8 @@ def _capture_spec_in_worker(spec: RunSpec) -> Tuple[RunResult, float]:
         stagger_nops=spec.stagger_nops, late_core=spec.late_core,
         config=config, mode=_WORKER["mode"],
         threshold=_WORKER["threshold"], max_cycles=spec.max_cycles,
-        rr_start=spec.rr_start, sim_key=sim_key)
+        rr_start=spec.rr_start, sim_key=sim_key,
+        engine=_WORKER.get("engine", "reference"))
     seconds = time.perf_counter() - start
     TraceCache(_WORKER["trace_dir"]).put(sim_key, trace)
     return result, seconds
@@ -224,6 +229,12 @@ class ParallelSweep:
         trace of the same simulation and recompute the result from it
         via :mod:`repro.replay` (bit-identical, orders of magnitude
         cheaper).
+    engine:
+        Execution tier for live simulations (:mod:`repro.engine`):
+        ``"reference"`` or ``"fast"``.  Deliberately *not* part of the
+        run-cache or trace-cache keys — the tiers are bit-identical,
+        so a result simulated under one engine is valid for the other
+        and cache entries stay shareable across engines.
 
     When ``jobs`` is unspecified, hosts without real parallelism
     (``os.cpu_count() <= 2``) clamp to serial in-process execution:
@@ -240,7 +251,8 @@ class ParallelSweep:
                  cache_dir=None, progress=False,
                  mode: ReportingMode = ReportingMode.POLLING,
                  threshold: int = 1, metrics=None, tracer=None,
-                 capture: bool = False, replay: bool = False):
+                 capture: bool = False, replay: bool = False,
+                 engine: str = "reference"):
         self.serial_fallback = False
         if jobs is None:
             cpus = os.cpu_count() or 1
@@ -257,6 +269,7 @@ class ParallelSweep:
             else None
         self.mode = mode
         self.threshold = threshold
+        self.engine = engine
         self.metrics = metrics
         if tracer is None:
             from ..telemetry import NULL_TRACER
@@ -505,7 +518,8 @@ class ParallelSweep:
                         mode=self.mode, threshold=self.threshold,
                         max_cycles=spec.max_cycles,
                         rr_start=spec.rr_start,
-                        sim_key=sim_keys[spec])
+                        sim_key=sim_keys[spec],
+                        engine=self.engine)
                     results[spec] = result
                     self.traces.put(sim_keys[spec], trace)
                     self._captured_specs.add(spec)
@@ -513,7 +527,8 @@ class ParallelSweep:
                     results[spec] = execute_spec(spec, config=config,
                                                  mode=self.mode,
                                                  threshold=self.threshold,
-                                                 program=program)
+                                                 program=program,
+                                                 engine=self.engine)
                 self._timings[spec] = time.perf_counter() - start
             progress.update(spec.describe())
 
@@ -529,7 +544,7 @@ class ParallelSweep:
                 max_workers=min(self.jobs, len(pending)),
                 initializer=_init_worker,
                 initargs=(config, self.mode, self.threshold,
-                          trace_dir)) as pool:
+                          trace_dir, self.engine)) as pool:
             futures = {pool.submit(run, spec): spec
                        for spec in pending}
             for future in as_completed(futures):

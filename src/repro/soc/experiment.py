@@ -78,7 +78,7 @@ def run_redundant(program: Program, benchmark: str = "program",
                   soc_hook: Optional[Callable[[MPSoC], None]] = None,
                   metrics=None, tracer=None, capture=None,
                   checkpoint_every: int = 0, on_checkpoint=None,
-                  resume_from=None) -> RunResult:
+                  resume_from=None, engine: str = "reference") -> RunResult:
     """Run ``program`` redundantly on a fresh MPSoC and report counters.
 
     ``metrics`` (a :class:`repro.telemetry.MetricsRegistry`) receives
@@ -102,6 +102,15 @@ def run_redundant(program: Program, benchmark: str = "program",
     run's.  Per-cycle metrics attachment is skipped on resume (the
     end-of-run collection still reports full totals); resuming under
     ``capture`` is unsupported since the stream's prefix is gone.
+
+    ``engine`` selects the execution tier (:mod:`repro.engine`):
+    ``"reference"`` is the interpreter, ``"fast"`` the block-compiled
+    tier.  Every counter in the result — and every observable reached
+    through ``metrics``/``capture``/checkpoints — is bit-identical
+    between the two; the engine's own statistics are left on
+    ``soc.engine_stats`` and exported with ``collect_metrics``.  On a
+    resumed run the program text is already in restored memory, so the
+    fast tier builds its plan lazily from there.
     """
     if tracer is None:
         from ..telemetry import NULL_TRACER
@@ -130,11 +139,14 @@ def run_redundant(program: Program, benchmark: str = "program",
         # correction) is part of the stream a replay must reproduce.
         capture.diff_preload = soc.safedm.instruction_diff.diff
         soc.safedm.attach_capture(capture)
+    from ..engine import run_soc
     with tracer.span("cycle_loop", benchmark=benchmark,
                      stagger_nops=stagger_nops, late_core=late_core,
-                     rr_start=rr_start):
+                     rr_start=rr_start, engine=engine):
         budget = max(0, max_cycles - soc.cycle)
-        soc.run(max_cycles=budget, checkpoint_every=checkpoint_every,
+        run_soc(soc, engine,
+                program=program if resume_from is None else None,
+                max_cycles=budget, checkpoint_every=checkpoint_every,
                 on_checkpoint=on_checkpoint)
         cycles = soc.cycle
     if metrics is not None:
@@ -170,7 +182,7 @@ def run_redundant_captured(program: Program, benchmark: str = "program",
                            threshold: int = 1,
                            max_cycles: int = 2_000_000,
                            rr_start: int = 0, metrics=None, tracer=None,
-                           sim_key: str = ""):
+                           sim_key: str = "", engine: str = "reference"):
     """:func:`run_redundant` plus raw-stream capture.
 
     Returns ``(result, trace)`` where ``trace`` is a
@@ -184,7 +196,8 @@ def run_redundant_captured(program: Program, benchmark: str = "program",
                            late_core=late_core, config=config, mode=mode,
                            threshold=threshold, max_cycles=max_cycles,
                            rr_start=rr_start, metrics=metrics,
-                           tracer=tracer, capture=recorder)
+                           tracer=tracer, capture=recorder,
+                           engine=engine)
     trace = recorder.to_trace(TraceMeta(
         benchmark=benchmark,
         stagger_nops=stagger_nops,
@@ -202,7 +215,8 @@ def run_redundant_captured(program: Program, benchmark: str = "program",
 
 def run_cell(program: Program, benchmark: str, stagger_nops: int,
              config: Optional[SocConfig] = None,
-             max_cycles: int = 2_000_000) -> CellResult:
+             max_cycles: int = 2_000_000,
+             engine: str = "reference") -> CellResult:
     """Run the paper's repetition protocol for one Table I cell.
 
     Without staggering: repeated runs varying the arbiter start (the
@@ -216,13 +230,14 @@ def run_cell(program: Program, benchmark: str, stagger_nops: int,
             runs.append(run_redundant(program, benchmark=benchmark,
                                       stagger_nops=0, config=config,
                                       max_cycles=max_cycles,
-                                      rr_start=rr_start))
+                                      rr_start=rr_start, engine=engine))
     else:
         for late_core in (0, 1):
             runs.append(run_redundant(program, benchmark=benchmark,
                                       stagger_nops=stagger_nops,
                                       late_core=late_core, config=config,
-                                      max_cycles=max_cycles))
+                                      max_cycles=max_cycles,
+                                      engine=engine))
     return CellResult(
         benchmark=benchmark,
         stagger_nops=stagger_nops,
@@ -235,8 +250,9 @@ def run_cell(program: Program, benchmark: str, stagger_nops: int,
 def run_row(program: Program, benchmark: str,
             stagger_values: Sequence[int] = PAPER_STAGGER_VALUES,
             config: Optional[SocConfig] = None,
-            max_cycles: int = 2_000_000) -> List[CellResult]:
+            max_cycles: int = 2_000_000,
+            engine: str = "reference") -> List[CellResult]:
     """Run one full Table I row (all staggering setups)."""
     return [run_cell(program, benchmark, nops, config=config,
-                     max_cycles=max_cycles)
+                     max_cycles=max_cycles, engine=engine)
             for nops in stagger_values]

@@ -77,6 +77,11 @@ class MPSoC:
         self.cycle = 0
         #: First monitored core pair (back-compat convenience).
         self.monitored = self.monitor_pairs[0]
+        #: Set by :func:`repro.engine.run_soc` (None until a run).
+        self.engine_stats = None
+        #: Pairs whose cores share one per-PC decode cache (see
+        #: :meth:`start_redundant`); serialized so restores re-link.
+        self._shared_fetch_pairs = set()
         #: Sample each monitor only while its pair is fully live.
         self.gate_monitor_on_finish = True
         # Pre-bound (monitor, core, core) taps: the per-cycle loop must
@@ -144,6 +149,14 @@ class MPSoC:
             # program; preload so diff==0 means equal *program* progress.
             preload = extra if late_core == cores[1] else -extra
             monitor.instruction_diff.diff = preload
+        # Redundant cores run the same text image, so their per-PC
+        # decode caches would hold the same entries twice; share one
+        # dict instead.  Entries stay page-version checked, so a write
+        # by either core invalidates for both — exactly as two private
+        # caches would behave, minus the duplicate decode work.
+        a, b = cores
+        self.cores[b]._fetch_cache = self.cores[a]._fetch_cache
+        self._shared_fetch_pairs.add((a, b))
 
     # -- simulation loop ---------------------------------------------------------
 
@@ -209,6 +222,7 @@ class MPSoC:
         state = {
             "cycle": self.cycle,
             "gate_monitor_on_finish": self.gate_monitor_on_finish,
+            "shared_fetch_pairs": sorted(self._shared_fetch_pairs),
             "memory": self.memory.state_dict(),
             "cores": [core.state_dict(ctx) for core in self.cores],
             "bus": self.bus.state_dict(ctx),
@@ -241,6 +255,15 @@ class MPSoC:
             monitor.load_state_dict(entry)
         for slave, entry in zip(self._apb_slaves, state["apb_slaves"]):
             slave.load_state_dict(entry)
+        # Re-establish decode-cache sharing (per-core restore above
+        # rebuilt private dicts).  Old snapshots lack the key.
+        self._shared_fetch_pairs = {
+            tuple(pair) for pair in state.get("shared_fetch_pairs", ())}
+        for a, b in sorted(self._shared_fetch_pairs):
+            merged = self.cores[a]._fetch_cache
+            for pc, entry in self.cores[b]._fetch_cache.items():
+                merged.setdefault(pc, entry)
+            self.cores[b]._fetch_cache = merged
 
     def snapshot(self, benchmark: str = "program",
                  checkpoint_every: int = 0, sim_key: str = ""):
@@ -258,8 +281,13 @@ class MPSoC:
         """Bind each monitor's per-cycle verdict counters to ``registry``.
 
         Purely observational, like SafeDM itself: attaching telemetry
-        never changes a simulated cycle or a reproduced counter.
+        never changes a simulated cycle or a reproduced counter.  A
+        disabled registry (``NULL_REGISTRY``) attaches nothing — the
+        per-cycle loop keeps its no-telemetry shape instead of calling
+        no-op metrics every cycle.
         """
+        if not getattr(registry, "enabled", True):
+            return
         for pair, monitor in enumerate(self.monitors):
             monitor.attach_metrics(registry, pair=pair)
 

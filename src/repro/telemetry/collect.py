@@ -122,3 +122,6 @@ def collect_soc(soc, registry: MetricsRegistry):
     collect_bus(soc.bus, registry)
     for pair, monitor in enumerate(soc.monitors):
         collect_monitor(monitor, registry, pair=pair)
+    engine_stats = getattr(soc, "engine_stats", None)
+    if engine_stats is not None:
+        engine_stats.to_metrics(registry)

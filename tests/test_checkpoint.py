@@ -254,12 +254,12 @@ def test_fork_restores_nearest_checkpoint(artifact):
 
 def test_fork_equals_scratch_single_injection(artifact):
     prog = program(PROGRAM)
-    engine = ForkEngine(prog, artifact)
+    fork = ForkEngine(prog, artifact)
     cycle = artifact.checkpoint_cycles[0] + 137
     base = inject_common_cause(prog, cycle, 0x5EED,
                                golden=artifact.checksum)
     forked = inject_common_cause(prog, cycle, 0x5EED,
-                                 golden=artifact.checksum, engine=engine)
+                                 golden=artifact.checksum, fork=fork)
     assert dataclasses.asdict(forked) == dataclasses.asdict(base)
 
 

@@ -1,0 +1,281 @@
+"""Tiered execution engine tests: fast tier == reference, bit for bit.
+
+The contract under test (ISSUE 6, tentpole): for every kernel,
+configuration, stagger, reporting mode, capture run, checkpoint, and
+fault injection, running under ``engine="fast"`` produces *exactly*
+the observables of the reference interpreter — full platform
+state dicts, monitor statistics, histograms, capture streams, and
+telemetry counters.  The fast tier is a performance tier, never a
+semantics tier.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.checkpoint import Snapshot, jsonable
+from repro.core.monitor import ReportingMode
+from repro.core.signatures import IsVariant, SignatureConfig
+from repro.engine import EngineStats, resolve_engine, run_soc
+from repro.fault import (
+    ForkEngine,
+    golden_run,
+    golden_run_with_checkpoints,
+    inject_common_cause,
+    inject_transient,
+)
+from repro.soc.config import SocConfig
+from repro.soc.experiment import run_redundant, run_redundant_captured
+from repro.soc.mpsoc import MPSoC
+from repro.telemetry import NULL_REGISTRY, MetricsRegistry
+from repro.workloads import all_names, program
+
+#: Truncated so the 29-kernel property sweep stays test-suite cheap;
+#: every kernel still executes thousands of monitored cycles, compiles
+#: dozens of blocks, and crosses plenty of deopt points.
+MAX_CYCLES = 12_000
+
+KERNEL = "countnegative"  # short, memory-touching kernel
+
+
+def _pair_run(name, engine, stagger=0, late_core=1,
+              mode=ReportingMode.POLLING, threshold=1, config=None,
+              max_cycles=MAX_CYCLES):
+    """Build a fresh pair platform and run it under ``engine``."""
+    prog = program(name)
+    soc = MPSoC(config=config, mode=mode, threshold=threshold)
+    soc.start_redundant(prog, stagger_nops=stagger, late_core=late_core)
+    cycles, stats = run_soc(soc, engine, program=prog,
+                            max_cycles=max_cycles)
+    return soc, cycles, stats
+
+
+def _sans_engine(registry):
+    """Counter samples minus the ``repro_engine_*`` family.
+
+    Engine counters legitimately differ across tiers (that is what
+    they measure); everything else must be identical.
+    """
+    return {key: value
+            for key, value in registry.counter_values().items()
+            if not key[0].startswith("repro_engine_")}
+
+
+# --- the headline property: fast == reference, every kernel -----------------
+
+@pytest.mark.parametrize("name", all_names())
+def test_fast_matches_reference_every_kernel(name):
+    ref, ref_cycles, _ = _pair_run(name, "reference")
+    fast, fast_cycles, stats = _pair_run(name, "fast")
+    assert stats.fallback_reason is None, name
+    assert fast_cycles == ref_cycles, name
+    assert jsonable(fast.state_dict()) == jsonable(ref.state_dict()), name
+
+
+@pytest.mark.parametrize("stagger,late_core", [(100, 1), (1000, 0)])
+@pytest.mark.parametrize("name", ["cosf", KERNEL])
+def test_fast_matches_reference_staggered(name, stagger, late_core):
+    prog = program(name)
+    ref_reg, fast_reg = MetricsRegistry(), MetricsRegistry()
+    ref = run_redundant(prog, benchmark=name, stagger_nops=stagger,
+                        late_core=late_core, max_cycles=MAX_CYCLES,
+                        metrics=ref_reg)
+    fast = run_redundant(prog, benchmark=name, stagger_nops=stagger,
+                         late_core=late_core, max_cycles=MAX_CYCLES,
+                         metrics=fast_reg, engine="fast")
+    assert dataclasses.asdict(fast) == dataclasses.asdict(ref)
+    assert _sans_engine(fast_reg) == _sans_engine(ref_reg)
+
+
+@pytest.mark.parametrize("mode,threshold", [
+    (ReportingMode.INTERRUPT_FIRST, 1),
+    (ReportingMode.INTERRUPT_THRESHOLD, 4),
+])
+def test_fast_matches_reference_interrupt_modes(mode, threshold):
+    prog = program(KERNEL)
+    ref = run_redundant(prog, benchmark=KERNEL, mode=mode,
+                        threshold=threshold, max_cycles=MAX_CYCLES)
+    fast = run_redundant(prog, benchmark=KERNEL, mode=mode,
+                         threshold=threshold, max_cycles=MAX_CYCLES,
+                         engine="fast")
+    assert dataclasses.asdict(fast) == dataclasses.asdict(ref)
+
+
+def test_fast_capture_stream_equals_reference():
+    """Raw monitor taps (the replay substrate) must match byte for byte,
+    so trace-cache entries stay engine-independent."""
+    prog = program(KERNEL)
+    ref_res, ref_trace = run_redundant_captured(
+        prog, benchmark=KERNEL, stagger_nops=100, max_cycles=MAX_CYCLES)
+    fast_res, fast_trace = run_redundant_captured(
+        prog, benchmark=KERNEL, stagger_nops=100, max_cycles=MAX_CYCLES,
+        engine="fast")
+    assert dataclasses.asdict(fast_res) == dataclasses.asdict(ref_res)
+    assert fast_trace.encode() == ref_trace.encode()
+
+
+# --- cross-tier checkpoints -------------------------------------------------
+
+@pytest.mark.parametrize("first,second", [("reference", "fast"),
+                                          ("fast", "reference")])
+def test_cross_tier_checkpoint_resume(first, second):
+    """A snapshot taken under one tier resumes under the other and
+    still reproduces the uninterrupted run's absolute counters."""
+    prog = program(KERNEL)
+    full = run_redundant(prog, benchmark=KERNEL, stagger_nops=100,
+                         max_cycles=MAX_CYCLES)
+    grabbed = {}
+
+    def keep_first(soc):
+        if "snap" not in grabbed:
+            grabbed["snap"] = soc.snapshot(benchmark=KERNEL)
+
+    run_redundant(prog, benchmark=KERNEL, stagger_nops=100,
+                  max_cycles=MAX_CYCLES, checkpoint_every=500,
+                  on_checkpoint=keep_first, engine=first)
+    snap = Snapshot.decode(grabbed["snap"].encode())
+    resumed = run_redundant(prog, benchmark=KERNEL, stagger_nops=100,
+                            max_cycles=MAX_CYCLES, resume_from=snap,
+                            engine=second)
+    assert dataclasses.asdict(resumed) == dataclasses.asdict(full)
+
+
+def test_shared_decode_cache_links_pair_and_survives_restore():
+    """Pair cores share one per-PC decode cache; a snapshot/restore
+    round trip re-links the sharing and continues bit-identically."""
+    prog = program("cosf")
+    soc = MPSoC()
+    soc.start_redundant(prog)
+    a, b = soc.monitored
+    assert soc.cores[a]._fetch_cache is soc.cores[b]._fetch_cache
+    for _ in range(400):
+        soc.step()
+    snap = Snapshot.decode(soc.snapshot(benchmark="cosf").encode())
+    restored = MPSoC()
+    restored.load_state_dict(snap.state)
+    ra, rb = restored.monitored
+    assert restored.cores[ra]._fetch_cache \
+        is restored.cores[rb]._fetch_cache
+    soc.run(max_cycles=400)
+    restored.run(max_cycles=400)
+    assert jsonable(restored.state_dict()) == jsonable(soc.state_dict())
+
+
+# --- fault injection --------------------------------------------------------
+
+def test_fault_injection_fast_equals_reference():
+    prog = program(KERNEL)
+    golden = golden_run(prog)
+    ref_ccf = inject_common_cause(prog, 2000, 0x5EED, golden=golden)
+    fast_ccf = inject_common_cause(prog, 2000, 0x5EED, golden=golden,
+                                   engine="fast")
+    assert dataclasses.asdict(fast_ccf) == dataclasses.asdict(ref_ccf)
+
+    ref_tr = inject_transient(prog, 2000, core=0, register=5, bit=17,
+                              golden=golden)
+    fast_tr = inject_transient(prog, 2000, core=0, register=5, bit=17,
+                               golden=golden, engine="fast")
+    assert dataclasses.asdict(fast_tr) == dataclasses.asdict(ref_tr)
+
+
+def test_fault_injection_fork_cross_tier():
+    """Fork-from-checkpoint plus fast-tier stretches still equals a
+    from-scratch reference injection."""
+    prog = program(KERNEL)
+    artifact = golden_run_with_checkpoints(prog, checkpoint_every=500)
+    fork = ForkEngine(prog, artifact)
+    cycle = artifact.checkpoint_cycles[0] + 137
+    base = inject_common_cause(prog, cycle, 0x5EED,
+                               golden=artifact.checksum)
+    forked = inject_common_cause(prog, cycle, 0x5EED,
+                                 golden=artifact.checksum, fork=fork,
+                                 engine="fast")
+    assert dataclasses.asdict(forked) == dataclasses.asdict(base)
+
+
+# --- engine behaviour -------------------------------------------------------
+
+def test_fast_tier_engagement_and_deopt_ceiling():
+    _, cycles, stats = _pair_run("cosf", "fast")
+    assert stats.fallback_reason is None
+    assert stats.blocks_compiled > 0
+    assert stats.fast_cycles == cycles
+    assert stats.tier_hit_rate > 0.9
+    # Matches the CI benchmark gate (--max-deopt-rate 0.08).
+    assert stats.deopts <= 0.08 * cycles
+
+
+def test_unsupported_shape_falls_back_and_stays_correct():
+    config = SocConfig(signature=SignatureConfig(
+        is_variant=IsVariant.INFLIGHT))
+    ref, ref_cycles, _ = _pair_run(KERNEL, "reference", config=config)
+    fast, fast_cycles, stats = _pair_run(KERNEL, "fast", config=config)
+    assert stats.fallback_reason is not None
+    assert "PER_STAGE" in stats.fallback_reason
+    assert fast_cycles == ref_cycles
+    assert jsonable(fast.state_dict()) == jsonable(ref.state_dict())
+
+
+def test_resolve_engine_validates():
+    assert resolve_engine(None) == "reference"
+    assert resolve_engine("fast") == "fast"
+    with pytest.raises(ValueError):
+        resolve_engine("warp")
+
+
+def test_engine_counters_exported():
+    registry = MetricsRegistry()
+    run_redundant(program(KERNEL), benchmark=KERNEL,
+                  max_cycles=MAX_CYCLES, metrics=registry, engine="fast")
+    labels = (("engine", "fast"),)
+    assert registry.value("repro_engine_blocks_compiled_total",
+                          labels) > 0
+    assert registry.value("repro_engine_fast_cycles_total", labels) > 0
+    assert registry.value("repro_engine_deopts_total", labels,
+                          default=None) is not None
+    stats = EngineStats(engine="fast", blocks_compiled=1)
+    stats.to_metrics(NULL_REGISTRY)  # disabled registry: a no-op
+    assert len(NULL_REGISTRY) == 0
+
+
+# --- NULL_REGISTRY: per-cycle hooks stay true no-ops ------------------------
+
+class _ExplodingRegistry:
+    """A disabled registry that must never be consulted."""
+
+    enabled = False
+
+    def counter(self, *args, **kwargs):
+        raise AssertionError("disabled registry was consulted")
+
+    gauge = counter
+    histogram = counter
+
+
+def test_disabled_registry_attach_is_true_noop():
+    soc = MPSoC()
+    soc.start_redundant(program(KERNEL))
+    soc.attach_telemetry(_ExplodingRegistry())
+    assert not soc.safedm.has_metrics_attached()
+    for _ in range(300):
+        soc.step()  # would raise if any per-cycle hook survived
+
+
+def test_null_registry_attach_allocates_nothing():
+    """Attaching NULL_REGISTRY must not allocate in repro code: the
+    per-cycle loop keeps its exact no-telemetry shape."""
+    import tracemalloc
+
+    soc = MPSoC()
+    soc.start_redundant(program(KERNEL))
+    tracemalloc.start()
+    try:
+        soc.attach_telemetry(NULL_REGISTRY)
+        soc.safedm.attach_metrics(NULL_REGISTRY)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    offenders = [stat for stat in snapshot.statistics("lineno")
+                 if "repro" in stat.traceback[0].filename
+                 and "tests" not in stat.traceback[0].filename]
+    assert not offenders, offenders
