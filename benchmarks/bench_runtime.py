@@ -22,8 +22,12 @@ including the machine's honest ``cpu_count``, the ``effective_jobs``
 the engine actually used, and a ``serial_fallback`` flag.  When the
 "parallel" pass fell back to the serial code path (1 effective
 worker), ``parallel_speedup`` is reported as ``null`` rather than a
-meaningless ~1.0x comparison of the same code path against itself.
-All passes must agree cell-for-cell; the bench fails otherwise.
+meaningless ~1.0x comparison of the same code path against itself,
+and a ``parallel_speedup_skipped: "single-cpu"`` field names the
+reason explicitly so downstream tooling can distinguish "not
+measured" from "missing"; the field is absent when a real speedup
+was measured.  All passes must agree cell-for-cell; the bench fails
+otherwise.
 
 Usage:
     PYTHONPATH=src python benchmarks/bench_runtime.py [--jobs N]
@@ -322,6 +326,10 @@ def main():
         "parallel_seconds": round(parallel_s, 3),
         "warm_cache_seconds": round(warm_s, 3),
         "parallel_speedup": parallel_speedup,
+        # Why parallel_speedup is null, when it is (see module
+        # docstring); absent on hosts with real parallelism.
+        **({"parallel_speedup_skipped": "single-cpu"}
+           if serial_fallback else {}),
         "warm_cache_speedup": round(serial_s / warm_s, 3),
         "seconds_per_run_serial": round(serial_s / runs, 4),
         "engine": engine_report,

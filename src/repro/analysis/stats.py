@@ -78,6 +78,63 @@ def monotonic_decay(rows: Dict[str, List[CellResult]],
     return verdicts
 
 
+def exact_quantile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile (inclusive), no interpolation.
+
+    ``q`` in [0, 1]; rank ``ceil(q * n)`` clamped to [1, n] — the
+    classic "smallest value with at least a fraction q of the sample
+    at or below it".  Exact on small samples (no interpolation means a
+    returned quantile is always an observed value), which is what the
+    Monte-Carlo summaries need for bit-identical determinism checks.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile fraction must be within [0, 1]")
+    if not values:
+        raise ValueError("exact_quantile of an empty sample")
+    import math
+    ordered = sorted(values)
+    # Round before ceiling: binary floats make q*n land epsilon above
+    # exact integers (0.1 * 30 == 3.0000000000000004), which would
+    # otherwise shift the rank up by one.
+    rank = math.ceil(round(q * len(ordered), 9))
+    index = max(1, min(len(ordered), rank))
+    return ordered[index - 1]
+
+
+def bootstrap_ci(values: Sequence[float], statistic=None,
+                 n_boot: int = 1000, alpha: float = 0.05,
+                 seed: int = 0) -> "Dict[str, float]":
+    """Percentile-bootstrap confidence interval for a statistic.
+
+    Resamples ``values`` with replacement ``n_boot`` times using a
+    dedicated ``random.Random(seed)`` (deterministic, and isolated
+    from any global RNG state), applies ``statistic`` (default: mean)
+    to each resample and returns the empirical
+    ``[alpha/2, 1 - alpha/2]`` percentile interval via
+    :func:`exact_quantile`.  Pure Python on purpose: the tier-1 suite
+    exercises it without numpy.
+    """
+    import random
+    if not values:
+        raise ValueError("bootstrap_ci of an empty sample")
+    if statistic is None:
+        def statistic(sample):
+            return sum(sample) / len(sample)
+    rng = random.Random(seed)
+    size = len(values)
+    replicates = []
+    for _ in range(n_boot):
+        sample = [values[rng.randrange(size)] for _ in range(size)]
+        replicates.append(statistic(sample))
+    return {
+        "point": statistic(list(values)),
+        "low": exact_quantile(replicates, alpha / 2.0),
+        "high": exact_quantile(replicates, 1.0 - alpha / 2.0),
+        "n_boot": n_boot,
+        "alpha": alpha,
+    }
+
+
 def run_statistics(runs: List[RunResult]) -> Dict[str, float]:
     """Basic aggregates over a list of runs."""
     if not runs:

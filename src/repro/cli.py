@@ -23,6 +23,12 @@ Commands:
   cross-referencing; ``--checkpoint-every`` forks each injection from
   a golden-run checkpoint instead of re-simulating from cycle 0, and
   ``--jobs`` spreads the injections across worker processes.
+* ``montecarlo <kernel> [--trials N] [--kind ccf|transient]
+  [--seed N] [--jobs N] [--backend auto|numpy|python]
+  [--format text|json]`` — batched Monte-Carlo fault campaign: one
+  instrumented golden run classifies provably-masked trials without
+  simulation; only live trials fork from checkpoints.  Same seed
+  gives a bit-identical campaign for any jobs count or backend.
 * ``lint [kernels...|--all] [--format text|json]`` — static analysis
   (CFG + dataflow diagnostics) over kernel images; non-zero exit on
   error-severity findings.
@@ -436,6 +442,81 @@ def _cmd_campaign(args) -> int:
     return 0 if result.silent_despite_diversity == 0 else 1
 
 
+def _cmd_montecarlo(args) -> int:
+    import json
+    import time
+
+    from .fault import shared_address_config
+    from .montecarlo import BatchedCampaign, batch_statistics
+    from .workloads import program
+    prog = program(args.kernel)
+    config = shared_address_config() if args.shared else None
+    metrics, tracer = _make_telemetry(args)
+
+    start = time.perf_counter()
+    campaign = BatchedCampaign(prog, benchmark=args.kernel,
+                               config=config,
+                               max_cycles=args.max_cycles,
+                               checkpoint_every=args.checkpoint_every,
+                               engine=args.engine,
+                               backend=args.backend)
+    if args.kind == "ccf":
+        batch = campaign.sample_ccf(args.trials, seed=args.seed)
+    else:
+        batch = campaign.sample_transient(args.trials, seed=args.seed)
+    result = campaign.run(batch, jobs=(args.jobs if args.jobs != 0
+                                       else None),
+                          seed=args.seed, metrics=metrics)
+    wall = time.perf_counter() - start
+    stats = batch_statistics(batch, bins=args.bins,
+                             end_cycle=result.golden_cycles,
+                             seed=args.seed)
+
+    if args.format == "json":
+        print(json.dumps({"summary": result.summary_dict(),
+                          "statistics": stats,
+                          "wall_s": round(wall, 3),
+                          "trials_per_s": round(batch.n / wall, 1)},
+                         indent=2))
+    else:
+        print("%s: %d %s trials over %d cycles (seed %d)"
+              % (args.kernel, batch.n, batch.kind,
+                 result.golden_cycles, args.seed))
+        print(batch.summary())
+        print("analytic=%d simulated=%d forks=%d converged=%d"
+              % (result.analytic, result.simulated, result.forks,
+                 result.converged))
+        rows = [(row["cycle_lo"], row["cycle_hi"], row["trials"],
+                 row["covered"], "%.3f" % row["coverage"])
+                for row in stats["coverage_by_cycle"]]
+        print(format_columns(rows, headers=("cycle_lo", "cycle_hi",
+                                            "trials", "covered",
+                                            "coverage")))
+        latency = stats["divergence_latency"]
+        if latency:
+            print("divergence latency cycles: p50=%d p90=%d p99=%d "
+                  "(n=%d)" % (latency["p50"], latency["p90"],
+                              latency["p99"], latency["n"]))
+        lifetime = stats["masked_lifetime"]
+        if lifetime:
+            print("masked corruption lifetime: p50=%d p90=%d p99=%d "
+                  "(n=%d)" % (lifetime["p50"], lifetime["p90"],
+                              lifetime["p99"], lifetime["n"]))
+        print("%.1f trials/s (golden %.2fs, classify %.3fs, "
+              "simulate %.2fs)" % (batch.n / wall,
+                                   result.golden_wall_s,
+                                   result.classify_wall_s,
+                                   result.simulate_wall_s),
+              file=sys.stderr)
+
+    _save_telemetry(args, metrics, tracer, command="montecarlo",
+                    kernel=args.kernel, trials=batch.n,
+                    kind=batch.kind, seed=args.seed)
+    # The paper's no-false-negative property, now at Monte-Carlo
+    # scale: a silent escape in a diverse cycle falsifies the repro.
+    return 0 if batch.silent_despite_diversity == 0 else 1
+
+
 def _cmd_lint(args) -> int:
     import json
 
@@ -674,6 +755,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flag(p_camp)
     _add_telemetry_flags(p_camp)
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_mc = sub.add_parser(
+        "montecarlo",
+        help="batched Monte-Carlo fault campaign (structure-of-arrays "
+             "trials, analytic masked-fault classification)")
+    p_mc.add_argument("kernel")
+    p_mc.add_argument("--trials", type=int, default=10_000, metavar="N",
+                      help="number of sampled fault trials "
+                           "(default: 10000)")
+    p_mc.add_argument("--kind", choices=("ccf", "transient"),
+                      default="ccf",
+                      help="fault model: common-cause (both cores) or "
+                           "single-core transient")
+    p_mc.add_argument("--seed", type=int, default=0,
+                      help="sampler seed; same seed => bit-identical "
+                           "campaign regardless of --jobs/--backend")
+    p_mc.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for the simulated "
+                           "minority (0 = all cores; results are "
+                           "bit-identical either way)")
+    p_mc.add_argument("--shared", action="store_true",
+                      help="use the CCF-vulnerable shared-data-region "
+                           "configuration")
+    p_mc.add_argument("--max-cycles", type=int, default=200_000)
+    p_mc.add_argument("--checkpoint-every", type=int, default=0,
+                      metavar="N",
+                      help="golden checkpoint cadence (default 0 = "
+                           "auto, ~25 snapshots per run)")
+    p_mc.add_argument("--backend", choices=("auto", "numpy", "python"),
+                      default="auto",
+                      help="TrialBatch column storage (default: numpy "
+                           "when installed, else pure Python)")
+    p_mc.add_argument("--bins", type=int, default=10,
+                      help="fault-cycle bins for the coverage table")
+    p_mc.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    _add_engine_flag(p_mc)
+    _add_telemetry_flags(p_mc)
+    p_mc.set_defaults(func=_cmd_montecarlo)
 
     p_lint = sub.add_parser(
         "lint", help="static analysis (CFG + dataflow) over kernels")

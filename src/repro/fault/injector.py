@@ -26,7 +26,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..baselines.unaware import RedundancyOutcome, compare_outputs
 from ..checkpoint import Snapshot, dynamic_view, jsonable
+from ..cpu.core import SimulationError
 from ..cpu.regfile import RegisterFile
+from ..mem.memory import MemoryError_
 from ..isa.program import Program
 from ..isa.registers import NUM_REGISTERS, XMASK
 from ..soc.config import SocConfig
@@ -84,6 +86,13 @@ class InjectionResult:
     no_diversity_cycles: int
     effects: tuple
     finished: bool
+    #: Cycle the run ended at (fault runs can end later than golden).
+    #: Identical across scratch, fork, and batched Monte-Carlo paths.
+    end_cycle: int = 0
+    #: The corruption drove a replica into an architectural trap
+    #: (misaligned access or illegal instruction) — a loudly-detected
+    #: failure, reported as its own class.
+    trapped: bool = False
 
     @property
     def effects_identical(self) -> bool:
@@ -92,6 +101,8 @@ class InjectionResult:
 
     @property
     def classification(self) -> str:
+        if self.trapped:
+            return "trap"
         if not self.finished:
             return "hang"
         if self.outcome.correct:
@@ -157,7 +168,8 @@ def _drive(soc: MPSoC, cycle: int, golden: int, max_cycles: int,
     ``convergence(soc)`` (see :meth:`ForkEngine.convergence`) is
     consulted only after the fault has been applied; a non-``None``
     return is the analytically reconstructed
-    ``(no_diversity_cycles, finished, outputs)`` tail of the run.
+    ``(no_diversity_cycles, finished, outputs, end_cycle)`` tail of
+    the run.
 
     ``runner`` (a :class:`~repro.engine.fast.FastRunner` over this SoC)
     switches the fault-free stretches to the fast tier: spans run to
@@ -178,7 +190,7 @@ def _drive(soc: MPSoC, cycle: int, golden: int, max_cycles: int,
     diversity_at_injection = None
 
     def reconstruct(tail):
-        no_diversity, finished, outputs = tail
+        no_diversity, finished, outputs, end_cycle = tail
         return InjectionResult(
             fault_cycle=cycle,
             outcome=compare_outputs(outputs[0], outputs[1], golden),
@@ -186,53 +198,73 @@ def _drive(soc: MPSoC, cycle: int, golden: int, max_cycles: int,
             no_diversity_cycles=no_diversity,
             effects=effects,
             finished=finished,
+            end_cycle=end_cycle,
         )
 
-    if runner is not None:
-        finished = runner.run_span(min(cycle, max_cycles))
-        if not finished and soc.cycle == cycle and soc.cycle < max_cycles:
-            if before_step is not None:
-                effects = before_step(soc)
-            soc.step()
-            if after_step is not None:
-                effects = after_step(soc)
-                if soc.safedm.last_report is not None:
-                    diversity_at_injection = \
-                        soc.safedm.last_report.diversity
-            runner._rebuild()
-            if convergence is not None:
-                tail = convergence(soc)
-                if tail is not None:
-                    return reconstruct(tail)
-                for probe in probe_cycles:
-                    if probe <= soc.cycle:
-                        continue
-                    if probe > max_cycles:
-                        break
-                    if runner.run_span(probe):
-                        break
+    # A corruption can steer execution into an architectural trap
+    # (misaligned access via a corrupted address register, illegal
+    # instruction via a corrupted jump target).  The replica fails
+    # loudly at that point: end the run there and report the trap as
+    # its own outcome class.  ``soc.cycle`` still holds the trapping
+    # cycle (it only advances on a completed step), so the result is
+    # deterministic across scratch/fork and reference/fast paths.
+    trapped = False
+    try:
+        if runner is not None:
+            finished = runner.run_span(min(cycle, max_cycles))
+            if not finished and soc.cycle == cycle \
+                    and soc.cycle < max_cycles:
+                if before_step is not None:
+                    effects = before_step(soc)
+                soc.step()
+                if after_step is not None:
+                    effects = after_step(soc)
+                    if soc.safedm.last_report is not None:
+                        diversity_at_injection = \
+                            soc.safedm.last_report.diversity
+                runner._rebuild()
+                if convergence is not None:
                     tail = convergence(soc)
                     if tail is not None:
                         return reconstruct(tail)
-            runner.run_span(max_cycles)
-    else:
-        while soc.cycle < max_cycles:
-            if all(core.finished for core in cores):
-                break
-            if before_step is not None and soc.cycle == cycle:
-                effects = before_step(soc)
-            soc.step()
-            if after_step is not None and soc.cycle - 1 == cycle:
-                effects = after_step(soc)
-                if soc.safedm.last_report is not None:
-                    diversity_at_injection = \
-                        soc.safedm.last_report.diversity
-            if convergence is not None and soc.cycle > cycle:
-                tail = convergence(soc)
-                if tail is not None:
-                    return reconstruct(tail)
+                    for probe in probe_cycles:
+                        if probe <= soc.cycle:
+                            continue
+                        if probe > max_cycles:
+                            break
+                        if runner.run_span(probe):
+                            break
+                        tail = convergence(soc)
+                        if tail is not None:
+                            return reconstruct(tail)
+                runner.run_span(max_cycles)
+        else:
+            while soc.cycle < max_cycles:
+                if all(core.finished for core in cores):
+                    break
+                if before_step is not None and soc.cycle == cycle:
+                    effects = before_step(soc)
+                soc.step()
+                if after_step is not None and soc.cycle - 1 == cycle:
+                    effects = after_step(soc)
+                    if soc.safedm.last_report is not None:
+                        diversity_at_injection = \
+                            soc.safedm.last_report.diversity
+                if convergence is not None and soc.cycle > cycle:
+                    tail = convergence(soc)
+                    if tail is not None:
+                        return reconstruct(tail)
+    except (MemoryError_, SimulationError):
+        if runner is not None:
+            # The fast tier's block granularity surfaces the trap at a
+            # tier-dependent cycle (e.g. a group's eager fetch decodes
+            # the corrupted path early).  The reference interpreter is
+            # the oracle for trap timing: signal the injector to replay
+            # this one trial without the fast tier.
+            raise _FastTierTrap() from None
+        trapped = True
     soc.safedm.finish()
-    finished = all(core.finished for core in cores)
+    finished = all(core.finished for core in cores) and not trapped
     output0, output1 = _core_outputs(soc)
     return InjectionResult(
         fault_cycle=cycle,
@@ -241,7 +273,17 @@ def _drive(soc: MPSoC, cycle: int, golden: int, max_cycles: int,
         no_diversity_cycles=soc.safedm.stats.no_diversity_cycles,
         effects=effects,
         finished=finished,
+        end_cycle=soc.cycle,
+        trapped=trapped,
     )
+
+
+class _FastTierTrap(Exception):
+    """Internal: a corrupted run trapped inside the fast tier, where
+    the mid-block machine state is not the reference oracle's.  The
+    injectors catch this and replay the trial reference-tier (traps
+    are rare — a few percent of live trials — so the retry is cheap).
+    """
 
 
 def _prepare(program: Program, cycle: int,
@@ -281,9 +323,16 @@ def inject_common_cause(program: Program, cycle: int, stimulus: int,
 
     soc, convergence, probes, runner = _prepare(program, cycle, config,
                                                 fork, engine)
-    return _drive(soc, cycle, golden, max_cycles, after_step=after_step,
-                  convergence=convergence, runner=runner,
-                  probe_cycles=probes)
+    try:
+        return _drive(soc, cycle, golden, max_cycles,
+                      after_step=after_step, convergence=convergence,
+                      runner=runner, probe_cycles=probes)
+    except _FastTierTrap:
+        soc, convergence, probes, _ = _prepare(program, cycle, config,
+                                               fork, "reference")
+        return _drive(soc, cycle, golden, max_cycles,
+                      after_step=after_step, convergence=convergence,
+                      probe_cycles=probes)
 
 
 def inject_transient(program: Program, cycle: int, core: int,
@@ -301,9 +350,16 @@ def inject_transient(program: Program, cycle: int, core: int,
 
     soc, convergence, probes, runner = _prepare(program, cycle, config,
                                                 fork, engine)
-    return _drive(soc, cycle, golden, max_cycles,
-                  before_step=before_step, convergence=convergence,
-                  runner=runner, probe_cycles=probes)
+    try:
+        return _drive(soc, cycle, golden, max_cycles,
+                      before_step=before_step, convergence=convergence,
+                      runner=runner, probe_cycles=probes)
+    except _FastTierTrap:
+        soc, convergence, probes, _ = _prepare(program, cycle, config,
+                                               fork, "reference")
+        return _drive(soc, cycle, golden, max_cycles,
+                      before_step=before_step, convergence=convergence,
+                      probe_cycles=probes)
 
 
 # -- golden run with checkpoints ----------------------------------------------
@@ -349,6 +405,9 @@ def _exempt_masks(log, num_checkpoints: int):
     comes): its value at the checkpoint then cannot influence anything
     observable, so a forked run may differ from the golden run in that
     register and still be bisimilar from the checkpoint on.
+
+    Log kinds >= 3 (the Monte-Carlo engine's per-cycle markers, see
+    :mod:`repro.montecarlo.golden`) are ignored here.
     """
     masks = [()] * num_checkpoints
     next_kind: Dict[int, int] = {}
@@ -357,7 +416,7 @@ def _exempt_masks(log, num_checkpoints: int):
             masks[value] = tuple(
                 register for register in range(1, NUM_REGISTERS)
                 if next_kind.get(register, 1) != 0)
-        else:
+        elif kind < 2:
             next_kind[value] = kind
     return masks
 
@@ -632,6 +691,9 @@ class ForkEngine:
             no_diversity = (soc.safedm.stats.no_diversity_cycles
                             + artifact.no_diversity_cycles
                             - golden.no_div_at)
-            return (no_diversity, artifact.finished, artifact.outputs)
+            # A converged run is bisimilar to the golden run from this
+            # checkpoint on, so it ends exactly when the golden run did.
+            return (no_diversity, artifact.finished, artifact.outputs,
+                    artifact.end_cycle)
 
         return check

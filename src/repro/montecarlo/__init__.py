@@ -1,0 +1,69 @@
+"""Batched Monte-Carlo fault campaigns (structure-of-arrays trials,
+one shared golden run, analytic masked-fault classification, lazy
+fork-on-divergence simulation for the live minority).
+
+Quick start::
+
+    from repro.montecarlo import run_montecarlo_campaign
+    result = run_montecarlo_campaign(program, trials=10_000,
+                                     kind="ccf", seed=7,
+                                     benchmark="countnegative")
+    print(result.summary())
+
+See DESIGN.md "Monte-Carlo campaigns" for the soundness argument and
+EXPERIMENTS.md for methodology.
+"""
+
+from .batch import (
+    CLASS_NAMES,
+    STATUS_ANALYTIC,
+    STATUS_PENDING,
+    STATUS_SIMULATED,
+    TrialBatch,
+    numpy_available,
+    resolve_backend,
+)
+from .campaign import (
+    BatchedCampaign,
+    McCampaignResult,
+    run_montecarlo_campaign,
+)
+from .golden import (
+    AccessIndex,
+    McGoldenArtifact,
+    ccf_effects,
+    classify_batch,
+    mc_golden_run,
+)
+from .stats import (
+    batch_statistics,
+    coverage_by_cycle,
+    divergence_latency_cdf,
+    diversity_histogram,
+    ecdf,
+    masked_lifetime_cdf,
+)
+
+__all__ = [
+    "AccessIndex",
+    "BatchedCampaign",
+    "CLASS_NAMES",
+    "McCampaignResult",
+    "McGoldenArtifact",
+    "STATUS_ANALYTIC",
+    "STATUS_PENDING",
+    "STATUS_SIMULATED",
+    "TrialBatch",
+    "batch_statistics",
+    "ccf_effects",
+    "classify_batch",
+    "coverage_by_cycle",
+    "divergence_latency_cdf",
+    "diversity_histogram",
+    "ecdf",
+    "masked_lifetime_cdf",
+    "mc_golden_run",
+    "numpy_available",
+    "resolve_backend",
+    "run_montecarlo_campaign",
+]

@@ -1,0 +1,375 @@
+"""Batched Monte-Carlo fault campaigns over one shared golden run.
+
+The drive train, per kernel:
+
+1. ``prepare()`` — one instrumented golden run
+   (:func:`~repro.montecarlo.golden.mc_golden_run`) records
+   checkpoints, the cycle-stamped access log, and per-cycle digests.
+   When no checkpoint cadence is given, a fast-tier probe run sizes it
+   first (~run/25, floor 200 — the bench_campaign sweet spot).
+2. ``sample_ccf()/sample_transient()`` — a seeded
+   :class:`random.Random` draws the trial grid into a
+   :class:`~repro.montecarlo.batch.TrialBatch`.  Sampling happens in
+   the parent only, so the grid is a pure function of the seed.
+3. ``run()`` — :func:`~repro.montecarlo.golden.classify_batch`
+   resolves provably-masked trials analytically (typically the large
+   majority); the remaining live trials replay through the scalar
+   fork-from-checkpoint injectors — serially or over a process pool.
+   Tasks are issued in ascending trial order and folded with the
+   order-preserving ``Executor.map``, so ``jobs=1`` and ``jobs=N``
+   produce bit-identical batches (asserted in
+   ``tests/test_montecarlo.py``).
+
+Every live trial runs the *same* code path a scalar campaign would
+(:func:`inject_common_cause` / :func:`inject_transient` with a
+:class:`ForkEngine`), so batched results are field-for-field identical
+to per-trial results by construction for the simulated subset and by
+the bisimilarity argument (see :mod:`repro.montecarlo.golden`) for the
+analytic subset.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..fault.campaign import _resolve_jobs
+from ..fault.injector import (
+    ForkEngine,
+    GoldenArtifact,
+    inject_common_cause,
+    inject_transient,
+)
+from ..isa.program import Program
+from ..isa.registers import NUM_REGISTERS
+from ..soc.config import SocConfig
+from .batch import STATUS_SIMULATED, TrialBatch
+from .golden import McGoldenArtifact, classify_batch, mc_golden_run
+
+#: Checkpoint-cadence floor (cycles); below this, snapshot overhead
+#: beats the saved simulation (same constant as bench_campaign).
+MIN_CADENCE = 200
+
+
+# -- worker-process plumbing --------------------------------------------------
+
+_MC_WORKER: dict = {}
+
+
+def _init_mc_worker(program: Program, config: Optional[SocConfig],
+                    max_cycles: int, kind: str,
+                    artifact: Optional[GoldenArtifact], engine: str):
+    """Pool initializer: per-campaign constants + a private fork
+    engine (only the base artifact ships — digests and access indexes
+    stay in the parent)."""
+    fork = None
+    if artifact is not None and artifact.snapshots:
+        fork = ForkEngine(program, artifact, config=config)
+    _MC_WORKER["program"] = program
+    _MC_WORKER["config"] = config
+    _MC_WORKER["max_cycles"] = max_cycles
+    _MC_WORKER["kind"] = kind
+    _MC_WORKER["golden"] = artifact.checksum if artifact else 0
+    _MC_WORKER["fork"] = fork
+    _MC_WORKER["engine"] = engine
+
+
+def _run_mc_task(task):
+    """One live trial inside a pool worker.
+
+    Returns ``(result, converged_delta)`` so the parent can fold the
+    convergence counter in canonical trial order.
+    """
+    worker = _MC_WORKER
+    fork = worker["fork"]
+    before = fork.converged if fork is not None else 0
+    if worker["kind"] == "ccf":
+        cycle, stimulus = task
+        result = inject_common_cause(
+            worker["program"], cycle, stimulus, worker["golden"],
+            config=worker["config"], max_cycles=worker["max_cycles"],
+            fork=fork, engine=worker["engine"])
+    else:
+        cycle, core, register, bit = task
+        result = inject_transient(
+            worker["program"], cycle, core, register, bit,
+            worker["golden"], config=worker["config"],
+            max_cycles=worker["max_cycles"], fork=fork,
+            engine=worker["engine"])
+    converged = (fork.converged - before) if fork is not None else 0
+    return result, converged
+
+
+# -- results ------------------------------------------------------------------
+
+@dataclass
+class McCampaignResult:
+    """One finished batched campaign."""
+
+    benchmark: str
+    kind: str
+    seed: int
+    batch: TrialBatch
+    golden_cycles: int
+    golden_checksum: int
+    checkpoint_every: int
+    jobs: int = 1
+    engine: str = "reference"
+    #: Trials resolved without simulation / via forked simulation.
+    analytic: int = 0
+    simulated: int = 0
+    #: Fork-engine tallies over the simulated subset (canonical fold:
+    #: identical for jobs=1 and jobs=N).
+    forks: int = 0
+    scratch_runs: int = 0
+    converged: int = 0
+    golden_wall_s: float = 0.0
+    classify_wall_s: float = 0.0
+    simulate_wall_s: float = 0.0
+    counts: dict = field(default_factory=dict)
+
+    def summary_dict(self) -> dict:
+        """Deterministic summary: a pure function of (program, config,
+        seed, trials) — no wall times, no job counts.  The RNG
+        determinism tests compare this dict bit-for-bit."""
+        return {
+            "benchmark": self.benchmark,
+            "kind": self.kind,
+            "seed": self.seed,
+            "trials": self.batch.n,
+            "golden_cycles": self.golden_cycles,
+            "golden_checksum": self.golden_checksum,
+            "analytic": self.analytic,
+            "simulated": self.simulated,
+            "forks": self.forks,
+            "scratch_runs": self.scratch_runs,
+            "converged": self.converged,
+            "counts": dict(self.counts),
+        }
+
+    def summary(self) -> str:
+        return ("%s kind=%s trials=%d analytic=%d simulated=%d %s"
+                % (self.benchmark, self.kind, self.batch.n,
+                   self.analytic, self.simulated, self.batch.summary()))
+
+    def to_metrics(self, registry):
+        """Fold campaign tallies into a telemetry registry."""
+        for name in ("masked", "detected", "silent_ccf", "hang",
+                     "trap"):
+            registry.counter(
+                "repro_montecarlo_trials_total",
+                (("classification", name),)).inc(self.counts[name])
+        registry.counter("repro_montecarlo_analytic_total").inc(
+            self.analytic)
+        registry.counter("repro_montecarlo_simulated_total").inc(
+            self.simulated)
+        registry.counter("repro_montecarlo_forks_total").inc(self.forks)
+        registry.counter("repro_montecarlo_scratch_runs_total").inc(
+            self.scratch_runs)
+        registry.counter("repro_montecarlo_converged_total").inc(
+            self.converged)
+        registry.counter("repro_montecarlo_golden_cycles_total").inc(
+            self.golden_cycles)
+        registry.counter(
+            "repro_montecarlo_silent_despite_diversity_total").inc(
+            self.counts["silent_despite_diversity"])
+
+
+# -- the campaign driver ------------------------------------------------------
+
+class BatchedCampaign:
+    """Shared-golden-run Monte-Carlo campaign over one kernel."""
+
+    def __init__(self, program: Program, benchmark: str = "program",
+                 config: Optional[SocConfig] = None,
+                 max_cycles: int = 2_000_000,
+                 checkpoint_every: int = 0,
+                 engine: str = "reference",
+                 backend: str = "auto"):
+        self.program = program
+        self.benchmark = benchmark
+        self.config = config
+        self.max_cycles = max_cycles
+        self.checkpoint_every = checkpoint_every
+        self.engine = engine
+        self.backend = backend
+        self.artifact: Optional[McGoldenArtifact] = None
+        self.golden_wall_s = 0.0
+
+    # -- golden run -------------------------------------------------------
+
+    def _auto_cadence(self) -> int:
+        """Probe the run length with the configured engine tier and
+        size the checkpoint cadence off it (~25 snapshots)."""
+        from ..soc.experiment import run_redundant
+        probe = run_redundant(self.program, benchmark=self.benchmark,
+                              config=self.config,
+                              max_cycles=self.max_cycles,
+                              engine=self.engine)
+        return max(MIN_CADENCE, probe.cycles // 25)
+
+    def prepare(self, kind: str = "ccf") -> McGoldenArtifact:
+        """The instrumented golden run (memoized)."""
+        if self.artifact is not None:
+            return self.artifact
+        start = time.perf_counter()
+        if self.checkpoint_every <= 0:
+            self.checkpoint_every = self._auto_cadence()
+        self.artifact = mc_golden_run(
+            self.program, config=self.config,
+            max_cycles=self.max_cycles,
+            checkpoint_every=self.checkpoint_every,
+            benchmark=self.benchmark,
+            record_ccf=(kind == "ccf"))
+        self.golden_wall_s = time.perf_counter() - start
+        return self.artifact
+
+    # -- seeded samplers --------------------------------------------------
+
+    def sample_ccf(self, trials: int, seed: int = 0) -> TrialBatch:
+        """``trials`` common-cause faults: uniform cycle in
+        ``[1, end)``, uniform 32-bit stimulus.  Parent-side
+        :class:`random.Random` only — the grid is a pure function of
+        the seed, independent of jobs and backend."""
+        artifact = self.prepare("ccf")
+        rng = random.Random(seed)
+        batch = TrialBatch("ccf", trials, backend=self.backend,
+                           golden_checksum=artifact.checksum)
+        last = artifact.end_cycle
+        for i in range(trials):
+            batch.set_ccf_trial(i, rng.randrange(1, last),
+                                rng.getrandbits(32))
+        return batch
+
+    def sample_transient(self, trials: int, seed: int = 0) -> TrialBatch:
+        """``trials`` single-core transients: uniform cycle, core,
+        architectural register (x1..x31), bit."""
+        artifact = self.prepare("transient")
+        rng = random.Random(seed)
+        batch = TrialBatch("transient", trials, backend=self.backend,
+                           golden_checksum=artifact.checksum)
+        last = artifact.end_cycle
+        for i in range(trials):
+            batch.set_transient_trial(
+                i, rng.randrange(1, last), rng.randrange(2),
+                rng.randrange(1, NUM_REGISTERS), rng.randrange(64))
+        return batch
+
+    # -- execution --------------------------------------------------------
+
+    def _task(self, batch: TrialBatch, i: int):
+        cols = batch.columns
+        if batch.kind == "ccf":
+            return (int(cols["cycle"][i]), int(cols["stimulus"][i]))
+        return (int(cols["cycle"][i]), int(cols["core"][i]),
+                int(cols["register"][i]), int(cols["bit"][i]))
+
+    def run(self, batch: TrialBatch, jobs: Optional[int] = 1,
+            seed: int = 0, metrics=None) -> McCampaignResult:
+        """Classify analytically, simulate the live rest, aggregate."""
+        artifact = self.prepare(batch.kind)
+        base = artifact.base
+        jobs = _resolve_jobs(jobs)
+
+        start = time.perf_counter()
+        live = classify_batch(artifact, batch)
+        classify_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        converged = 0
+        tasks = [self._task(batch, i) for i in live]
+        if jobs > 1 and len(tasks) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(tasks)),
+                    initializer=_init_mc_worker,
+                    initargs=(self.program, self.config,
+                              self.max_cycles, batch.kind, base,
+                              self.engine)) as pool:
+                # Executor.map preserves task order: the fold below is
+                # canonical no matter how the pool schedules the work.
+                for i, (result, conv) in zip(
+                        live, pool.map(_run_mc_task, tasks,
+                                       chunksize=4)):
+                    batch.fill_from_result(i, result,
+                                           status=STATUS_SIMULATED)
+                    converged += conv
+        else:
+            fork = (ForkEngine(self.program, base, config=self.config)
+                    if base.snapshots else None)
+            _init_serial = {"program": self.program,
+                            "config": self.config,
+                            "max_cycles": self.max_cycles,
+                            "kind": batch.kind, "fork": fork,
+                            "golden": base.checksum,
+                            "engine": self.engine}
+            saved = dict(_MC_WORKER)
+            _MC_WORKER.clear()
+            _MC_WORKER.update(_init_serial)
+            try:
+                for i, task in zip(live, tasks):
+                    result, conv = _run_mc_task(task)
+                    batch.fill_from_result(i, result,
+                                           status=STATUS_SIMULATED)
+                    converged += conv
+            finally:
+                _MC_WORKER.clear()
+                _MC_WORKER.update(saved)
+        simulate_wall = time.perf_counter() - start
+
+        # Fork/scratch tallies are a pure function of the live trial
+        # set and the checkpoint grid — identical across jobs counts.
+        first = (base.checkpoint_cycles[0]
+                 if base.checkpoint_cycles else None)
+        forks = sum(1 for i in live
+                    if first is not None
+                    and int(batch.columns["cycle"][i]) >= first)
+        result = McCampaignResult(
+            benchmark=self.benchmark,
+            kind=batch.kind,
+            seed=seed,
+            batch=batch,
+            golden_cycles=base.end_cycle,
+            golden_checksum=base.checksum,
+            checkpoint_every=self.checkpoint_every,
+            jobs=jobs,
+            engine=self.engine,
+            analytic=batch.n - len(live),
+            simulated=len(live),
+            forks=forks,
+            scratch_runs=len(live) - forks,
+            converged=converged,
+            golden_wall_s=self.golden_wall_s,
+            classify_wall_s=classify_wall,
+            simulate_wall_s=simulate_wall,
+            counts=batch.counts(),
+        )
+        if metrics is not None:
+            result.to_metrics(metrics)
+        return result
+
+
+def run_montecarlo_campaign(program: Program, trials: int,
+                            kind: str = "ccf", seed: int = 0,
+                            benchmark: str = "program",
+                            config: Optional[SocConfig] = None,
+                            max_cycles: int = 2_000_000,
+                            checkpoint_every: int = 0,
+                            jobs: Optional[int] = 1,
+                            engine: str = "reference",
+                            backend: str = "auto",
+                            metrics=None) -> McCampaignResult:
+    """One-call convenience wrapper: prepare, sample, run."""
+    campaign = BatchedCampaign(program, benchmark=benchmark,
+                               config=config, max_cycles=max_cycles,
+                               checkpoint_every=checkpoint_every,
+                               engine=engine, backend=backend)
+    if kind == "ccf":
+        batch = campaign.sample_ccf(trials, seed=seed)
+    elif kind == "transient":
+        batch = campaign.sample_transient(trials, seed=seed)
+    else:
+        raise ValueError("unknown campaign kind %r" % (kind,))
+    return campaign.run(batch, jobs=jobs, seed=seed, metrics=metrics)

@@ -1,6 +1,10 @@
 """Analysis-layer tests: table formatting and sweep statistics."""
 
+import pytest
+
 from repro.analysis.stats import (
+    bootstrap_ci,
+    exact_quantile,
     monotonic_decay,
     run_statistics,
     summarize_sweep,
@@ -97,3 +101,70 @@ class TestSweepStatistics:
 
     def test_empty_runs(self):
         assert run_statistics([]) == {}
+
+
+class TestExactQuantile:
+    """Hand-checked nearest-rank cases (rank = ceil(q * n))."""
+
+    def test_hand_checked_ranks(self):
+        values = [10, 20, 30, 40, 50]
+        assert exact_quantile(values, 0.0) == 10   # rank clamps to 1
+        assert exact_quantile(values, 0.2) == 10   # ceil(1.0) = 1
+        assert exact_quantile(values, 0.21) == 20  # ceil(1.05) = 2
+        assert exact_quantile(values, 0.5) == 30   # ceil(2.5) = 3
+        assert exact_quantile(values, 0.9) == 50   # ceil(4.5) = 5
+        assert exact_quantile(values, 1.0) == 50
+
+    def test_unsorted_input(self):
+        assert exact_quantile([50, 10, 40, 20, 30], 0.5) == 30
+
+    def test_single_element(self):
+        assert exact_quantile([7], 0.0) == 7
+        assert exact_quantile([7], 1.0) == 7
+
+    def test_float_rank_regression(self):
+        # 0.1 * 30 == 3.0000000000000004 in binary floats; a naive
+        # ceil would shift the rank from 3 to 4 and return 4.
+        values = list(range(1, 31))
+        assert exact_quantile(values, 0.1) == 3
+
+    def test_result_is_an_observed_value(self):
+        values = [1, 100]
+        for q in (0.0, 0.3, 0.5, 0.7, 1.0):
+            assert exact_quantile(values, q) in values
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            exact_quantile([], 0.5)
+        with pytest.raises(ValueError):
+            exact_quantile([1], 1.5)
+        with pytest.raises(ValueError):
+            exact_quantile([1], -0.1)
+
+
+class TestBootstrapCi:
+    def test_deterministic_for_a_seed(self):
+        values = [1, 2, 3, 4, 5, 6, 7, 8]
+        assert bootstrap_ci(values, seed=3) == bootstrap_ci(values,
+                                                           seed=3)
+
+    def test_interval_brackets_the_point(self):
+        values = [1, 2, 3, 4, 5, 6, 7, 8]
+        ci = bootstrap_ci(values, n_boot=200)
+        assert ci["low"] <= ci["point"] <= ci["high"]
+        assert ci["point"] == 4.5
+        assert ci["n_boot"] == 200 and ci["alpha"] == 0.05
+
+    def test_constant_sample_collapses(self):
+        ci = bootstrap_ci([5, 5, 5, 5], n_boot=50)
+        assert ci["low"] == ci["high"] == ci["point"] == 5
+
+    def test_custom_statistic(self):
+        values = [1, 2, 3, 100]
+        ci = bootstrap_ci(values, statistic=max, n_boot=50)
+        assert ci["point"] == 100
+        assert ci["high"] == 100
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])

@@ -1,0 +1,371 @@
+"""Monte-Carlo subsystem tests: batched == scalar, determinism, stats.
+
+The load-bearing property: a :class:`BatchedCampaign` is an
+*optimization*, never a behaviour change.  Every trial it resolves —
+analytically from the golden run's access log or by forked simulation
+— must be field-for-field identical to what the scalar per-trial
+injectors return for the same fault, and the whole campaign must be a
+pure function of ``(program, config, seed, trials)``: independent of
+the worker count, the column backend, and the execution tier.
+"""
+
+import dataclasses
+import json
+from functools import lru_cache
+from types import SimpleNamespace
+
+import pytest
+
+from repro.baselines.unaware import compare_outputs
+from repro.cli import main
+from repro.fault import (
+    FaultEffect,
+    ForkEngine,
+    InjectionResult,
+    inject_common_cause,
+    inject_transient,
+    shared_address_config,
+)
+from repro.montecarlo import (
+    AccessIndex,
+    BatchedCampaign,
+    TrialBatch,
+    batch_statistics,
+    ccf_effects,
+    coverage_by_cycle,
+    divergence_latency_cdf,
+    diversity_histogram,
+    ecdf,
+    numpy_available,
+    resolve_backend,
+)
+from repro.montecarlo.batch import (
+    CLASS_DETECTED,
+    CLASS_MASKED,
+    CLASS_SILENT_CCF,
+    STATUS_ANALYTIC,
+    STATUS_SIMULATED,
+)
+from repro.montecarlo.golden import GOLDEN_RATIO_32
+from repro.workloads import program
+
+KERNEL = "countnegative"  # short, memory-touching, CCF-vulnerable
+MAX_CYCLES = 200_000
+TRIALS = 48
+SEED = 7
+
+
+@lru_cache(maxsize=8)
+def ccf_run(backend="auto", jobs=1, engine="fast", trials=TRIALS,
+            seed=SEED):
+    """One finished CCF campaign, cached per configuration."""
+    campaign = BatchedCampaign(program(KERNEL), benchmark=KERNEL,
+                               config=shared_address_config(),
+                               max_cycles=MAX_CYCLES, engine=engine,
+                               backend=backend)
+    batch = campaign.sample_ccf(trials, seed=seed)
+    result = campaign.run(batch, jobs=jobs, seed=seed)
+    return campaign, batch, result
+
+
+@lru_cache(maxsize=2)
+def transient_run(trials=32, seed=SEED):
+    campaign = BatchedCampaign(program(KERNEL), benchmark=KERNEL,
+                               config=shared_address_config(),
+                               max_cycles=MAX_CYCLES, engine="fast")
+    batch = campaign.sample_transient(trials, seed=seed)
+    result = campaign.run(batch, jobs=1, seed=seed)
+    return campaign, batch, result
+
+
+class TestBatchedEqualsScalar:
+    """Every batched row reconstitutes to the scalar injector's result."""
+
+    def test_ccf_matches_scalar_fork_path(self):
+        campaign, batch, _ = ccf_run()
+        base = campaign.artifact.base
+        fork = ForkEngine(campaign.program, base,
+                          config=campaign.config)
+        for i in range(batch.n):
+            scalar = inject_common_cause(
+                campaign.program, int(batch.columns["cycle"][i]),
+                int(batch.columns["stimulus"][i]), base.checksum,
+                config=campaign.config, max_cycles=MAX_CYCLES,
+                fork=fork, engine="fast")
+            assert dataclasses.asdict(batch.result(i)) \
+                == dataclasses.asdict(scalar), "trial %d" % i
+
+    def test_transient_matches_scalar_fork_path(self):
+        campaign, batch, _ = transient_run()
+        base = campaign.artifact.base
+        fork = ForkEngine(campaign.program, base,
+                          config=campaign.config)
+        cols = batch.columns
+        for i in range(batch.n):
+            scalar = inject_transient(
+                campaign.program, int(cols["cycle"][i]),
+                int(cols["core"][i]), int(cols["register"][i]),
+                int(cols["bit"][i]), base.checksum,
+                config=campaign.config, max_cycles=MAX_CYCLES,
+                fork=fork, engine="fast")
+            assert dataclasses.asdict(batch.result(i)) \
+                == dataclasses.asdict(scalar), "trial %d" % i
+
+    def test_both_resolution_paths_exercised(self):
+        _, _, result = ccf_run()
+        assert result.analytic > 0
+        assert result.simulated > 0
+        assert result.analytic + result.simulated == TRIALS
+
+    def test_no_silent_escape_in_diverse_cycle(self):
+        _, batch, _ = ccf_run()
+        assert batch.silent_despite_diversity == 0
+
+
+class TestDeterminism:
+    """Same seed => bit-identical campaign, whatever the plumbing."""
+
+    def test_jobs_do_not_change_results(self):
+        _, b1, r1 = ccf_run(jobs=1)
+        _, b2, r2 = ccf_run(jobs=2)
+        assert r1.summary_dict() == r2.summary_dict()
+        assert b1.as_dict() == b2.as_dict()
+
+    def test_backends_identical(self):
+        if not numpy_available():
+            pytest.skip("numpy not installed")
+        _, bn, rn = ccf_run(backend="numpy")
+        _, bp, rp = ccf_run(backend="python")
+        assert rn.summary_dict() == rp.summary_dict()
+        assert bn.as_dict() == bp.as_dict()
+
+    def test_engine_tiers_identical(self):
+        _, bf, rf = ccf_run(engine="fast", trials=16, seed=3)
+        _, br, rr = ccf_run(engine="reference", trials=16, seed=3)
+        assert rf.summary_dict() == rr.summary_dict()
+        assert bf.as_dict() == br.as_dict()
+
+    def test_sampling_is_a_pure_function_of_the_seed(self):
+        campaign, batch, _ = ccf_run()
+        again = campaign.sample_ccf(TRIALS, seed=SEED)
+        assert again.column("cycle") == batch.column("cycle")
+        assert again.column("stimulus") == batch.column("stimulus")
+
+    def test_statistics_deterministic(self):
+        _, batch, result = ccf_run()
+        one = batch_statistics(batch, end_cycle=result.golden_cycles)
+        two = batch_statistics(batch, end_cycle=result.golden_cycles)
+        assert one == two
+
+
+def _result(finished=True, output0=1, output1=1, golden=1,
+            trapped=False, cycle=10, end_cycle=100,
+            effects=(FaultEffect(register=3, bit=7),
+                     FaultEffect(register=3, bit=7))):
+    return InjectionResult(
+        fault_cycle=cycle,
+        outcome=compare_outputs(output0, output1, golden),
+        diversity_at_injection=True,
+        no_diversity_cycles=4,
+        effects=effects,
+        finished=finished,
+        end_cycle=end_cycle,
+        trapped=trapped,
+    )
+
+
+class TestTrialBatch:
+    def test_fill_result_round_trip(self):
+        batch = TrialBatch("ccf", 1, backend="python",
+                           golden_checksum=1)
+        batch.set_ccf_trial(0, 10, 0xABC)
+        original = _result(output0=5, output1=5)  # silent escape
+        batch.fill_from_result(0, original, death_cycle=50)
+        assert dataclasses.asdict(batch.result(0)) \
+            == dataclasses.asdict(original)
+        assert int(batch.columns["death_cycle"][0]) == 50
+        assert batch.result(0).classification == "silent_ccf"
+
+    def test_trap_round_trip(self):
+        batch = TrialBatch("ccf", 1, backend="python",
+                           golden_checksum=1)
+        batch.set_ccf_trial(0, 10, 0xABC)
+        original = _result(finished=False, trapped=True, end_cycle=42)
+        assert original.classification == "trap"
+        batch.fill_from_result(0, original)
+        restored = batch.result(0)
+        assert restored.trapped is True
+        assert restored.classification == "trap"
+        assert restored.end_cycle == 42
+        assert batch.traps == 1
+
+    def test_counts(self):
+        batch = TrialBatch("ccf", 3, backend="python",
+                           golden_checksum=1)
+        batch.fill_from_result(0, _result(output0=1, output1=1))
+        batch.fill_from_result(1, _result(output0=2, output1=3))
+        batch.fill_from_result(2, _result(finished=False))
+        counts = batch.counts()
+        assert counts["masked"] == 1
+        assert counts["detected"] == 1
+        assert counts["hang"] == 1
+        assert "trap" in counts
+        assert batch.count_status(STATUS_SIMULATED) == 3
+        assert "masked=1" in batch.summary()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TrialBatch("bogus", 1)
+
+    def test_resolve_backend(self):
+        assert resolve_backend("python") == "python"
+        with pytest.raises(ValueError):
+            resolve_backend("bogus")
+
+    def test_pure_python_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_PURE_PYTHON", "1")
+        assert numpy_available() is False
+        assert resolve_backend("auto") == "python"
+
+
+class TestAccessIndex:
+    #: r5: write@0, read@4; r7: write@9; r9: untouched.  The (2, idx)
+    #: checkpoint marker must be ignored.
+    LOG = [(3, 0), (1, 5), (2, 0), (3, 4), (0, 5), (3, 9), (1, 7)]
+
+    def index(self):
+        return AccessIndex(self.LOG, end_cycle=20)
+
+    def test_first_access(self):
+        index = self.index()
+        assert index.first_access(5, 0) == (1, 0)
+        assert index.first_access(5, 1) == (0, 4)
+        assert index.first_access(5, 5) is None
+        assert index.first_access(7, 0) == (1, 9)
+        assert index.first_access(9, 0) is None
+
+    def test_corruption_fate(self):
+        index = self.index()
+        # First access is a write: dead the moment it is overwritten.
+        assert index.corruption_fate(5, 0) == (True, 0)
+        # A read comes first: live, must be simulated.
+        assert index.corruption_fate(5, 1) == (False, -1)
+        # Never touched again: dead until the end of the run.
+        assert index.corruption_fate(5, 5) == (True, 20)
+        assert index.corruption_fate(7, 3) == (True, 9)
+        assert index.corruption_fate(9, 0) == (True, 20)
+
+
+class TestCcfEffects:
+    #: Digests near 2^32-1 stress the no-overflow claim of the
+    #: vectorized uint64 arithmetic.
+    ARTIFACT = SimpleNamespace(
+        state_digests=([0xFFFFFFFF, 0x12345678, 7],
+                       [0x0BADF00D, 0xFFFFFFFF, 11]),
+        activity_digests=([0xDEADBEEF, 0xFFFFFFFF, 13],
+                          [0x12345678, 0x0BADF00D, 17]),
+    )
+    CYCLES = [0, 1, 2, 1]
+    STIMULI = [0xFFFFFFFF, 0, 0x5EED, 0xFFFFFFFF]
+
+    def test_matches_fault_model_arithmetic(self):
+        reg0, bit0, reg1, bit1 = ccf_effects(
+            self.ARTIFACT, self.CYCLES, self.STIMULI,
+            backend="python")
+        for i, (cycle, stimulus) in enumerate(zip(self.CYCLES,
+                                                  self.STIMULI)):
+            for core, (regs, bits) in enumerate(((reg0, bit0),
+                                                 (reg1, bit1))):
+                state = self.ARTIFACT.state_digests[core][cycle]
+                activity = self.ARTIFACT.activity_digests[core][cycle]
+                mixed = (((state ^ activity) * GOLDEN_RATIO_32
+                          + stimulus) & 0xFFFFFFFF)
+                assert regs[i] == 1 + (mixed % 31)
+                assert bits[i] == (mixed >> 8) % 64
+
+    def test_numpy_matches_python(self):
+        if not numpy_available():
+            pytest.skip("numpy not installed")
+        py = ccf_effects(self.ARTIFACT, self.CYCLES, self.STIMULI,
+                         backend="python")
+        np = ccf_effects(self.ARTIFACT, self.CYCLES, self.STIMULI,
+                         backend="numpy")
+        assert py == np
+
+
+def _synthetic_batch():
+    """Four hand-filled trials: detected, masked, flagged silent
+    escape, unflagged silent escape."""
+    batch = TrialBatch("ccf", 4, backend="python", golden_checksum=1)
+    cols = batch.columns
+    for i, (cycle, cls, div, status) in enumerate((
+            (0, CLASS_DETECTED, 1, STATUS_SIMULATED),
+            (5, CLASS_MASKED, 1, STATUS_ANALYTIC),
+            (10, CLASS_SILENT_CCF, 0, STATUS_SIMULATED),
+            (15, CLASS_SILENT_CCF, 1, STATUS_SIMULATED))):
+        cols["cycle"][i] = cycle
+        cols["classification"][i] = cls
+        cols["diversity"][i] = div
+        cols["status"][i] = status
+        cols["end_cycle"][i] = 20
+        cols["death_cycle"][i] = 20 if cls == CLASS_MASKED else -1
+    return batch
+
+
+class TestStats:
+    def test_ecdf(self):
+        assert ecdf([]) == []
+        assert ecdf([3, 1, 3]) == [(1, 1 / 3), (3, 1.0)]
+
+    def test_divergence_latency_excludes_analytic(self):
+        cdf = divergence_latency_cdf(_synthetic_batch())
+        # Simulated latencies 20-0, 20-10, 20-15; the masked-analytic
+        # trial at cycle 5 contributes nothing.
+        assert cdf == [(5, 1 / 3), (10, 2 / 3), (20, 1.0)]
+
+    def test_coverage_by_cycle(self):
+        rows = coverage_by_cycle(_synthetic_batch(), bins=2,
+                                 end_cycle=20)
+        assert len(rows) == 2
+        # Bin [0, 10): detected + masked -> 1/2 covered.
+        assert rows[0]["trials"] == 2 and rows[0]["covered"] == 1
+        # Bin [10, 20): flagged escape counts, unflagged does not.
+        assert rows[1]["trials"] == 2 and rows[1]["covered"] == 1
+
+    def test_diversity_histogram(self):
+        hist = diversity_histogram(_synthetic_batch())
+        assert hist["detected"]["diverse"] == 1
+        assert hist["silent_ccf"]["not_diverse"] == 1
+        assert hist["silent_ccf"]["diverse"] == 1
+
+    def test_batch_statistics_bundle(self):
+        stats = batch_statistics(_synthetic_batch(), bins=2,
+                                 end_cycle=20, n_boot=20)
+        assert stats["trials"] == 4
+        assert stats["counts"]["detected"] == 1
+        assert stats["rates"]["masked"] == 0.25
+        assert stats["divergence_latency"]["n"] == 3
+        assert stats["divergence_latency"]["p50"] == 10
+        assert stats["masked_lifetime"]["n"] == 1
+        assert {"point", "low", "high"} <= set(
+            stats["divergence_latency"]["mean_ci"])
+
+
+class TestCli:
+    def test_montecarlo_json(self, capsys):
+        assert main(["montecarlo", KERNEL, "--trials", "40",
+                     "--seed", "5", "--shared", "--format",
+                     "json", "--engine", "fast"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["trials"] == 40
+        assert payload["summary"]["counts"]["silent_despite_diversity"] \
+            == 0
+        assert payload["statistics"]["coverage_by_cycle"]
+
+    def test_montecarlo_text(self, capsys):
+        assert main(["montecarlo", KERNEL, "--trials", "30",
+                     "--kind", "transient", "--shared",
+                     "--engine", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "transient trials" in out
+        assert "coverage" in out
