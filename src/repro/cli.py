@@ -29,9 +29,15 @@ Commands:
   instrumented golden run classifies provably-masked trials without
   simulation; only live trials fork from checkpoints.  Same seed
   gives a bit-identical campaign for any jobs count or backend.
-* ``lint [kernels...|--all] [--format text|json]`` — static analysis
-  (CFG + dataflow diagnostics) over kernel images; non-zero exit on
-  error-severity findings.
+* ``lint [kernels...|--all] [--prove-masking] [--format text|json]``
+  — static analysis (CFG + dataflow + abstract-interpretation
+  diagnostics) over kernel images; ``--prove-masking`` adds the L013
+  fault-masking dead-window report; non-zero exit on error-severity
+  findings.
+* ``diversity-static <kernel_a> <kernel_b> [--stagger N]
+  [--validate] [--format text|json]`` — static lower bound on SafeDM
+  instruction-signature diversity for a staggered image pair, with
+  optional validation against the simulated monitor.
 * ``metrics <snapshot.json>`` — pretty-print a telemetry snapshot.
 * ``list`` — available kernels with category and description.
 * ``figures`` — regenerate Figs. 1-4 as structural descriptions.
@@ -526,13 +532,14 @@ def _cmd_lint(args) -> int:
              else list(args.kernels))
     metrics, tracer = _make_telemetry(args)
 
+    prove = getattr(args, "prove_masking", False)
     reports = []
     for name in names:
         if tracer is not None:
             with tracer.span("lint", category="lint", kernel=name):
-                report = lint_workload(name)
+                report = lint_workload(name, prove_masking=prove)
         else:
-            report = lint_workload(name)
+            report = lint_workload(name, prove_masking=prove)
         if metrics is not None:
             from .telemetry import collect_lint
             collect_lint(report, metrics)
@@ -540,7 +547,10 @@ def _cmd_lint(args) -> int:
 
     ok = all(report.ok for report in reports)
     if args.format == "json":
-        print(json.dumps({"ok": ok,
+        print(json.dumps({"schema": 2,
+                          "ok": ok,
+                          "suppressed": sum(len(r.suppressed)
+                                            for r in reports),
                           "reports": [r.to_dict() for r in reports]},
                          indent=2))
     else:
@@ -561,6 +571,66 @@ def _cmd_lint(args) -> int:
     _save_telemetry(args, metrics, tracer, command="lint",
                     kernels=len(names))
     return 0 if ok else 1
+
+
+def _cmd_diversity_static(args) -> int:
+    import json
+
+    from .lint.diversity import (
+        measure_instruction_diversity,
+        predict_instruction_diversity,
+        validate_bound,
+    )
+    from .workloads import program
+    prog_a = program(args.kernel_a)
+    prog_b = program(args.kernel_b)
+    bound = predict_instruction_diversity(prog_a, prog_b,
+                                          stagger=args.stagger)
+    doc = bound.to_dict()
+    if args.validate:
+        if args.kernel_a != args.kernel_b:
+            print("error: --validate simulates the redundant "
+                  "configuration, which replicates one kernel "
+                  "(kernel_a must equal kernel_b)")
+            return 2
+        verdicts = measure_instruction_diversity(prog_a, args.stagger)
+        checked = predict_instruction_diversity(
+            prog_a, prog_b, stagger=args.stagger,
+            horizon=len(verdicts))
+        ok, detail = validate_bound(checked, verdicts)
+        doc = checked.to_dict()
+        doc["validated"] = ok
+        doc["validation_detail"] = detail
+        doc["measured_cycles"] = len(verdicts)
+    if args.format == "json":
+        print(json.dumps(doc, indent=2))
+    else:
+        print("static IS-diversity bound: %s + %s, stagger %d"
+              % (args.kernel_a, args.kernel_b, args.stagger))
+        if not bound.holds:
+            print("  no claim: %s" % bound.reason)
+        elif not bound.windows:
+            print("  empty bound (%s)" % (bound.reason or
+                                          "window too small"))
+        else:
+            print("  head text: %d words over %d L1I line(s), "
+                  "refill budget %d cycles"
+                  % (bound.text_words, bound.text_lines,
+                     bound.refill_budget))
+            print("  proven window: cycles [%d, %d)"
+                  % (bound.window_start, bound.window_end))
+            for w in doc["windows"]:
+                print("    [%6d, %6d)  >= %d diverse cycles"
+                      % (w["start"], w["end"], w["lower_bound"]))
+            print("  total lower bound: %d instruction-diverse "
+                  "cycle(s)" % doc["total_lower_bound"])
+        if "validated" in doc:
+            print("  validated against simulation: %s (%s)"
+                  % ("OK" if doc["validated"] else "VIOLATED",
+                     doc["validation_detail"]))
+    if "validated" in doc and not doc["validated"]:
+        return 1
+    return 0
 
 
 def _cmd_metrics(args) -> int:
@@ -802,10 +872,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--all", action="store_true",
                         help="lint every registered kernel (explicit "
                              "form of the no-argument default)")
+    p_lint.add_argument("--prove-masking", action="store_true",
+                        dest="prove_masking",
+                        help="also run the static fault-masking "
+                             "prover (adds the L013 dead-window "
+                             "report)")
     p_lint.add_argument("--format", choices=("text", "json"),
                         default="text")
     _add_telemetry_flags(p_lint)
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_div = sub.add_parser(
+        "diversity-static",
+        help="static lower bound on SafeDM instruction diversity "
+             "for a staggered image pair")
+    p_div.add_argument("kernel_a", help="head-core kernel")
+    p_div.add_argument("kernel_b", help="late-core kernel")
+    p_div.add_argument("--stagger", type=int, default=2000,
+                       help="nop-sled length of the late core "
+                            "(default 2000)")
+    p_div.add_argument("--validate", action="store_true",
+                       help="also simulate and check the bound "
+                            "against the measured monitor output "
+                            "(kernel_a must equal kernel_b)")
+    p_div.add_argument("--format", choices=("text", "json"),
+                       default="text")
+    p_div.set_defaults(func=_cmd_diversity_static)
 
     p_met = sub.add_parser("metrics",
                            help="pretty-print a telemetry snapshot")

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional
+from typing import Any, Dict, FrozenSet, Optional
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,27 @@ class Program:
     symbols: Dict[str, int] = field(default_factory=dict)
     entry: int = 0
     debug: Optional[DebugInfo] = None
+    #: Analysis-attached per-program-point annotations, keyed
+    #: ``(pc, key)`` — e.g. the lint layer's interval states and
+    #: masking proofs.  Never consulted by the execution engines.
+    point_metadata_map: Dict[tuple, Any] = field(default_factory=dict)
+
+    # -- per-point metadata ------------------------------------------------
+
+    def set_point_metadata(self, pc: int, key: str, value: Any) -> None:
+        """Attach analysis metadata ``value`` under ``key`` at ``pc``."""
+        self.point_metadata_map[(pc, key)] = value
+
+    def point_metadata(self, pc: int, key: str,
+                       default: Any = None) -> Any:
+        """Metadata previously attached at ``(pc, key)``."""
+        return self.point_metadata_map.get((pc, key), default)
+
+    def points_with(self, key: str) -> Dict[int, Any]:
+        """All ``pc -> value`` annotations stored under ``key``."""
+        return {pc: value
+                for (pc, k), value in sorted(self.point_metadata_map.items())
+                if k == key}
 
     @property
     def size(self) -> int:

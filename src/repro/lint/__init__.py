@@ -7,11 +7,27 @@ Public API:
 * :class:`ControlFlowGraph` / :func:`build_cfg` — basic blocks + edges
 * :func:`solve` with :class:`ReachingDefinitions` / :class:`Liveness` —
   the generic dataflow layer
+* :func:`solve_absint` with :class:`IntervalDomain` /
+  :class:`MaskingLiveness` — the abstract-interpretation layer
+  (strided intervals, instruction-granular register lifetimes)
+* :class:`MaskingProofs` / :class:`StaticMaskFilter` — static
+  fault-masking proofs and the Monte-Carlo pre-filter built on them
+* :func:`predict_instruction_diversity` — static lower bounds on
+  SafeDM instruction-signature divergence for staggered redundancy
 * :data:`RULES` / :func:`all_rules` — the diagnostic registry
 
 See DESIGN.md's "Static analysis" section for the rule table.
 """
 
+from .absint import (
+    AbsintResult,
+    AbstractDomain,
+    IntervalDomain,
+    MaskingLiveness,
+    StridedInterval,
+    reverse_postorder,
+    solve_absint,
+)
 from .cfg import EXIT, BasicBlock, ControlFlowGraph, build_cfg
 from .dataflow import (
     DataflowProblem,
@@ -29,6 +45,12 @@ from .diagnostics import (
     Rule,
     all_rules,
 )
+from .diversity import (
+    StaticDiversityBound,
+    measure_instruction_diversity,
+    predict_instruction_diversity,
+    validate_bound,
+)
 from .engine import (
     LintContext,
     LintReport,
@@ -37,9 +59,17 @@ from .engine import (
     lint_workload,
     parse_suppressions,
 )
-from . import rules as _rules  # noqa: F401  (registers L001-L009)
+from .masking import (
+    FRONTIER_HALTED,
+    MaskingProofs,
+    StaticMaskFilter,
+    compute_masking_proofs,
+)
+from . import rules as _rules  # noqa: F401  (registers L001-L013)
 
 __all__ = [
+    "AbsintResult",
+    "AbstractDomain",
     "BasicBlock",
     "ControlFlowGraph",
     "DataflowProblem",
@@ -47,19 +77,32 @@ __all__ = [
     "Diagnostic",
     "ERROR",
     "EXIT",
+    "FRONTIER_HALTED",
     "INFO",
+    "IntervalDomain",
     "LintContext",
     "LintReport",
     "Liveness",
+    "MaskingLiveness",
+    "MaskingProofs",
     "ReachingDefinitions",
     "RULES",
     "Rule",
+    "StaticDiversityBound",
+    "StaticMaskFilter",
+    "StridedInterval",
     "WARNING",
     "all_rules",
     "build_cfg",
+    "compute_masking_proofs",
     "lint_program",
     "lint_source",
     "lint_workload",
+    "measure_instruction_diversity",
     "parse_suppressions",
+    "predict_instruction_diversity",
+    "reverse_postorder",
     "solve",
+    "solve_absint",
+    "validate_bound",
 ]

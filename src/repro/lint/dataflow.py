@@ -130,7 +130,14 @@ def solve(cfg: ControlFlowGraph,
             state = problem.transfer(state, pc, instr)
         return state
 
-    worklist = list(blocks)
+    # Seed in reverse post-order (reversed for backward problems):
+    # deterministic, and each block tends to be visited after the
+    # blocks feeding it, so most states converge on the first pass.
+    from .absint import reverse_postorder  # lazy: absint imports us
+    rpo = reverse_postorder(cfg)
+    order = {block.start: i for i, block in enumerate(rpo)}
+    seeded = sorted(blocks, key=lambda b: order[b.start])
+    worklist = seeded if forward else list(reversed(seeded))
     on_list = {b.start for b in blocks}
     while worklist:
         block = worklist.pop(0)

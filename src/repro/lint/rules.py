@@ -1,9 +1,15 @@
-"""The built-in lint rules (codes L001-L009).
+"""The built-in lint rules (codes L001-L013).
 
 Each check receives the :class:`~repro.lint.engine.LintContext` (CFG,
-dataflow results, debug info) plus its own :class:`Rule` and yields
-diagnostics.  Codes are stable: tools and ``# lint: disable=`` comments
-key off them, so a rule may be retired but its code never reused.
+dataflow results, abstract-interpretation results, debug info) plus its
+own :class:`Rule` and yields diagnostics.  Codes are stable: tools and
+``# lint: disable=`` comments key off them, so a rule may be retired
+but its code never reused.
+
+L001-L009 use plain dataflow; L010-L012 consume the strided-interval
+abstract interpretation (:mod:`repro.lint.absint`) and L013 the
+fault-masking prover (:mod:`repro.lint.masking`, opt-in via
+``prove_masking``).
 """
 
 from __future__ import annotations
@@ -11,7 +17,7 @@ from __future__ import annotations
 from ..isa.registers import register_name
 from .cfg import EXIT
 from .dataflow import UNINIT
-from .diagnostics import ERROR, WARNING, rule
+from .diagnostics import ERROR, INFO, WARNING, rule
 
 #: Bases whose runtime value is known aligned (x0 = 0, gp = the
 #: 4 KiB-aligned data base, sp = the 16-byte-aligned stack top; kernels
@@ -152,3 +158,115 @@ def check_no_exit_path(ctx, rule):
         yield rule.diagnostic(
             "%d reachable block(s) starting at %#x can never reach "
             "the halt" % (len(trapped), trapped[0]), pc=trapped[0])
+
+
+@rule("L010", "constant-branch", WARNING,
+      "conditional branch whose direction the interval analysis "
+      "proves constant on every execution")
+def check_constant_branch(ctx, rule):
+    for pc, taken in sorted(ctx.branch_decisions().items()):
+        instr = ctx.cfg.instrs[pc]
+        yield rule.diagnostic(
+            "'%s' is always %s" % (instr.text(),
+                                   "taken" if taken else "not taken"),
+            pc=pc)
+
+
+@rule("L011", "proven-misaligned-access", ERROR,
+      "load/store through a computed base whose interval proves the "
+      "effective address misaligned for the access size")
+def check_proven_misaligned_access(ctx, rule):
+    for block in ctx.reachable_blocks():
+        for pc, instr in block.instrs:
+            spec = instr.spec
+            if not (spec.is_memory and spec.size > 1):
+                continue
+            if instr.rs1 in _ALIGNED_BASES:
+                continue  # statically-aligned bases are L007's job
+            state = ctx.interval_before(pc)
+            if state is None:
+                continue
+            interval = state.get(instr.rs1)
+            if interval is None:
+                continue
+            residue = interval.residue(spec.size)
+            if residue is None:
+                continue
+            misalign = (residue + instr.imm) % spec.size
+            if misalign != 0:
+                yield rule.diagnostic(
+                    "'%s' accesses %d bytes at an address provably "
+                    "== %d (mod %d) on every execution"
+                    % (instr.text(), spec.size, misalign, spec.size),
+                    pc=pc)
+
+
+@rule("L012", "proven-unreachable-exit", ERROR,
+      "reachable code whose every path to the halt runs through a "
+      "branch edge the interval analysis proves never taken")
+def check_proven_unreachable_exit(ctx, rule):
+    cfg = ctx.cfg
+    if cfg.entry_block is None:
+        return
+    if any(cfg.block(s).has_unknown_target for s in ctx.reachable):
+        return  # indirect target unknown: cannot prove anything
+    dead = ctx.dead_edges()
+    if not dead:
+        return
+    # Reachability and reaches-exit over the CFG minus proven-dead
+    # edges.  Only blocks that pass the plain L009 check are reported
+    # here, so the two rules never double-fire on the same block.
+    live_succs = {
+        b.start: [s for s in b.succs if (b.start, s) not in dead]
+        for b in cfg.all_blocks()}
+    live_reach = set()
+    stack = [cfg.entry]
+    while stack:
+        start = stack.pop()
+        if start in live_reach or start == EXIT:
+            continue
+        live_reach.add(start)
+        stack.extend(live_succs.get(start, ()))
+    reaches = {EXIT}
+    changed = True
+    while changed:
+        changed = False
+        for b in cfg.all_blocks():
+            if b.start in reaches:
+                continue
+            if any(s in reaches for s in live_succs[b.start]):
+                reaches.add(b.start)
+                changed = True
+    plain_reaches_exit = cfg.reaches_exit()
+    trapped = sorted(s for s in live_reach
+                     if s not in reaches and s in plain_reaches_exit)
+    if trapped:
+        yield rule.diagnostic(
+            "%d block(s) starting at %#x only reach the halt through "
+            "a branch edge that is provably never taken"
+            % (len(trapped), trapped[0]), pc=trapped[0])
+
+
+@rule("L013", "dead-window-report", INFO,
+      "register with proven fault-masking windows: program points "
+      "where any bit-flip in it is architecturally dead")
+def check_dead_window_report(ctx, rule):
+    if not ctx.prove_masking:
+        return
+    proofs = ctx.masking
+    first_write = {}
+    for pc, instr in sorted(ctx.cfg.instrs.items()):
+        rd = instr.destination()
+        if rd is not None and rd not in first_write:
+            first_write[rd] = pc
+    for reg in sorted(proofs.written_registers):
+        count = proofs.dead_point_count(reg)
+        if count == 0:
+            continue
+        windows = proofs.windows(reg)
+        yield rule.diagnostic(
+            "%s is provably fault-dead at %d of %d program points "
+            "(%d window(s))"
+            % (register_name(reg), count, proofs.point_count,
+               len(windows)),
+            pc=first_write.get(reg, ctx.cfg.entry))

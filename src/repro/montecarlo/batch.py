@@ -45,6 +45,8 @@ CLASS_NAMES = ("masked", "detected", "silent_ccf", "hang", "trap")
 STATUS_PENDING = 0
 STATUS_ANALYTIC = 1   # classified from the golden run, no simulation
 STATUS_SIMULATED = 2  # forked from a checkpoint and simulated
+STATUS_STATIC = 3     # proven masked by static analysis alone: no
+                      # simulation AND no dynamic access-log lookup
 
 #: (name, numpy dtype) per column; the fallback stores plain int lists.
 _COLUMNS: Tuple[Tuple[str, str], ...] = (
@@ -311,10 +313,11 @@ class TrialBatch:
     def summary(self) -> str:
         counts = self.counts()
         return ("trials=%d masked=%d detected=%d silent_ccf=%d hang=%d "
-                "trap=%d silent_despite_diversity=%d analytic=%d "
-                "simulated=%d"
+                "trap=%d silent_despite_diversity=%d static=%d "
+                "analytic=%d simulated=%d"
                 % (self.n, counts["masked"], counts["detected"],
                    counts["silent_ccf"], counts["hang"], counts["trap"],
                    counts["silent_despite_diversity"],
+                   self.count_status(STATUS_STATIC),
                    self.count_status(STATUS_ANALYTIC),
                    self.count_status(STATUS_SIMULATED)))

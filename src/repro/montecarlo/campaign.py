@@ -44,8 +44,9 @@ from ..fault.injector import (
 )
 from ..isa.program import Program
 from ..isa.registers import NUM_REGISTERS
+from ..lint.masking import StaticMaskFilter
 from ..soc.config import SocConfig
-from .batch import STATUS_SIMULATED, TrialBatch
+from .batch import STATUS_SIMULATED, STATUS_STATIC, TrialBatch
 from .golden import McGoldenArtifact, classify_batch, mc_golden_run
 
 #: Checkpoint-cadence floor (cycles); below this, snapshot overhead
@@ -117,7 +118,9 @@ class McCampaignResult:
     checkpoint_every: int
     jobs: int = 1
     engine: str = "reference"
-    #: Trials resolved without simulation / via forked simulation.
+    #: Trials resolved by static masking proof alone (no access-log
+    #: lookup), by the dynamic log, and via forked simulation.
+    static: int = 0
     analytic: int = 0
     simulated: int = 0
     #: Fork-engine tallies over the simulated subset (canonical fold:
@@ -141,6 +144,7 @@ class McCampaignResult:
             "trials": self.batch.n,
             "golden_cycles": self.golden_cycles,
             "golden_checksum": self.golden_checksum,
+            "static": self.static,
             "analytic": self.analytic,
             "simulated": self.simulated,
             "forks": self.forks,
@@ -150,8 +154,9 @@ class McCampaignResult:
         }
 
     def summary(self) -> str:
-        return ("%s kind=%s trials=%d analytic=%d simulated=%d %s"
-                % (self.benchmark, self.kind, self.batch.n,
+        return ("%s kind=%s trials=%d static=%d analytic=%d "
+                "simulated=%d %s"
+                % (self.benchmark, self.kind, self.batch.n, self.static,
                    self.analytic, self.simulated, self.batch.summary()))
 
     def to_metrics(self, registry):
@@ -161,6 +166,8 @@ class McCampaignResult:
             registry.counter(
                 "repro_montecarlo_trials_total",
                 (("classification", name),)).inc(self.counts[name])
+        registry.counter("repro_montecarlo_static_total").inc(
+            self.static)
         registry.counter("repro_montecarlo_analytic_total").inc(
             self.analytic)
         registry.counter("repro_montecarlo_simulated_total").inc(
@@ -187,7 +194,8 @@ class BatchedCampaign:
                  max_cycles: int = 2_000_000,
                  checkpoint_every: int = 0,
                  engine: str = "reference",
-                 backend: str = "auto"):
+                 backend: str = "auto",
+                 static_prefilter: bool = True):
         self.program = program
         self.benchmark = benchmark
         self.config = config
@@ -195,6 +203,8 @@ class BatchedCampaign:
         self.checkpoint_every = checkpoint_every
         self.engine = engine
         self.backend = backend
+        self.static_prefilter = static_prefilter
+        self.mask_filter: Optional[StaticMaskFilter] = None
         self.artifact: Optional[McGoldenArtifact] = None
         self.golden_wall_s = 0.0
 
@@ -223,6 +233,15 @@ class BatchedCampaign:
             checkpoint_every=self.checkpoint_every,
             benchmark=self.benchmark,
             record_ccf=(kind == "ccf"))
+        if self.static_prefilter and self.mask_filter is None:
+            # Static masking proofs are per-program, not per-run; a
+            # program the CFG builder cannot analyze simply gets no
+            # pre-filter (every trial falls through to the access log).
+            try:
+                self.mask_filter = StaticMaskFilter.from_program(
+                    self.program)
+            except Exception:
+                self.mask_filter = None
         self.golden_wall_s = time.perf_counter() - start
         return self.artifact
 
@@ -274,7 +293,9 @@ class BatchedCampaign:
         jobs = _resolve_jobs(jobs)
 
         start = time.perf_counter()
-        live = classify_batch(artifact, batch)
+        live = classify_batch(artifact, batch,
+                              static_filter=self.mask_filter)
+        static = batch.count_status(STATUS_STATIC)
         classify_wall = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -336,7 +357,8 @@ class BatchedCampaign:
             checkpoint_every=self.checkpoint_every,
             jobs=jobs,
             engine=self.engine,
-            analytic=batch.n - len(live),
+            static=static,
+            analytic=batch.n - len(live) - static,
             simulated=len(live),
             forks=forks,
             scratch_runs=len(live) - forks,
@@ -360,12 +382,14 @@ def run_montecarlo_campaign(program: Program, trials: int,
                             jobs: Optional[int] = 1,
                             engine: str = "reference",
                             backend: str = "auto",
+                            static_prefilter: bool = True,
                             metrics=None) -> McCampaignResult:
     """One-call convenience wrapper: prepare, sample, run."""
     campaign = BatchedCampaign(program, benchmark=benchmark,
                                config=config, max_cycles=max_cycles,
                                checkpoint_every=checkpoint_every,
-                               engine=engine, backend=backend)
+                               engine=engine, backend=backend,
+                               static_prefilter=static_prefilter)
     if kind == "ccf":
         batch = campaign.sample_ccf(trials, seed=seed)
     elif kind == "transient":

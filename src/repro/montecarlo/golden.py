@@ -37,9 +37,10 @@ asserts field-for-field equality against that path).
 from __future__ import annotations
 
 from bisect import bisect_left
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..cpu.pipeline import DE, FE, RA
 from ..fault.injector import (
     RESULT_REGISTER,
     GoldenArtifact,
@@ -50,12 +51,14 @@ from ..fault.injector import (
 from ..fault.models import state_digest
 from ..isa.program import Program
 from ..isa.registers import NUM_REGISTERS
+from ..lint.masking import FRONTIER_HALTED
 from ..soc.config import SocConfig
 from ..soc.mpsoc import MPSoC
 from .batch import (
     CLASS_HANG,
     CLASS_MASKED,
     STATUS_ANALYTIC,
+    STATUS_STATIC,
     TrialBatch,
 )
 
@@ -68,6 +71,34 @@ try:  # pragma: no cover - exercised via both backends in tests
     import numpy as _np
 except ImportError:  # pragma: no cover
     _np = None
+
+
+def _frontier_pc(core) -> int:
+    """The pc of ``core``'s oldest **not-yet-issued** instruction.
+
+    Functional register reads and writes both happen at issue time
+    (``Core._issue`` is the single ``RegisterFile.read`` call site), so
+    the oldest unissued instruction is the first program point whose
+    architectural accesses can still be influenced by a corruption
+    landing now.  Instructions already past RA have read *and* written;
+    crediting their kills would be unsound, so they are ignored.
+
+    Pre-issue stages, oldest first: RA, then DE, then FE.  With all
+    three empty, the next instruction to issue is the one at
+    ``fetch_pc`` — which is architecturally correct here, because any
+    in-flight mispredicted path would still have its branch in a
+    pre-issue stage (in-order issue), and issue-time redirects have
+    already fixed ``fetch_pc``.  A halted core never issues again:
+    :data:`~repro.lint.masking.FRONTIER_HALTED`.
+    """
+    stages = core.stages
+    for stage in (RA, DE, FE):
+        group = stages[stage]
+        if group is not None:
+            return group.instrs[0].pc
+    if core.halted:
+        return FRONTIER_HALTED
+    return core.fetch_pc
 
 
 class AccessIndex:
@@ -140,6 +171,13 @@ class McGoldenArtifact:
     #: Per cycle c: SafeDM diversity after the step ending cycle c
     #: (-1 = no report yet, else 0/1) — ``diversity_at_injection``.
     diversity: List[int]
+    #: Per monitored core, per cycle c: the frontier program point (pc
+    #: of the oldest not-yet-issued instruction) at the *start* of
+    #: cycle c, :data:`~repro.lint.masking.FRONTIER_HALTED` once the
+    #: core can never issue again.  This is what bridges static
+    #: masking proofs to concrete trial cycles.
+    frontier: Tuple[List[int], List[int]] = field(
+        default_factory=lambda: ([], []))
 
     @property
     def checksum(self) -> int:
@@ -195,6 +233,8 @@ def mc_golden_run(program: Program,
     ad0: List[int] = []
     ad1: List[int] = []
     diversity: List[int] = []
+    frontier0: List[int] = []
+    frontier1: List[int] = []
     step = soc.step
     take_checkpoints = checkpoint_every > 0
     while soc.cycle < max_cycles:
@@ -203,6 +243,10 @@ def mc_golden_run(program: Program,
         now = soc.cycle
         log0.append((3, now))
         log1.append((3, now))
+        # Frontier points are sampled before the step, like the
+        # before-step transient injection hook they model.
+        frontier0.append(_frontier_pc(core0))
+        frontier1.append(_frontier_pc(core1))
         step()
         if record_ccf:
             sd0.append(state_digest(core0))
@@ -254,6 +298,7 @@ def mc_golden_run(program: Program,
         state_digests=(sd0, sd1),
         activity_digests=(ad0, ad1),
         diversity=diversity,
+        frontier=(frontier0, frontier1),
     )
 
 
@@ -303,7 +348,8 @@ def ccf_effects(artifact: McGoldenArtifact, cycles: List[int],
 # -- the classifier ------------------------------------------------------------
 
 def classify_batch(artifact: McGoldenArtifact,
-                   batch: TrialBatch) -> List[int]:
+                   batch: TrialBatch,
+                   static_filter=None) -> List[int]:
     """Resolve provably-masked trials analytically; return the rest.
 
     Fills the effect/diversity columns for every trial and the full
@@ -315,12 +361,38 @@ def classify_batch(artifact: McGoldenArtifact,
     corrupts *before* the step at its fault cycle ``c`` (first
     observable access at cycle >= c), a CCF corrupts on the clock edge
     *ending* cycle ``c`` (first observable access at cycle >= c + 1).
+
+    With a ``static_filter`` (:class:`repro.lint.masking.
+    StaticMaskFilter`), each trial is first checked against the static
+    masking proofs at its frontier program point: a statically-proven
+    trial resolves to the golden outcome with status ``STATUS_STATIC``
+    *without consulting the access log at all* (its ``death_cycle``
+    stays -1: the proof is path-universal, not cycle-dated).  The
+    static masked set is a subset of the dynamic one
+    (``tests/test_lint_masking.py``), so this changes which status a
+    trial gets, never its classification.
     """
     cols = batch.columns
     base = artifact.base
     cycles = batch.column("cycle")
     live: List[int] = []
     golden_class = CLASS_MASKED if base.finished else CLASS_HANG
+    if not base.finished:
+        # A truncated golden run cuts every path mid-flight: the
+        # static proofs (which quantify over *complete* paths) no
+        # longer imply anything about the truncated log — e.g. the
+        # result register is read at the truncation point before the
+        # write that would have made it dead.  The dynamic log stays
+        # exact, so fall back to it alone.
+        static_filter = None
+
+    def frontier_at(core: int, cycle: int) -> int:
+        trace = artifact.frontier[core]
+        if cycle >= len(trace):
+            # The run is over: nothing issues after the last step, so
+            # only the halt-time checksum read remains.
+            return FRONTIER_HALTED
+        return trace[cycle]
 
     if batch.kind == "ccf":
         stimuli = batch.column("stimulus")
@@ -333,11 +405,19 @@ def classify_batch(artifact: McGoldenArtifact,
             cols["eff_bit1"][i] = bit1[i]
             cols["diversity"][i] = artifact.diversity[cycles[i]]
         effective = [c + 1 for c in cycles]
-        fates = [
-            (artifact.access[0].corruption_fate(reg0[i], effective[i]),
-             artifact.access[1].corruption_fate(reg1[i], effective[i]))
-            for i in range(batch.n)]
-        for i, (fate0, fate1) in enumerate(fates):
+        for i in range(batch.n):
+            if (static_filter is not None
+                    and static_filter.is_masked(
+                        frontier_at(0, effective[i]), reg0[i])
+                    and static_filter.is_masked(
+                        frontier_at(1, effective[i]), reg1[i])):
+                _fill_analytic(batch, i, base, golden_class, -1,
+                               status=STATUS_STATIC)
+                continue
+            fate0 = artifact.access[0].corruption_fate(reg0[i],
+                                                       effective[i])
+            fate1 = artifact.access[1].corruption_fate(reg1[i],
+                                                       effective[i])
             if fate0[0] and fate1[0]:
                 _fill_analytic(batch, i, base, golden_class,
                                max(fate0[1], fate1[1]))
@@ -351,6 +431,12 @@ def classify_batch(artifact: McGoldenArtifact,
     for i in range(batch.n):
         cols["eff_reg0"][i] = registers[i]
         cols["eff_bit0"][i] = bits[i]
+        if (static_filter is not None
+                and static_filter.is_masked(
+                    frontier_at(targets[i], cycles[i]), registers[i])):
+            _fill_analytic(batch, i, base, golden_class, -1,
+                           status=STATUS_STATIC)
+            continue
         dead, death = artifact.access[targets[i]].corruption_fate(
             registers[i], cycles[i])
         if dead:
@@ -361,11 +447,12 @@ def classify_batch(artifact: McGoldenArtifact,
 
 
 def _fill_analytic(batch: TrialBatch, i: int, base: GoldenArtifact,
-                   classification: int, death_cycle: int):
+                   classification: int, death_cycle: int,
+                   status: int = STATUS_ANALYTIC):
     """Row ``i`` is provably masked: its run is bisimilar to the golden
     run, so every result field is the golden run's."""
     cols = batch.columns
-    cols["status"][i] = STATUS_ANALYTIC
+    cols["status"][i] = status
     cols["classification"][i] = classification
     cols["no_diversity_cycles"][i] = base.no_diversity_cycles
     cols["finished"][i] = int(base.finished)

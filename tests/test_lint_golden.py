@@ -46,6 +46,42 @@ GOLDEN_CFG = {
     "st": (7, 81),
 }
 
+#: kernel -> L013 dead-window reports under ``prove_masking=True``
+#: (one per written register with at least one proven-dead point).
+#: Every other rule count is pinned to zero by
+#: :class:`TestKernelsLintClean`; this table pins the prover output.
+GOLDEN_L013 = {
+    "binarysearch": 13,
+    "bitcount": 8,
+    "bitonic": 15,
+    "bsort": 13,
+    "complex_updates": 14,
+    "cosf": 14,
+    "countnegative": 10,
+    "cubic": 16,
+    "deg2rad": 12,
+    "fac": 8,
+    "fft": 25,
+    "filterbank": 16,
+    "fir2dim": 16,
+    "iir": 15,
+    "insertsort": 12,
+    "isqrt": 11,
+    "jfdctint": 16,
+    "lms": 17,
+    "ludcmp": 16,
+    "matrix1": 15,
+    "md5": 21,
+    "minver": 17,
+    "pm": 15,
+    "prime": 8,
+    "quicksort": 16,
+    "rad2deg": 12,
+    "recursion": 6,
+    "sha": 23,
+    "st": 15,
+}
+
 
 class TestGoldenStructure:
     def test_golden_table_covers_all_kernels(self):
@@ -78,6 +114,26 @@ class TestKernelsLintClean:
             cfg = build_cfg(program(name))
             assert cfg.entry in cfg.reaches_exit(), (
                 "%r cannot reach its halt" % name)
+
+
+class TestGoldenRuleCounts:
+    def test_l013_table_covers_all_kernels(self):
+        assert set(GOLDEN_L013) == set(all_names())
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_L013))
+    def test_prove_masking_rule_counts(self, name):
+        """Pin every rule's firing count under ``prove_masking``: the
+        interval rules (L010-L012) stay silent on all 29 shipped
+        kernels and the L013 dead-window report count is golden."""
+        report = lint_workload(name, prove_masking=True)
+        counts = {}
+        for diag in report.diagnostics:
+            counts[diag.code] = counts.get(diag.code, 0) + 1
+        assert counts == ({"L013": GOLDEN_L013[name]}
+                          if GOLDEN_L013[name] else {}), (
+            "rule counts of %r changed: %r (golden L013=%d) — "
+            "intentional analysis changes must update GOLDEN_L013"
+            % (name, counts, GOLDEN_L013[name]))
 
 
 class TestExamplePrograms:

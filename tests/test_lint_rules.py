@@ -73,13 +73,61 @@ loop:
     j loop
     ebreak
 """,
+    # t0 is the constant 3, so the branch direction is proven.
+    "L010": """
+_start:
+    li t0, 3
+    beq t0, x0, skip
+    sd t0, 0(gp)
+skip:
+    ebreak
+""",
+    # t0 == gp + 4 (gp is 4096-aligned), so the ld address is
+    # provably 6 mod 8.  rs1 is a computed base, out of L007's scope.
+    "L011": """
+_start:
+    addi t0, gp, 4
+    ld a0, 2(t0)
+    sd a0, 0(gp)
+    ebreak
+""",
+    # The only exit edge is the beq on constant-1 t0: never taken, so
+    # the loop is proven infinite (also fires L010 on the branch).
+    "L012": """
+_start:
+    li t0, 1
+    li t1, 0
+loop:
+    addi t1, t1, 1
+    beq t0, x0, done
+    j loop
+done:
+    ebreak
+""",
+    # t0 is written once and dead at every point but the sd read; the
+    # prover reports its dead windows (prove_masking runs only here).
+    "L013": """
+_start:
+    li t0, 3
+    sd t0, 0(gp)
+    ebreak
+""",
 }
+
+#: Codes whose rule only runs under ``prove_masking=True``.
+PROVE_MASKING_CODES = frozenset({"L013"})
+
+
+def lint_seeded(code, **kwargs):
+    return lint_source(SEEDED[code], name="seeded-%s" % code,
+                       prove_masking=code in PROVE_MASKING_CODES,
+                       **kwargs)
 
 
 class TestSeededBugs:
     @pytest.mark.parametrize("code", sorted(SEEDED))
     def test_code_fires_exactly_once(self, code):
-        report = lint_source(SEEDED[code], name="seeded-%s" % code)
+        report = lint_seeded(code)
         fired = [d for d in report.diagnostics if d.code == code]
         assert len(fired) == 1, (
             "%s fired %d times: %r" % (code, len(fired),
@@ -115,6 +163,26 @@ _start:
 
 
 class TestSuppression:
+    @pytest.mark.parametrize("code", sorted(SEEDED))
+    def test_every_rule_honors_line_scoped_disable(self, code):
+        """Property: for every registered code, adding the disable
+        comment to exactly the line a finding is attributed to moves
+        that finding (and only it) to the suppressed list."""
+        baseline = lint_seeded(code)
+        fired = [d for d in baseline.diagnostics if d.code == code]
+        assert len(fired) == 1
+        lineno = fired[0].lineno
+        lines = SEEDED[code].splitlines()
+        lines[lineno - 1] += "   # lint: disable=%s" % code
+        report = lint_source(
+            "\n".join(lines), name="suppressed-%s" % code,
+            prove_masking=code in PROVE_MASKING_CODES)
+        assert code not in [d.code for d in report.diagnostics]
+        assert [d.code for d in report.suppressed] == [code]
+        # Findings of other codes (if any) are untouched.
+        assert sorted(d.code for d in report.diagnostics) == sorted(
+            d.code for d in baseline.diagnostics if d.code != code)
+
     def test_disable_comment_suppresses(self):
         report = lint_source("""
 _start:

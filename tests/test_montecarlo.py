@@ -113,9 +113,29 @@ class TestBatchedEqualsScalar:
 
     def test_both_resolution_paths_exercised(self):
         _, _, result = ccf_run()
-        assert result.analytic > 0
+        assert result.static > 0
         assert result.simulated > 0
-        assert result.analytic + result.simulated == TRIALS
+        assert result.static + result.analytic + result.simulated \
+            == TRIALS
+
+    def test_static_prefilter_changes_status_not_classification(self):
+        """With the static pre-filter disabled every statically-proven
+        trial falls back to the dynamic access log — and must get the
+        same classification (static masked is a subset of dynamic
+        masked), only its status differs."""
+        campaign = BatchedCampaign(program(KERNEL), benchmark=KERNEL,
+                                   config=shared_address_config(),
+                                   max_cycles=MAX_CYCLES, engine="fast",
+                                   static_prefilter=False)
+        batch = campaign.sample_ccf(TRIALS, seed=SEED)
+        result = campaign.run(batch, jobs=1, seed=SEED)
+        _, pre_batch, pre_result = ccf_run()
+        assert result.static == 0
+        assert result.analytic == pre_result.static + pre_result.analytic
+        assert result.simulated == pre_result.simulated
+        assert batch.column("classification") \
+            == pre_batch.column("classification")
+        assert batch.counts() == pre_batch.counts()
 
     def test_no_silent_escape_in_diverse_cycle(self):
         _, batch, _ = ccf_run()
