@@ -1,0 +1,32 @@
+"""Shared report conventions for the ``BENCH_*.json`` writers.
+
+Every benchmark writes a JSON report consumed by CI gates and by
+humans diffing runs over time.  A metric that *could not be measured*
+must be distinguishable from one that was measured and happened to be
+small — ``BENCH_runtime.json`` once claimed a 0.973x "parallel
+speedup" that was really the serial code path timed against itself on
+a 1-CPU host.  The canonical shape, used by every writer:
+
+* measured —   ``{"<metric>": <value>}`` and no ``_skipped`` key;
+* skipped  —   ``{"<metric>": null, "<metric>_skipped": "<reason>"}``
+  where the reason is a short machine-readable slug
+  (``"single-cpu"``, ``"no-baseline-trials"``, ...).
+
+Downstream tooling can then treat ``metric is None`` as "not
+measured", read the adjacent ``_skipped`` field for why, and never
+confuse either with a measured-but-disappointing number.
+"""
+
+from __future__ import annotations
+
+
+def metric_fields(metric: str, value, skipped_reason=None) -> dict:
+    """Canonical measured/skipped field pair for one report metric.
+
+    Returns ``{metric: value}`` when ``skipped_reason`` is None, else
+    ``{metric: None, metric + "_skipped": skipped_reason}`` (the
+    value is dropped — a skipped metric never carries a number).
+    """
+    if skipped_reason is not None:
+        return {metric: None, "%s_skipped" % metric: skipped_reason}
+    return {metric: value}

@@ -41,6 +41,7 @@ import pathlib
 import sys
 import time
 
+from bench_common import metric_fields
 from repro.lint import lint_workload
 from repro.montecarlo import BatchedCampaign
 from repro.workloads import all_names, program as build_program
@@ -158,11 +159,15 @@ def main():
                  for kind in ("transient", "ccf")]
     static = sum(row["static"] for row in campaigns)
     sampled = sum(row["trials"] for row in campaigns)
-    static_frac = static / sampled if sampled else 0.0
+    # None (not 0.0) with zero sampled trials: "resolved 0% statically"
+    # and "nothing was sampled" must stay distinguishable downstream —
+    # the report uses the shared skip shape from bench_common.
+    static_frac = static / sampled if sampled else None
     print("aggregate: absint %.2fs over %d kernels; pre-filter "
-          "resolved %d/%d trials (%.0f%%) without the access log"
+          "resolved %d/%d trials (%s) without the access log"
           % (absint_s, len(absint_rows), static, sampled,
-             100.0 * static_frac))
+             "%.0f%%" % (100.0 * static_frac)
+             if static_frac is not None else "n/a"))
 
     report = {
         "absint": {
@@ -174,7 +179,10 @@ def main():
             "trials_per_campaign": trials,
             "static_trials": static,
             "sampled_trials": sampled,
-            "static_fraction": round(static_frac, 4),
+            **metric_fields("static_fraction",
+                            round(static_frac, 4)
+                            if static_frac is not None else None,
+                            None if sampled else "no-trials"),
         },
         "max_cycles": MAX_CYCLES,
         "seed": args.seed,
@@ -188,12 +196,16 @@ def main():
         print("FAIL: absint pass %.2fs exceeds the %.2fs budget"
               % (absint_s, args.max_seconds), file=sys.stderr)
         failed = True
-    if args.min_static_frac is not None \
-            and static_frac < args.min_static_frac:
-        print("FAIL: static pre-filter fraction %.2f below "
-              "required %.2f" % (static_frac, args.min_static_frac),
-              file=sys.stderr)
-        failed = True
+    if args.min_static_frac is not None:
+        if static_frac is None:
+            print("FAIL: cannot gate on --min-static-frac with no "
+                  "sampled trials", file=sys.stderr)
+            failed = True
+        elif static_frac < args.min_static_frac:
+            print("FAIL: static pre-filter fraction %.2f below "
+                  "required %.2f" % (static_frac, args.min_static_frac),
+                  file=sys.stderr)
+            failed = True
     return 1 if failed else 0
 
 

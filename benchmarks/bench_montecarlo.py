@@ -41,7 +41,11 @@ Usage:
         [--out FILE]
 
 ``--quick`` restricts the run to the countnegative kernel with fewer
-trials, for CI.
+trials, for CI.  ``--baseline-trials 0`` skips the expensive scratch
+baseline; the report then carries the shared skip-field shape
+(``"speedup_vs_scratch": null`` plus
+``"speedup_vs_scratch_skipped": "no-baseline-trials"`` — see
+:mod:`bench_common`) instead of a fabricated rate.
 """
 
 from __future__ import annotations
@@ -53,6 +57,7 @@ import pathlib
 import sys
 import time
 
+from bench_common import metric_fields
 from repro.fault import (
     ForkEngine,
     inject_common_cause,
@@ -112,7 +117,11 @@ def bench_kernel(name, trials, baseline_trials, cadence_override,
 
     # -- scratch baseline: per-trial run_ccf_campaign, no forking,
     # at the pre-existing API's tier (results are bit-identical
-    # across tiers, so the assert below still must hold) ------------
+    # across tiers, so the assert below still must hold).
+    # ``--baseline-trials 0`` skips the baseline entirely — each
+    # scratch trial costs two full simulations — and the report
+    # marks the scratch metrics as skipped instead of inventing a
+    # rate from zero samples. ----------------------------------------
     scratch_start = time.perf_counter()
     for i in range(baseline_trials):
         scratch = run_ccf_campaign(
@@ -129,16 +138,19 @@ def bench_kernel(name, trials, baseline_trials, cadence_override,
 
     batched_rate = trials / batched_s
     fork_rate = len(sampled) / fork_s
-    scratch_rate = baseline_trials / scratch_s
-    speedup = batched_rate / scratch_rate
+    scratch_rate = (baseline_trials / scratch_s if baseline_trials
+                    else None)
+    speedup = batched_rate / scratch_rate if scratch_rate else None
     speedup_fork = batched_rate / fork_rate
     counts = batch.counts()
+    scratch_note = ("scratch %.3fs/trial" % (1.0 / scratch_rate)
+                    if scratch_rate else "scratch skipped")
+    scratch_x = "%.1fx scratch" % speedup if speedup else "n/a scratch"
     print("%-14s trials=%-6d every=%-5d batched %6.2fs (%.1f/s)  "
-          "fork %.3fs/trial  scratch %.3fs/trial  (%.1fx scratch, "
-          "%.1fx fork)"
+          "fork %.3fs/trial  %s  (%s, %.1fx fork)"
           % (name, trials, campaign.checkpoint_every, batched_s,
-             batched_rate, 1.0 / fork_rate, 1.0 / scratch_rate,
-             speedup, speedup_fork))
+             batched_rate, 1.0 / fork_rate, scratch_note,
+             scratch_x, speedup_fork))
     assert counts["silent_despite_diversity"] == 0
     return {
         "kernel": name,
@@ -157,9 +169,20 @@ def bench_kernel(name, trials, baseline_trials, cadence_override,
         "fork_seconds_per_trial": round(1.0 / fork_rate, 4),
         "fork_trials_per_s": round(fork_rate, 2),
         "baseline_trials": baseline_trials,
-        "scratch_seconds_per_trial": round(1.0 / scratch_rate, 4),
-        "scratch_trials_per_s": round(scratch_rate, 2),
-        "speedup_vs_scratch": round(speedup, 2),
+        **metric_fields("scratch_seconds_per_trial",
+                        round(1.0 / scratch_rate, 4) if scratch_rate
+                        else None,
+                        None if baseline_trials
+                        else "no-baseline-trials"),
+        **metric_fields("scratch_trials_per_s",
+                        round(scratch_rate, 2) if scratch_rate
+                        else None,
+                        None if baseline_trials
+                        else "no-baseline-trials"),
+        **metric_fields("speedup_vs_scratch",
+                        round(speedup, 2) if speedup else None,
+                        None if baseline_trials
+                        else "no-baseline-trials"),
         "speedup_vs_fork": round(speedup_fork, 2),
     }
 
@@ -226,24 +249,27 @@ def main():
 
     batched_rate = (sum(row["trials"] for row in rows)
                     / sum(row["batched_seconds"] for row in rows))
-    scratch_rate = (sum(row["baseline_trials"] for row in rows)
+    baseline_total = sum(row["baseline_trials"] for row in rows)
+    scratch_rate = (baseline_total
                     / sum(row["baseline_trials"]
                           * row["scratch_seconds_per_trial"]
-                          for row in rows))
+                          for row in rows
+                          if row["baseline_trials"])
+                    if baseline_total else None)
     fork_rate = (sum(row["checked_trials"] for row in rows)
                  / sum(row["checked_trials"]
                        * row["fork_seconds_per_trial"]
                        for row in rows))
-    speedup = batched_rate / scratch_rate
+    speedup = batched_rate / scratch_rate if scratch_rate else None
     speedup_fork = batched_rate / fork_rate
     checked = sum(row["checked_trials"] + row["baseline_trials"]
                   for row in rows)
     print("exactness: batched == scalar field-for-field on %d sampled "
           "trial(s)" % checked)
-    print("aggregate %.1f trials/s batched vs %.2f scratch "
-          "(%.1fx) and %.1f fork (%.1fx)"
-          % (batched_rate, scratch_rate, speedup, fork_rate,
-             speedup_fork))
+    scratch_part = ("%.2f scratch (%.1fx)" % (scratch_rate, speedup)
+                    if scratch_rate else "scratch skipped")
+    print("aggregate %.1f trials/s batched vs %s and %.1f fork (%.1fx)"
+          % (batched_rate, scratch_part, fork_rate, speedup_fork))
 
     report = {
         "kernels": rows,
@@ -255,18 +281,31 @@ def main():
         "seed": args.seed,
         "quick": bool(args.quick),
         "batched_trials_per_s": round(batched_rate, 2),
-        "scratch_trials_per_s": round(scratch_rate, 2),
+        **metric_fields("scratch_trials_per_s",
+                        round(scratch_rate, 2) if scratch_rate
+                        else None,
+                        None if baseline_total
+                        else "no-baseline-trials"),
         "fork_trials_per_s": round(fork_rate, 2),
-        "speedup_vs_scratch": round(speedup, 2),
+        **metric_fields("speedup_vs_scratch",
+                        round(speedup, 2) if speedup else None,
+                        None if baseline_total
+                        else "no-baseline-trials"),
         "speedup_vs_fork": round(speedup_fork, 2),
     }
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print("wrote %s" % out_path)
 
-    if args.min_speedup is not None and speedup < args.min_speedup:
-        print("FAIL: speedup %.1fx below required %.1fx"
-              % (speedup, args.min_speedup), file=sys.stderr)
-        return 1
+    if args.min_speedup is not None:
+        if speedup is None:
+            print("FAIL: cannot gate on --min-speedup with the "
+                  "scratch baseline skipped (--baseline-trials 0)",
+                  file=sys.stderr)
+            return 1
+        if speedup < args.min_speedup:
+            print("FAIL: speedup %.1fx below required %.1fx"
+                  % (speedup, args.min_speedup), file=sys.stderr)
+            return 1
     return 0
 
 

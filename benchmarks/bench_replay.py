@@ -32,6 +32,7 @@ import pathlib
 import sys
 import time
 
+from bench_common import metric_fields
 from repro.core.monitor import ReportingMode
 from repro.replay import ReplayEngine
 from repro.soc.experiment import run_redundant, run_redundant_captured
@@ -122,8 +123,13 @@ def main():
         "replay_seconds": round(replay_s, 4),
         "speedup": round(speedup, 2),
         "trace_bytes": trace_bytes,
-        "trace_bytes_per_cycle": round(
-            trace_bytes / max(trace.meta.cycles, 1), 2),
+        # A zero-cycle capture has no meaningful per-cycle density;
+        # report the shared skip shape (see bench_common) rather than
+        # clamping the divisor.
+        **metric_fields("trace_bytes_per_cycle",
+                        round(trace_bytes / trace.meta.cycles, 2)
+                        if trace.meta.cycles else None,
+                        None if trace.meta.cycles else "empty-trace"),
         "accounting_passes": engine.accounting_passes,
     }
     out_path.write_text(json.dumps(report, indent=2) + "\n")

@@ -26,7 +26,8 @@ meaningless ~1.0x comparison of the same code path against itself,
 and a ``parallel_speedup_skipped: "single-cpu"`` field names the
 reason explicitly so downstream tooling can distinguish "not
 measured" from "missing"; the field is absent when a real speedup
-was measured.  All passes must agree cell-for-cell; the bench fails
+was measured (the shared skip-field convention — see
+:mod:`bench_common`).  All passes must agree cell-for-cell; the bench fails
 otherwise.
 
 Usage:
@@ -54,6 +55,7 @@ import pathlib
 import tempfile
 import time
 
+from bench_common import metric_fields
 from repro.runner import ParallelSweep
 from repro.workloads import all_names
 
@@ -127,11 +129,14 @@ def _bench_engines(kernels, staggers, repeats):
     ref_total = fast_total = 0.0
     cycles_total = 0
     deopts = fast_issues = ref_issues = fast_cycles = 0
+    delegations = recompilations = superblock_links = 0
+    deopt_reasons = {}
     for kernel in kernels:
         prog = build_program(kernel)
         ref_s = fast_s = 0.0
         kernel_cycles = 0
         hit_num = hit_den = kernel_deopts = 0
+        kernel_reasons = {}
         for stagger in staggers:
             rs, ref_result, cycles, _ = _timed_run(
                 prog, kernel, stagger, "reference", repeats)
@@ -153,6 +158,12 @@ def _bench_engines(kernels, staggers, repeats):
             fast_issues += stats["issue_fast"]
             ref_issues += stats["issue_ref"]
             fast_cycles += stats["fast_cycles"]
+            delegations += stats["delegations"]
+            recompilations += stats["recompilations"]
+            superblock_links += stats["superblock_links"]
+            for reason, count in stats["deopt_reasons"].items():
+                kernel_reasons[reason] = \
+                    kernel_reasons.get(reason, 0) + count
         ref_total += ref_s
         fast_total += fast_s
         cycles_total += kernel_cycles
@@ -166,7 +177,11 @@ def _bench_engines(kernels, staggers, repeats):
             "deopts": kernel_deopts,
             "deopt_rate": round(kernel_deopts / kernel_cycles, 6)
             if kernel_cycles else 0.0,
+            "deopt_reasons": dict(sorted(kernel_reasons.items())),
         }
+        for reason, count in kernel_reasons.items():
+            deopt_reasons[reason] = \
+                deopt_reasons.get(reason, 0) + count
         print("engine %-14s ref %6.2fs  fast %6.2fs  %5.2fx  "
               "hit %6.2f%%  deopts %d"
               % (kernel, ref_s, fast_s, ref_s / fast_s,
@@ -191,6 +206,10 @@ def _bench_engines(kernels, staggers, repeats):
         "deopts": deopts,
         "deopt_rate": round(deopts / fast_cycles, 6) if fast_cycles
         else 0.0,
+        "delegations": delegations,
+        "recompilations": recompilations,
+        "superblock_links": superblock_links,
+        "deopt_reasons": dict(sorted(deopt_reasons.items())),
         "bit_identical": True,
     }
 
@@ -261,6 +280,10 @@ def main():
           % (engine_report["speedup"],
              100.0 * engine_report["tier_hit_rate"],
              100.0 * engine_report["deopt_rate"]))
+    print("engine deopt reasons: %s"
+          % (" ".join("%s=%d" % item for item in
+                      engine_report["deopt_reasons"].items())
+             or "(none)"))
     if args.profile:
         _profile_engines(kernels, MINI_SWEEP_STAGGERS, args.profile)
 
@@ -325,11 +348,11 @@ def main():
         "serial_seconds": round(serial_s, 3),
         "parallel_seconds": round(parallel_s, 3),
         "warm_cache_seconds": round(warm_s, 3),
-        "parallel_speedup": parallel_speedup,
         # Why parallel_speedup is null, when it is (see module
-        # docstring); absent on hosts with real parallelism.
-        **({"parallel_speedup_skipped": "single-cpu"}
-           if serial_fallback else {}),
+        # docstring); the _skipped field is absent on hosts with real
+        # parallelism.
+        **metric_fields("parallel_speedup", parallel_speedup,
+                        "single-cpu" if serial_fallback else None),
         "warm_cache_speedup": round(serial_s / warm_s, 3),
         "seconds_per_run_serial": round(serial_s / runs, 4),
         "engine": engine_report,

@@ -299,10 +299,19 @@ def _cmd_run(args) -> int:
                       % stats.fallback_reason, file=sys.stderr)
             elif stats.engine == "fast":
                 print("engine: fast tier, %d block(s) compiled, "
-                      "tier hit rate %.1f%%, %d deopt(s)"
-                      % (stats.blocks_compiled,
-                         100.0 * stats.tier_hit_rate, stats.deopts),
+                      "%d superblock link(s), tier hit rate %.1f%%"
+                      % (stats.blocks_compiled, stats.superblock_links,
+                         100.0 * stats.tier_hit_rate),
                       file=sys.stderr)
+                print("engine: %d deopt cycle(s), %d reference "
+                      "delegation(s), %d recompilation(s)"
+                      % (stats.deopts, stats.delegations,
+                         stats.recompilations), file=sys.stderr)
+                if stats.deopt_reasons:
+                    print("engine: deopt reasons: %s"
+                          % " ".join("%s=%d" % item for item in
+                                     sorted(stats.deopt_reasons.items())),
+                          file=sys.stderr)
         if checkpointer is not None:
             checkpointer.finish()
             print("%d checkpoint(s) in the run cache; continue an "

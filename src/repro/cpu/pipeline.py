@@ -50,6 +50,15 @@ class Group:
     me_requests: List[object] = field(default_factory=list)
     #: Cached tuple of instruction words (kept in sync by truncate()).
     words_cache: Tuple[int, ...] = ()
+    #: Engine-attached specialized handlers (repro.engine.fast).  The
+    #: fast tier's generated fetch code pins the closures matching this
+    #: group's shape at creation time; reference-created and restored
+    #: groups carry None and dispatch through the engine's shape maps.
+    #: ``me_fn`` uses False for "no memory operation in this group".
+    #: Never serialized: snapshots always restore to None.
+    issue_fn: Optional[object] = None
+    me_fn: Optional[object] = None
+    retire_fn: Optional[object] = None
 
     def __post_init__(self):
         self.words_cache = tuple(fi.instr.word for fi in self.instrs)
@@ -64,6 +73,11 @@ class Group:
         """Drop instructions after slot ``keep`` (squash within group)."""
         del self.instrs[keep + 1:]
         self.words_cache = tuple(fi.instr.word for fi in self.instrs)
+        # Engine handlers were specialized for the pre-truncation shape;
+        # drop them so the fast tier re-dispatches by the new words.
+        self.issue_fn = None
+        self.me_fn = None
+        self.retire_fn = None
 
     def __str__(self) -> str:
         return " | ".join(str(fi) for fi in self.instrs)

@@ -25,7 +25,7 @@ the reference tier, recording ``fallback_reason``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..core import signatures
 from ..core.signatures import IsVariant
@@ -47,21 +47,48 @@ def resolve_engine(name: Optional[str]) -> str:
     return name
 
 
+#: ``deopt_reasons`` keys that are delegations to *reference* code
+#: paths.  ``guard_fail`` (superblock direction-guard side exits served
+#: by the block tier) and ``recompile`` events stay outside this set:
+#: they cost a dispatch, not a reference-method call.
+REFERENCE_DEOPT_REASONS: Tuple[str, ...] = (
+    "plan_miss", "page_version", "issue_shape", "mem_stage",
+)
+
+
 @dataclass
 class EngineStats:
     """What the engine did for one run (exposed as ``soc.engine_stats``).
 
-    ``deopts`` counts delegations to reference code paths (memory-stage
-    handling, plan misses, outstanding instruction fetches);
-    ``issue_fast``/``issue_ref`` split issued groups by tier.
+    Deopt accounting is split (one counter used to conflate both):
+
+    * ``deopts`` — per-core-cycle deopt *events*: cycles in which a
+      core left the generated code for a reference method at least
+      once.  This is the number the benchmark deopt-rate gates use.
+    * ``delegations`` — individual reference-method delegations, the
+      sum of the reference-path entries of ``deopt_reasons``.
+    * ``deopt_reasons`` — per-reason histogram over every side exit,
+      including block-tier ones (``guard_fail``) and adaptive
+      recompilations (``recompile``) that never touch reference code.
+
+    ``issue_fast``/``issue_ref`` split issued groups by tier;
+    ``superblock_links``/``chained_fetches``/``recompilations`` describe
+    the superblock trace tier (links formed between compiled blocks,
+    fetches served by following a link, and re-specializations after
+    repeated guard failures or code-page invalidations).
     """
 
     engine: str = "reference"
     blocks_compiled: int = 0
     fast_cycles: int = 0
     deopts: int = 0
+    delegations: int = 0
     issue_fast: int = 0
     issue_ref: int = 0
+    superblock_links: int = 0
+    chained_fetches: int = 0
+    recompilations: int = 0
+    deopt_reasons: Dict[str, int] = field(default_factory=dict)
     #: Why a requested fast run fell back to reference (None = ran fast).
     fallback_reason: Optional[str] = None
 
@@ -84,10 +111,23 @@ class EngineStats:
                          labels).inc(self.fast_cycles)
         registry.counter("repro_engine_deopts_total",
                          labels).inc(self.deopts)
+        registry.counter("repro_engine_delegations_total",
+                         labels).inc(self.delegations)
         registry.counter("repro_engine_fast_issues_total",
                          labels).inc(self.issue_fast)
         registry.counter("repro_engine_reference_issues_total",
                          labels).inc(self.issue_ref)
+        registry.counter("repro_engine_superblock_links_total",
+                         labels).inc(self.superblock_links)
+        registry.counter("repro_engine_chained_fetches_total",
+                         labels).inc(self.chained_fetches)
+        registry.counter("repro_engine_recompilations_total",
+                         labels).inc(self.recompilations)
+        for reason in sorted(self.deopt_reasons):
+            registry.counter(
+                "repro_engine_deopt_reasons_total",
+                labels + (("reason", reason),)
+            ).inc(self.deopt_reasons[reason])
 
     def as_dict(self) -> dict:
         return {
@@ -95,8 +135,13 @@ class EngineStats:
             "blocks_compiled": self.blocks_compiled,
             "fast_cycles": self.fast_cycles,
             "deopts": self.deopts,
+            "delegations": self.delegations,
+            "deopt_reasons": dict(sorted(self.deopt_reasons.items())),
             "issue_fast": self.issue_fast,
             "issue_ref": self.issue_ref,
+            "superblock_links": self.superblock_links,
+            "chained_fetches": self.chained_fetches,
+            "recompilations": self.recompilations,
             "tier_hit_rate": self.tier_hit_rate,
             "fallback_reason": self.fallback_reason,
         }
@@ -157,9 +202,8 @@ def run_soc(soc, engine: str = "reference", program=None,
         if reason is None:
             from .fast import FastRunner
 
-            plan = ProgramPlan(soc.memory, soc.cores[0].config)
-            if program is not None:
-                plan.compile_program(program)
+            plan = ProgramPlan.for_soc(soc.memory, soc.cores[0].config,
+                                       program)
             runner = FastRunner(soc, plan, stats)
             cycles = runner.run(max_cycles=max_cycles,
                                 checkpoint_every=checkpoint_every,

@@ -139,13 +139,25 @@ class AhbBus:
             self._grant(cycle)
 
     def _grant(self, cycle: int):
-        eligible = [r for r in self._queue if r.issue_cycle <= cycle]
-        if not eligible:
-            return
-        if len(eligible) > 1:
-            self.stats.contended_grants += 1
-        req = self._pick_round_robin(eligible)
-        self._queue.remove(req)
+        queue = self._queue
+        if len(queue) == 1:
+            # Overwhelmingly common case (write-through stores trickle
+            # out one at a time): a singleton queue needs no eligibility
+            # scan and no arbitration — the round-robin pick is the
+            # request itself and no contention is recorded, exactly as
+            # the general path below would conclude.
+            req = queue[0]
+            if req.issue_cycle > cycle:
+                return
+            del queue[0]
+        else:
+            eligible = [r for r in queue if r.issue_cycle <= cycle]
+            if not eligible:
+                return
+            if len(eligible) > 1:
+                self.stats.contended_grants += 1
+            req = self._pick_round_robin(eligible)
+            queue.remove(req)
         self.stats.grant_wait_cycles += cycle - req.issue_cycle
         req.granted = True
         req.complete_cycle = cycle + self._service_time(req)

@@ -93,6 +93,20 @@ class Cache:
         tags, tag = self._locate(address)
         return tag in tags
 
+    def tag_view(self):
+        """Cheap read-only tag-probe view: ``(sets, shift, mask)``.
+
+        ``sets`` is the live per-set tag-list structure (index 0 = most
+        recent); for an address, its line is ``address >> shift`` and
+        its set is ``sets[line & mask]``.  The execution engine binds
+        this view once and probes tags in-line in generated code instead
+        of paying a method call per access.  Callers must treat the view
+        as read-only except when reproducing :meth:`lookup` exactly
+        (MRU move plus hit/miss counters) — the identity of the inner
+        lists is stable until :meth:`load_state_dict` replaces them.
+        """
+        return self._sets, self._set_shift, self._set_mask
+
     def fill(self, address: int):
         """Allocate the line holding ``address`` (LRU eviction)."""
         tags, tag = self._locate(address)

@@ -112,6 +112,18 @@ class StoreBuffer:
     def occupancy(self) -> int:
         return len(self._entries) + (1 if self._inflight else 0)
 
+    def occupancy_view(self):
+        """Read-only occupancy probe view: the live pending-entry list.
+
+        Companion to :meth:`repro.mem.cache.Cache.tag_view`: the
+        execution engine binds the list once and checks depth and
+        line-coalescing occupancy in-line (``self._inflight`` is read
+        through the buffer attribute, since its identity changes every
+        drain).  The list identity is stable until
+        :meth:`load_state_dict` replaces it.
+        """
+        return self._entries
+
     def reset(self):
         self._entries.clear()
         self._inflight = None

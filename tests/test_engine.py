@@ -201,8 +201,10 @@ def test_fast_tier_engagement_and_deopt_ceiling():
     assert stats.blocks_compiled > 0
     assert stats.fast_cycles == cycles
     assert stats.tier_hit_rate > 0.9
-    # Matches the CI benchmark gate (--max-deopt-rate 0.08).
-    assert stats.deopts <= 0.08 * cycles
+    # Matches the CI benchmark gate (--max-deopt-rate 0.01); the
+    # superblock tier runs the TACLe kernels deopt-free in steady
+    # state, so 1% leaves generous room for warm-up transients.
+    assert stats.deopts <= 0.01 * cycles
 
 
 def test_unsupported_shape_falls_back_and_stays_correct():
@@ -214,6 +216,137 @@ def test_unsupported_shape_falls_back_and_stays_correct():
     assert "PER_STAGE" in stats.fallback_reason
     assert fast_cycles == ref_cycles
     assert jsonable(fast.state_dict()) == jsonable(ref.state_dict())
+
+
+# --- adversarial superblock side exits --------------------------------------
+# Hand-written kernels aimed at the three superblock guard classes:
+# direction guards (bias flip), in-line memory guards (L1 store miss),
+# and page-version guards (self-modifying code).  Each must stay
+# bit-identical to the reference tier while exercising the side exit.
+
+from repro.engine.plan import GUARD_RELINK_THRESHOLD  # noqa: E402
+from repro.isa.assembler import assemble  # noqa: E402
+from repro.workloads import store_result  # noqa: E402
+
+#: A branch taken for 600 iterations, then not-taken for 600 more: the
+#: superblock tier links the hot arm, then eats GUARD_RELINK_THRESHOLD
+#: guard failures and re-specializes for the new bias.
+BIAS_FLIP_SOURCE = """
+_start:
+    li t0, 0
+    li t1, 1200
+    li t2, 600
+    li s0, 0
+loop:
+    blt t0, t2, small
+    addi s0, s0, 3
+    j merge
+small:
+    addi s0, s0, 1
+merge:
+    addi t0, t0, 1
+    blt t0, t1, loop
+%s
+""" % store_result("s0")
+
+#: Stores striding 4 KiB apart all map to one L1 set (64 sets x 32 B
+#: lines), so the in-line tag probe keeps missing inside the hot
+#: superblock and the memory op deopts to the reference memory stage.
+STORE_MISS_SOURCE = """
+_start:
+    li t0, 0
+    li t1, 300
+    li s0, 0
+    addi t2, gp, 64
+sloop:
+    sw t0, 0(t2)
+    lw t3, 0(t2)
+    add s0, s0, t3
+    li t4, 4096
+    add t2, t2, t4
+    addi t0, t0, 1
+    blt t0, t1, sloop
+%s
+""" % store_result("s0")
+
+#: An inner loop hot enough to compile, then a store over its own
+#: first instruction (same word, so semantics are unchanged) bumping
+#: the code-page version; the compiled superblock must be invalidated
+#: and rebuilt, and the next outer iteration re-enters the rebuilt
+#: code.
+SELF_MODIFY_SOURCE = """
+_start:
+    li s0, 0
+    li s2, 0
+outer:
+    li t0, 0
+inner:
+    addi s0, s0, 1
+    addi t0, t0, 1
+    li t1, 100
+    blt t0, t1, inner
+    la t6, inner
+    lw t5, 0(t6)
+    sw t5, 0(t6)
+    addi s2, s2, 1
+    li t3, 3
+    blt s2, t3, outer
+%s
+""" % store_result("s0")
+
+
+def _adversarial_run(source, engine):
+    prog = assemble(source, base=0x0001_0000)
+    soc = MPSoC()
+    soc.start_redundant(prog)
+    cycles, stats = run_soc(soc, engine, program=prog,
+                            max_cycles=MAX_CYCLES)
+    return soc, cycles, stats
+
+
+def test_bias_flipping_branch_relinks_and_stays_identical():
+    ref, ref_cycles, _ = _adversarial_run(BIAS_FLIP_SOURCE, "reference")
+    fast, fast_cycles, stats = _adversarial_run(BIAS_FLIP_SOURCE, "fast")
+    assert stats.fallback_reason is None
+    assert fast_cycles == ref_cycles
+    assert jsonable(fast.state_dict()) == jsonable(ref.state_dict())
+    # The flipped branch must have cost guard failures and triggered
+    # an adaptive re-specialization for the new direction.
+    assert stats.deopt_reasons.get("guard_fail", 0) \
+        >= GUARD_RELINK_THRESHOLD
+    assert stats.recompilations >= 1
+    assert stats.deopt_reasons.get("recompile", 0) >= 1
+    assert stats.superblock_links > 0
+
+
+def test_store_missing_l1_handled_inline_within_superblock():
+    ref, ref_cycles, _ = _adversarial_run(STORE_MISS_SOURCE, "reference")
+    fast, fast_cycles, stats = _adversarial_run(STORE_MISS_SOURCE, "fast")
+    assert stats.fallback_reason is None
+    assert fast_cycles == ref_cycles
+    assert jsonable(fast.state_dict()) == jsonable(ref.state_dict())
+    # The kernel really did thrash L1 from inside compiled code...
+    assert fast.cores[0].dcache.stats.misses > 200
+    # ...and the guarded in-line memory path absorbed every miss:
+    # the block tier (PR 6) delegated each one to the reference memory
+    # stage, the superblock tier must delegate none.
+    assert stats.deopt_reasons.get("mem_stage", 0) == 0
+    assert stats.delegations == 0
+    assert stats.superblock_links > 0
+
+
+def test_self_modifying_code_invalidates_superblock_page():
+    ref, ref_cycles, _ = _adversarial_run(SELF_MODIFY_SOURCE,
+                                          "reference")
+    fast, fast_cycles, stats = _adversarial_run(SELF_MODIFY_SOURCE,
+                                                "fast")
+    assert stats.fallback_reason is None
+    assert fast_cycles == ref_cycles
+    assert jsonable(fast.state_dict()) == jsonable(ref.state_dict())
+    # Each outer iteration's store bumps the code-page version; the
+    # compiled blocks on that page must be rebuilt, not trusted stale.
+    assert stats.recompilations >= 1
+    assert stats.deopt_reasons.get("recompile", 0) >= 1
 
 
 def test_resolve_engine_validates():
