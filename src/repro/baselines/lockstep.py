@@ -35,10 +35,15 @@ class LockstepComparator:
     DCLS needs no diversity monitor.
     """
 
-    def __init__(self, stagger: int = 2):
+    def __init__(self, stagger: int = 2, equivalent=None):
         if stagger < 1:
             raise ValueError("DCLS staggering must be >= 1 cycle")
         self.stagger = stagger
+        #: Optional item-equivalence predicate.  Items that compare
+        #: unequal but satisfy the predicate do not count as
+        #: mismatches — used by :mod:`repro.schemes.lockstep` to
+        #: tolerate the replicas' data-region address delta.
+        self.equivalent = equivalent
         self.stats = LockstepStats()
         self._head_delay: Deque[Tuple[int, ...]] = deque(
             [()] * stagger, maxlen=stagger)
@@ -54,14 +59,39 @@ class LockstepComparator:
         self._shadow_stream.extend(shadow_commits)
         # Compare as far as both streams go.
         matched = min(len(self._head_stream), len(self._shadow_stream))
+        equivalent = self.equivalent
         for i in range(matched):
             self.stats.compared += 1
-            if self._head_stream[i] != self._shadow_stream[i]:
+            head = self._head_stream[i]
+            shadow = self._shadow_stream[i]
+            if head != shadow and not (equivalent is not None
+                                       and equivalent(head, shadow)):
                 self.stats.mismatches += 1
                 if self.stats.first_mismatch_cycle < 0:
                     self.stats.first_mismatch_cycle = cycle
         del self._head_stream[:matched]
         del self._shadow_stream[:matched]
+
+    def flush(self, cycle: int):
+        """Drain the delay line at end of run.
+
+        The last ``stagger`` cycles of head commits are still queued in
+        the delay FIFO when the cores finish; deliver them so the final
+        commits get compared.  Any leftover stream imbalance afterwards
+        (the replicas committed different instruction *counts* — e.g. a
+        corruption changed one replica's path length) is itself a
+        detected divergence.
+        """
+        for _ in range(self.stagger):
+            self.sample(cycle, (), ())
+        residue = len(self._head_stream) + len(self._shadow_stream)
+        if residue:
+            self.stats.compared += residue
+            self.stats.mismatches += residue
+            if self.stats.first_mismatch_cycle < 0:
+                self.stats.first_mismatch_cycle = cycle
+            del self._head_stream[:]
+            del self._shadow_stream[:]
 
     @property
     def error_detected(self) -> bool:

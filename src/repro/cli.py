@@ -91,6 +91,16 @@ def format_columns(rows, headers=None, min_width=16) -> str:
     return "\n".join(lines)
 
 
+#: Redundancy schemes (mirrors ``repro.schemes.SCHEME_KINDS``; spelled
+#: out so building the parser does not import the scheme framework).
+_SCHEME_CHOICES = ("safedm", "lockstep", "tmr", "multipair", "dme")
+
+#: Kernel subset ``compare-schemes --all`` sweeps: short kernels from
+#: three different control-flow families, keeping the full 5-scheme
+#: matrix tractable on one machine.
+_COMPARE_KERNELS = ("binarysearch", "bitonic", "cosf")
+
+
 def _add_engine_flag(parser):
     parser.add_argument("--engine", default="reference",
                         choices=("reference", "fast"),
@@ -224,6 +234,11 @@ def _cmd_run(args) -> int:
         print("error: --checkpoint-every/--resume cannot be combined "
               "with --capture/--replay", file=sys.stderr)
         return 2
+    if args.scheme and (args.capture or args.replay
+                        or args.checkpoint_every or args.resume):
+        print("error: --scheme runs do not support --capture/--replay/"
+              "--checkpoint-every/--resume", file=sys.stderr)
+        return 2
     if args.resume and not args.checkpoint_every:
         print("error: --resume needs --checkpoint-every N (the cadence "
               "identifies the checkpoint set)", file=sys.stderr)
@@ -291,6 +306,7 @@ def _cmd_run(args) -> int:
                                               if checkpointer else None),
                                resume_from=resume_from,
                                engine=args.engine,
+                               scheme=args.scheme,
                                soc_hook=grab)
         if grab.soc is not None and grab.soc.engine_stats is not None:
             stats = grab.soc.engine_stats
@@ -324,6 +340,15 @@ def _cmd_run(args) -> int:
     print("no-data-div=%d no-instr-div=%d"
           % (result.no_data_diversity_cycles,
              result.no_instruction_diversity_cycles))
+    if result.scheme_stats is not None:
+        stats = result.scheme_stats
+        extras = " ".join("%s=%s" % (k, stats[k]) for k in stats
+                          if k not in ("kind", "replicas", "outputs",
+                                       "detected"))
+        print("scheme=%s replicas=%d outputs=%s detected=%s%s"
+              % (result.scheme, stats.get("replicas", 0),
+                 ",".join("%#x" % out for out in stats["outputs"]),
+                 stats["detected"], " " + extras if extras else ""))
     _save_telemetry(args, metrics, tracer, command="run",
                     kernel=args.kernel, stagger_nops=args.stagger)
     return 0 if result.finished else 1
@@ -427,6 +452,25 @@ def _cmd_campaign(args) -> int:
     from .soc.experiment import run_redundant
     from .workloads import program
     prog = program(args.kernel)
+    if args.scheme:
+        if args.shared or args.checkpoint_every:
+            print("error: --scheme trials use per-scheme topologies; "
+                  "--shared/--checkpoint-every apply only to the "
+                  "SafeDM pair campaign", file=sys.stderr)
+            return 2
+        from .fault import run_scheme_matrix
+        from .schemes.matrix import matrix_table
+        metrics, tracer = _make_telemetry(args)
+        rows = run_scheme_matrix(prog, benchmark=args.kernel,
+                                 schemes=[args.scheme],
+                                 num_faults=args.injections,
+                                 stimuli=args.stimuli,
+                                 max_cycles=args.max_cycles,
+                                 metrics=metrics, tracer=tracer)
+        print(matrix_table(rows))
+        _save_telemetry(args, metrics, tracer, command="campaign",
+                        kernel=args.kernel, scheme=args.scheme)
+        return 0 if rows[0].silent == 0 else 1
     config = shared_address_config() if args.shared else None
     metrics, tracer = _make_telemetry(args)
     # A fault-free probe run fixes the timeline length the injection
@@ -455,6 +499,35 @@ def _cmd_campaign(args) -> int:
     # The paper's no-false-negative property: a silent escape in a
     # cycle SafeDM called diverse would falsify the reproduction.
     return 0 if result.silent_despite_diversity == 0 else 1
+
+
+def _cmd_compare_schemes(args) -> int:
+    from .fault import run_scheme_matrix
+    from .schemes.matrix import matrix_table
+    from .workloads import program
+    kernels = args.kernels or (list(_COMPARE_KERNELS) if args.all
+                               else ["binarysearch"])
+    schemes = args.schemes or list(_SCHEME_CHOICES)
+    metrics, tracer = _make_telemetry(args)
+    failures = 0
+    for kernel in kernels:
+        rows = run_scheme_matrix(program(kernel), benchmark=kernel,
+                                 schemes=schemes,
+                                 num_faults=args.faults,
+                                 stimuli=args.stimuli,
+                                 max_cycles=args.max_cycles,
+                                 metrics=metrics, tracer=tracer)
+        print("%s (golden runs: %s cycles):"
+              % (kernel, "/".join(str(r.golden_cycles) for r in rows)))
+        print(matrix_table(rows))
+        print()
+        # The diversity ≡ 0 control: lockstep must catch every
+        # unmasked CCF; a silent escape there is a framework bug.
+        failures += sum(r.silent for r in rows
+                        if r.scheme == "lockstep")
+    _save_telemetry(args, metrics, tracer, command="compare-schemes",
+                    kernels=len(kernels), schemes=len(schemes))
+    return 0 if failures == 0 else 1
 
 
 def _cmd_montecarlo(args) -> int:
@@ -745,6 +818,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="restore the latest cached checkpoint "
                             "(same kernel/flags/cadence) and finish "
                             "the run from there")
+    p_run.add_argument("--scheme", default=None,
+                       choices=_SCHEME_CHOICES,
+                       help="redundancy scheme to run under (default: "
+                            "the legacy SafeDM-pair path)")
     _add_engine_flag(p_run)
     _add_telemetry_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
@@ -831,9 +908,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--no-cache", action="store_true",
                         help="do not persist or reuse golden "
                              "checkpoints in the run cache")
+    p_camp.add_argument("--scheme", default=None,
+                        choices=_SCHEME_CHOICES,
+                        help="run the scheme-matrix trials for one "
+                             "scheme instead of the SafeDM pair "
+                             "campaign")
     _add_engine_flag(p_camp)
     _add_telemetry_flags(p_camp)
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_cs = sub.add_parser(
+        "compare-schemes",
+        help="fault-detection coverage × latency × hardware cost "
+             "across redundancy schemes (one shared CCF grid)")
+    p_cs.add_argument("kernels", nargs="*",
+                      help="kernels to compare on (default: "
+                           "binarysearch)")
+    p_cs.add_argument("--all", action="store_true",
+                      help="compare on the standard kernel subset: "
+                           + ", ".join(_COMPARE_KERNELS))
+    p_cs.add_argument("--schemes", nargs="+", default=None,
+                      choices=_SCHEME_CHOICES,
+                      help="schemes to include (default: all five)")
+    p_cs.add_argument("--faults", type=int, default=4, metavar="N",
+                      help="injection instants spread across each "
+                           "scheme's golden run (default: 4)")
+    p_cs.add_argument("--stimuli", nargs="+", default=[0x5EED],
+                      metavar="X", type=lambda s: int(s, 0),
+                      help="fault stimulus values per instant "
+                           "(default: 0x5eed)")
+    p_cs.add_argument("--max-cycles", type=int, default=2_000_000)
+    _add_telemetry_flags(p_cs)
+    p_cs.set_defaults(func=_cmd_compare_schemes)
 
     p_mc = sub.add_parser(
         "montecarlo",

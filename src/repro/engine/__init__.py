@@ -17,9 +17,13 @@ Two tiers drive the same :class:`~repro.soc.mpsoc.MPSoC` objects:
 
 :func:`run_soc` is the engine selector used by
 :func:`repro.soc.experiment.run_redundant` and everything above it.
-SoC shapes the fast tier does not model (extra cores, nonstandard
-monitor geometry, instrumented register files) silently fall back to
-the reference tier, recording ``fallback_reason``.
+Scheme-shaped SoCs (extra cores, multiple monitored pairs, scheme
+taps) run the fast tier's ``"multi"`` span, which steps N cores in
+generated code but observes monitors and scheme checkers through the
+reference path.  Shapes the fast tier does not model at all
+(instrumented register files, nonstandard monitor geometry on the
+classic pair) silently fall back to the reference tier, recording
+``fallback_reason``.
 """
 
 from __future__ import annotations
@@ -150,34 +154,40 @@ class EngineStats:
 def _fast_supported(soc) -> Optional[str]:
     """None when the fast tier models this SoC exactly, else a reason.
 
-    Every guard here corresponds to an assumption baked into the
-    generated code; relaxing one requires extending the fast tier, not
-    this list.
+    Structural guards (core shape, register file, debug modes) apply
+    to every core.  The monitor-geometry guards bind only the classic
+    two-core monitored-pair shape, whose generated span *inlines* the
+    monitor; scheme-shaped SoCs (extra cores, multiple pairs, scheme
+    taps, watched-core overrides) run the fast tier's ``"multi"`` span,
+    which observes through the reference monitor path and therefore
+    accepts any monitor configuration.
     """
-    if len(soc.cores) != 2:
-        return "fast tier models exactly two cores"
-    if soc.monitor_pairs != ((0, 1),):
-        return "fast tier models a single (0, 1) monitor pair"
-    core0, core1 = soc.cores
-    if core0.config is not core1.config:
-        return "cores use distinct configs"
-    if core0.config.issue_width != 2:
+    cores = soc.cores
+    cfg0 = cores[0].config
+    for core in cores[1:]:
+        if core.config is not cfg0:
+            return "cores use distinct configs"
+    if cfg0.issue_width != 2:
         return "fast tier assumes dual issue"
-    if len(core0.stages) != 7 or len(core1.stages) != 7:
-        return "fast tier assumes the 7-stage pipeline"
-    for core in (core0, core1):
+    for core in cores:
+        if len(core.stages) != 7:
+            return "fast tier assumes the 7-stage pipeline"
         if type(core.regfile) is not RegisterFile:
             return "instrumented register file (%s)" \
                 % type(core.regfile).__name__
     if signatures.DEBUG_SIGNATURE_CHECKS:
         return "SAFEDM_DEBUG_SIGNATURES structural checks enabled"
+    from .fast import _classic_shape
+
+    if not _classic_shape(soc):
+        return None
     monitor = soc.safedm
     cfg = monitor.config
     if cfg.is_variant is not IsVariant.PER_STAGE:
         return "fast tier inlines only the PER_STAGE IS variant"
     if not cfg.sample_every_cycle:
         return "fast tier inlines only every-cycle DS sampling"
-    if cfg.num_ports != core0.regfile.num_read_ports:
+    if cfg.num_ports != cores[0].regfile.num_read_ports:
         return "DS ports do not match the register read ports"
     if cfg.pipeline_stages != 7:
         return "monitor geometry does not match the pipeline"

@@ -1,6 +1,11 @@
 """Fault injection: transient and common-cause fault campaigns."""
 
-from .campaign import CampaignResult, run_ccf_campaign, spread_cycles
+from .campaign import (
+    CampaignResult,
+    run_ccf_campaign,
+    run_scheme_matrix,
+    spread_cycles,
+)
 from .injector import (
     ForkEngine,
     GoldenArtifact,
@@ -26,6 +31,7 @@ __all__ = [
     "inject_common_cause",
     "inject_transient",
     "run_ccf_campaign",
+    "run_scheme_matrix",
     "shared_address_config",
     "spread_cycles",
     "state_digest",

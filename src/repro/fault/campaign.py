@@ -377,6 +377,36 @@ def run_ccf_campaign(program: Program, cycles: List[int],
     return result
 
 
+def run_scheme_matrix(program: Program, benchmark: str = "program",
+                      schemes=None, config: Optional[SocConfig] = None,
+                      num_faults: int = 8, stimuli=None,
+                      max_cycles: int = 2_000_000,
+                      metrics=None, tracer=None):
+    """The matrix-mode CCF campaign: one shared fault grid, one
+    coverage row per redundancy scheme.
+
+    Where :func:`run_ccf_campaign` asks how well SafeDM protects *one*
+    monitored pair, this asks the comparative question across every
+    scheme in :data:`repro.schemes.SCHEME_KINDS` (or the given subset):
+    each scheme replays the same (cycle fraction, stimulus) grid and
+    classifies each trial with its own checker.  Returns the list of
+    :class:`repro.schemes.matrix.SchemeMatrixRow`.
+    """
+    from ..schemes.matrix import DEFAULT_STIMULI, scheme_matrix
+    from ..schemes.spec import SCHEME_KINDS
+    if tracer is None:
+        from ..telemetry import NULL_TRACER
+        tracer = NULL_TRACER
+    schemes = tuple(schemes) if schemes else SCHEME_KINDS
+    stimuli = tuple(stimuli) if stimuli else DEFAULT_STIMULI
+    with tracer.span("scheme_matrix", benchmark=benchmark,
+                     schemes=",".join(str(s) for s in schemes)):
+        return scheme_matrix(program, benchmark=benchmark,
+                             schemes=schemes, config=config,
+                             num_faults=num_faults, stimuli=stimuli,
+                             max_cycles=max_cycles, metrics=metrics)
+
+
 def spread_cycles(total_cycles: int, count: int,
                   start: int = 16) -> List[int]:
     """Deterministic injection instants spread across a run."""

@@ -59,10 +59,11 @@ RESULT_REGISTER = 8
 
 
 def _core_outputs(soc: MPSoC):
-    c0 = soc.cores[soc.monitored[0]]
-    c1 = soc.cores[soc.monitored[1]]
-    return (c0.regfile.values[RESULT_REGISTER],
-            c1.regfile.values[RESULT_REGISTER])
+    """Per-replica checksums over the watched cores (the monitored
+    pair by default; a scheme's full replica set when one overrode
+    ``watched_cores``)."""
+    return tuple(soc.cores[idx].regfile.values[RESULT_REGISTER]
+                 for idx in soc._watched_indices())
 
 
 def shared_address_config() -> SocConfig:

@@ -1,0 +1,37 @@
+"""Redundancy-scheme framework (N-core replica groups on one SoC).
+
+The platform used to hard-code a single SafeDM-monitored DCLS-style
+pair.  This package generalizes that to a matrix of redundancy schemes
+behind one interface:
+
+=============  =====  ==============================================
+kind           cores  checker
+=============  =====  ==============================================
+``safedm``     2      SafeDM diversity monitor + output comparison
+``lockstep``   2      delayed commit-stream comparator (DCLS)
+``tmr``        3      per-commit majority voter
+``multipair``  4+     one SafeDM per monitored pair
+``dme``        2      structurally decorrelated trail build + compare
+=============  =====  ==============================================
+
+This ``__init__`` imports only :mod:`repro.schemes.spec` eagerly —
+:class:`repro.soc.config.SocConfig` embeds a :class:`SchemeSpec`, so
+the concrete schemes (which import the SoC) must load lazily through
+:func:`make_scheme`.
+"""
+
+from .spec import DME_ROTATABLE, SCHEME_KINDS, SchemeSpec
+
+__all__ = [
+    "DME_ROTATABLE",
+    "SCHEME_KINDS",
+    "SchemeSpec",
+    "make_scheme",
+]
+
+
+def make_scheme(spec):
+    """Instantiate a scheme from a kind name, :class:`SchemeSpec`, or
+    ready :class:`~repro.schemes.base.RedundancyScheme` instance."""
+    from .base import build_scheme
+    return build_scheme(spec)

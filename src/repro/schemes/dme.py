@@ -1,0 +1,248 @@
+"""DME-style structural decorrelation: the trail core runs a
+different-but-equivalent build.
+
+Diverse Modular Redundancy derives replica diversity from *structure*
+instead of timing: the trail core executes a build of the same kernel
+whose layout is decorrelated from the head's, so a common-cause
+disturbance couples into different microarchitectural state by
+construction — even with zero temporal staggering.
+
+The decorrelating transform is a deterministic assembler pass:
+
+1. **Text relocation** — the kernel is *reassembled* at
+   ``text_base + dme_text_shift`` (never word-patched: ``la`` expands
+   to an absolute ``lui+addi`` pair resolved at assembly, so a rebased
+   build must re-resolve its labels to stay self-consistent).
+2. **Register re-allocation** — the callee-saved temporaries
+   :data:`~repro.schemes.spec.DME_ROTATABLE` are permuted by a fixed
+   rotation, patched bit-level into each instruction's rd/rs1/rs2
+   fields (data words, identified by the assembler's
+   ``DebugInfo.data_addresses``, are never touched).
+3. **Data section shift** — the trail's ``gp`` starts
+   ``dme_data_shift`` bytes into its private region, so even the
+   *offsets within a region* differ between replicas.
+
+The transform preserves semantics by construction (a register
+bijection over registers with no pinned role, applied uniformly), and
+is validated two ways: the lint CFG of the transformed build must be
+isomorphic to the original's under the text shift
+(:func:`dme_transform_report`), and the trail replica must reach the
+same final architectural state (checksum) — asserted per-kernel in the
+test suite and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..isa.decoder import decode
+from ..isa.program import Program
+from ..lint.cfg import EXIT, build_cfg
+from .base import COMPARATOR_LUTS, RedundancyScheme, monitor_luts
+from .spec import DME_ROTATABLE, SchemeSpec
+
+
+class DMETransformError(ValueError):
+    """The decorrelation transform could not be applied or validated."""
+
+
+def dme_register_map(rotation: int) -> Dict[int, int]:
+    """The register bijection: rotate the permutable set by
+    ``rotation`` positions."""
+    regs = DME_ROTATABLE
+    k = rotation % len(regs)
+    return {reg: regs[(i + k) % len(regs)]
+            for i, reg in enumerate(regs)}
+
+
+def remap_word(word: int, mapping: Dict[int, int]) -> int:
+    """Patch rd/rs1/rs2 register fields of one instruction word.
+
+    Only fields the decoder reports as architectural register operands
+    are touched — a ``None`` field means those bits encode something
+    else (an immediate, a shamt) and must not be rewritten.
+    """
+    instr = decode(word)
+    out = word
+    if instr.rd is not None:
+        new = mapping.get(instr.rd)
+        if new is not None:
+            out = (out & ~(0x1F << 7)) | (new << 7)
+    if instr.rs1 is not None:
+        new = mapping.get(instr.rs1)
+        if new is not None:
+            out = (out & ~(0x1F << 15)) | (new << 15)
+    if instr.rs2 is not None:
+        new = mapping.get(instr.rs2)
+        if new is not None:
+            out = (out & ~(0x1F << 20)) | (new << 20)
+    return out
+
+
+def remap_registers(program: Program,
+                    mapping: Dict[int, int]) -> Program:
+    """Apply the register bijection to every instruction word.
+
+    Data words (``DebugInfo.data_addresses``) pass through unchanged.
+    Each patched word is re-decoded as a self-check: the transform
+    refuses to produce a word it cannot prove round-trips.
+    """
+    debug = program.debug
+    data = debug.data_addresses if debug is not None else frozenset()
+    image = {}
+    for start, blob in program.image.items():
+        patched = bytearray(blob)
+        for offset in range(0, len(blob) - 3, 4):
+            address = start + offset
+            if address in data:
+                continue
+            word = int.from_bytes(blob[offset:offset + 4], "little")
+            try:
+                new = remap_word(word, mapping)
+            except Exception as exc:
+                raise DMETransformError(
+                    "cannot remap word %08x at %#x: %s"
+                    % (word, address, exc)) from exc
+            if new != word:
+                check = decode(new)
+                old = decode(word)
+                if check.spec is not old.spec or check.imm != old.imm:
+                    raise DMETransformError(
+                        "register remap changed non-register fields"
+                        " at %#x" % address)
+                patched[offset:offset + 4] = new.to_bytes(4, "little")
+        image[start] = bytes(patched)
+    return Program(base=program.base, image=image,
+                   symbols=dict(program.symbols), entry=program.entry,
+                   debug=program.debug)
+
+
+def decorrelated_program(benchmark: str, spec: SchemeSpec,
+                         base: int) -> Program:
+    """The trail replica's build of ``benchmark``.
+
+    Reassembles the kernel at ``base + spec.dme_text_shift`` (labels
+    re-resolve against the shifted layout) and permutes the callee-
+    saved temporaries.
+    """
+    from ..workloads import program as workload_program
+    try:
+        shifted = workload_program(benchmark,
+                                   base=base + spec.dme_text_shift)
+    except KeyError:
+        raise DMETransformError(
+            "DME needs to reassemble the kernel at a shifted base, but"
+            " %r is not a registered workload" % (benchmark,))
+    return remap_registers(shifted,
+                           dme_register_map(spec.dme_rotation))
+
+
+@dataclass
+class DmeTransformReport:
+    """CFG-isomorphism evidence for one transformed kernel."""
+
+    benchmark: str
+    blocks: int
+    instructions: int
+    words_remapped: int
+    cfg_isomorphic: bool
+
+
+def _cfg_shape(program: Program) -> Tuple:
+    """Base-relative CFG structure: sorted (block offset, size,
+    successor offsets)."""
+    cfg = build_cfg(program)
+    base = program.base
+    shape = []
+    for block in cfg.blocks():
+        succs = tuple(sorted(
+            succ - base if succ != EXIT else EXIT
+            for succ in block.succs))
+        shape.append((block.start - base, len(block), succs))
+    return tuple(sorted(shape))
+
+
+def dme_transform_report(benchmark: str, spec: SchemeSpec,
+                         base: int) -> DmeTransformReport:
+    """Validate the transform for one kernel via lint's CFG.
+
+    The transformed build's control-flow graph must be isomorphic to
+    the original's under the text shift: same blocks at shifted
+    addresses, same sizes, same edges.  (The final-architectural-state
+    compare — the dynamic half of the validation — happens in the
+    scheme run itself.)
+    """
+    from ..workloads import program as workload_program
+    original = workload_program(benchmark, base=base)
+    transformed = decorrelated_program(benchmark, spec, base)
+    remapped = sum(
+        1 for (_, a), (_, b) in zip(original.words(),
+                                    transformed.words()) if a != b)
+    return DmeTransformReport(
+        benchmark=benchmark,
+        blocks=len(build_cfg(original).blocks()),
+        instructions=sum(1 for _ in original.words()),
+        words_remapped=remapped,
+        cfg_isomorphic=(_cfg_shape(original)
+                        == _cfg_shape(transformed)),
+    )
+
+
+class DMEPair(RedundancyScheme):
+    """Head core 0 on the original build, trail core 1 on the
+    decorrelated build; end-of-run output comparison."""
+
+    kind = "dme"
+
+    def __init__(self, spec: SchemeSpec):
+        super().__init__(spec)
+        self._trail_program = None
+
+    def reset(self):
+        self._trail_program = None
+
+    def start(self, soc, program, stagger_nops: int = 0,
+              late_core: int = 1, benchmark: str = "program"):
+        trail = decorrelated_program(benchmark, self.spec,
+                                     program.base)
+        self._trail_program = trail
+        soc.load(program)
+        soc.load(trail)
+        soc.start_core(0, program.entry, stagger_nops=0)
+        sled = soc.start_core(1, trail.entry,
+                              stagger_nops=stagger_nops)
+        # Shift the trail's data section inside its private region.
+        cfg = soc.config
+        soc.cores[1].regfile.write(
+            3, cfg.data_base(1) + self.spec.dme_data_shift)
+        # Distinct text images: no decode-cache sharing, and the
+        # commit-stream diff counter needs the same sled preload as
+        # the monitored-pair path.
+        if sled:
+            soc.safedm.instruction_diff.diff = sled
+
+    def plan_program(self, program):
+        # Eagerly compile the head's blocks; the trail's shifted image
+        # compiles lazily per fetched PC.
+        return program
+
+    def trail_program(self) -> Program:
+        if self._trail_program is None:
+            raise DMETransformError("scheme has not started a run")
+        return self._trail_program
+
+    def result(self, soc) -> dict:
+        out = super().result(soc)
+        out["text_shift"] = self.spec.dme_text_shift
+        out["data_shift"] = self.spec.dme_data_shift
+        out["rotation"] = self.spec.dme_rotation
+        stats = soc.safedm.stats
+        out["no_diversity_cycles"] = stats.no_diversity_cycles
+        out["sampled_cycles"] = stats.sampled_cycles
+        return out
+
+    def checker_luts(self) -> int:
+        # Output comparator plus the monitor that certifies the
+        # structural diversity actually materializes.
+        return COMPARATOR_LUTS + monitor_luts(1)

@@ -1,0 +1,157 @@
+"""Dual-Core LockStep as a first-class scheme (diversity ≡ 0 control).
+
+Promotes :class:`repro.baselines.lockstep.LockstepComparator` from a
+figure-drawing reference model to a running scheme: the shadow core
+starts behind a nop sled, every cycle both replicas' per-commit records
+(instruction word + write-port sample) feed the delayed comparator, and
+the delay line is drained at end of run so the final commits are
+compared too.
+
+DCLS guarantees temporal divergence by construction — the shadow is
+always ``stagger`` cycles behind — which is why it needs no diversity
+monitor.  The attached SafeDM instance still observes the pair (it is
+part of the platform), but the scheme's verdict comes from the
+comparator: any record mismatch, stream-length divergence, or final
+output mismatch raises the error signal.
+"""
+
+from __future__ import annotations
+
+from ..baselines.lockstep import LockstepComparator
+from .base import (
+    COMPARATOR_LUTS,
+    RedundancyScheme,
+    commit_records,
+    delta_equivalence,
+)
+from .spec import SchemeSpec
+
+
+class LockstepPair(RedundancyScheme):
+    """Head core 0, shadow core 1, delayed commit-stream comparison."""
+
+    kind = "lockstep"
+
+    def __init__(self, spec: SchemeSpec):
+        super().__init__(spec)
+        self.comparator = None
+        self._skip_shadow = 0
+
+    def reset(self):
+        self.comparator = None
+        self._skip_shadow = 0
+
+    def attach(self, soc):
+        super().attach(soc)
+        cfg = soc.config
+        delta = cfg.data_base(1) - cfg.data_base(0)
+        self.comparator = LockstepComparator(
+            stagger=self.spec.stagger,
+            equivalent=delta_equivalence(delta))
+        head, shadow = soc.cores[0], soc.cores[1]
+
+        def tap(cycle, head=head, shadow=shadow,
+                sample=self.comparator.sample,
+                records=commit_records):
+            shadow_recs = records(shadow)
+            if self._skip_shadow and shadow_recs:
+                drop = min(self._skip_shadow, len(shadow_recs))
+                self._skip_shadow -= drop
+                shadow_recs = shadow_recs[drop:]
+            sample(cycle, records(head), shadow_recs)
+
+        soc.add_scheme_tap(tap)
+
+    def start(self, soc, program, stagger_nops: int = 0,
+              late_core: int = 1, benchmark: str = "program"):
+        """Start head immediately and shadow behind a nop sled.
+
+        ``stagger_nops`` (when given) overrides the sled length; the
+        comparator delay stays ``spec.stagger`` either way.  The sled's
+        own commits are skipped, not compared — they exist only on the
+        shadow side.
+        """
+        sled = stagger_nops if stagger_nops else self.spec.stagger
+        soc.load(program)
+        soc.start_core(0, program.entry)
+        self._skip_shadow = soc.start_core(1, program.entry,
+                                           stagger_nops=sled)
+        # Same text image: share one per-PC decode cache, exactly like
+        # start_redundant does for the monitored pair.
+        soc.cores[1]._fetch_cache = soc.cores[0]._fetch_cache
+        soc._shared_fetch_pairs.add((0, 1))
+        # The shadow's sled commits would read as staggering loss;
+        # preload the diff counter like the SafeDM path does.
+        soc.safedm.instruction_diff.diff = self._skip_shadow
+
+    def finish(self, soc):
+        self.comparator.flush(soc.cycle)
+
+    def error_detected(self, soc) -> bool:
+        return (self.comparator.error_detected
+                or super().error_detected(soc))
+
+    def checker_detected(self, soc) -> bool:
+        return self.comparator.error_detected
+
+    def detection_cycle(self, soc) -> int:
+        first = self.comparator.stats.first_mismatch_cycle
+        if first >= 0:
+            return first
+        return super().detection_cycle(soc)
+
+    def result(self, soc) -> dict:
+        out = super().result(soc)
+        stats = self.comparator.stats
+        out["compared"] = stats.compared
+        out["mismatches"] = stats.mismatches
+        out["first_mismatch_cycle"] = stats.first_mismatch_cycle
+        out["stagger"] = self.comparator.stagger
+        return out
+
+    def state_dict(self) -> dict:
+        cmp_ = self.comparator
+        state = super().state_dict()
+        if cmp_ is not None:
+            state.update({
+                "skip_shadow": self._skip_shadow,
+                "stats": [cmp_.stats.compared, cmp_.stats.mismatches,
+                          cmp_.stats.first_mismatch_cycle],
+                "head_delay": [[list(rec) for rec in item]
+                               for item in cmp_._head_delay],
+                "head_stream": [list(rec) for rec in cmp_._head_stream],
+                "shadow_stream": [list(rec)
+                                  for rec in cmp_._shadow_stream],
+            })
+        return state
+
+    def load_state_dict(self, state: dict):
+        super().load_state_dict(state)
+        cmp_ = self.comparator
+        if cmp_ is None or "stats" not in state:
+            return
+        self._skip_shadow = int(state["skip_shadow"])
+        (cmp_.stats.compared, cmp_.stats.mismatches,
+         cmp_.stats.first_mismatch_cycle) = state["stats"]
+        cmp_._head_delay.clear()
+        cmp_._head_delay.extend(
+            tuple(tuple(rec) for rec in item)
+            for item in state["head_delay"])
+        cmp_._head_stream[:] = [tuple(rec) for rec in
+                                state["head_stream"]]
+        cmp_._shadow_stream[:] = [tuple(rec) for rec in
+                                  state["shadow_stream"]]
+
+    def checker_luts(self) -> int:
+        return COMPARATOR_LUTS
+
+    def to_metrics(self, registry, soc):
+        super().to_metrics(registry, soc)
+        if not getattr(registry, "enabled", True):
+            return
+        labels = (("scheme", self.kind),)
+        stats = self.comparator.stats
+        registry.counter("repro_scheme_checks_total",
+                         labels).inc(stats.compared)
+        registry.counter("repro_scheme_mismatches_total",
+                         labels).inc(stats.mismatches)

@@ -1,0 +1,308 @@
+"""Scheme-matrix CCF trials: coverage × latency × hardware cost.
+
+The fault campaign in :mod:`repro.fault` asks one question about one
+scheme (SafeDM-monitored redundancy).  This module asks the *matrix*
+question: for each redundancy scheme, what fraction of unmasked
+common-cause corruptions does it catch, how fast, and at what hardware
+cost?
+
+Each trial runs one kernel under one scheme on a fresh SoC, injects a
+:class:`repro.fault.models.CommonCauseFault` into **every replica** on
+the configured cycle (the same physical disturbance hits all cores;
+what it corrupts is modulated per-core by :func:`state_digest`), then
+runs to completion and classifies:
+
+* ``masked`` — no detection and every replica output equals golden;
+* ``corrected`` — the scheme repaired the error in-flight and its
+  voted output is golden (TMR only);
+* ``detected`` — the scheme raised its error signal;
+* ``trap`` — a replica failed loudly with an architectural trap;
+* ``hang`` — the run exceeded its cycle budget;
+* ``silent`` — outputs are wrong and nothing fired.
+
+``coverage = (detected + corrected + trap) / (trials - masked)`` —
+the scheme's probability of containing a *consequential* CCF.
+
+The activity term of the fault model (the SafeDM signature-window
+digest) is defined per monitored pair only, so matrix trials set it to
+zero for every replica: corruption identity is then exactly
+state-digest identity, the CCF mechanism all five schemes face on
+equal terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..cpu.core import SimulationError
+from ..fault.campaign import spread_cycles
+from ..fault.models import CommonCauseFault
+from ..mem.memory import MemoryError_
+from .base import RedundancyScheme, build_scheme
+from .spec import SCHEME_KINDS
+
+#: Default stimuli: two distinct disturbances per injection cycle.
+DEFAULT_STIMULI = (0x5EED, 0xC0FFEE)
+
+
+@dataclass
+class SchemeTrial:
+    """One injected run under one scheme."""
+
+    fault_cycle: int
+    stimulus: int
+    classification: str
+    #: detection_cycle - fault_cycle for detected/corrected trials.
+    latency: int
+    outputs: tuple
+    effects: tuple
+
+    @property
+    def effects_identical(self) -> bool:
+        return len(set(self.effects)) == 1
+
+
+@dataclass
+class SchemeMatrixRow:
+    """All trials of one scheme on one kernel, plus derived metrics."""
+
+    scheme: str
+    benchmark: str
+    golden_cycles: int
+    golden_output: int
+    hardware: dict
+    trials: List[SchemeTrial] = field(default_factory=list)
+
+    def count(self, classification: str) -> int:
+        return sum(1 for t in self.trials
+                   if t.classification == classification)
+
+    @property
+    def unmasked(self) -> int:
+        return len(self.trials) - self.count("masked")
+
+    @property
+    def covered(self) -> int:
+        return (self.count("detected") + self.count("corrected")
+                + self.count("trap"))
+
+    @property
+    def coverage(self) -> float:
+        unmasked = self.unmasked
+        return self.covered / unmasked if unmasked else 1.0
+
+    @property
+    def silent(self) -> int:
+        return self.count("silent")
+
+    @property
+    def mean_latency(self) -> float:
+        latencies = [t.latency for t in self.trials
+                     if t.classification in ("detected", "corrected")
+                     and t.latency >= 0]
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)
+
+    def to_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "benchmark": self.benchmark,
+            "golden_cycles": self.golden_cycles,
+            "trials": len(self.trials),
+            "masked": self.count("masked"),
+            "corrected": self.count("corrected"),
+            "detected": self.count("detected"),
+            "trap": self.count("trap"),
+            "hang": self.count("hang"),
+            "silent": self.silent,
+            "coverage": self.coverage,
+            "mean_detection_latency": self.mean_latency,
+            "hardware": self.hardware,
+        }
+
+
+def _run_watched(soc, scheme: RedundancyScheme, limit: int,
+                 stop_at: Optional[int] = None) -> bool:
+    """Step the reference interpreter until the scheme's replicas all
+    finish, ``limit`` is reached, or ``stop_at`` (when given).  Returns
+    True when every watched replica finished."""
+    cores = [soc.cores[idx] for idx in scheme.watched()]
+    step = soc.step
+    bound = limit if stop_at is None else min(limit, stop_at)
+    while soc.cycle < bound:
+        if all(core.finished for core in cores):
+            return True
+        step()
+    return all(core.finished for core in cores)
+
+
+def _golden(scheme: RedundancyScheme, program, benchmark, config,
+            max_cycles: int):
+    """Fault-free run: (soc, outputs, cycles)."""
+    soc = scheme.build(config)
+    scheme.start(soc, program, benchmark=benchmark)
+    finished = _run_watched(soc, scheme, max_cycles)
+    for monitor in soc.monitors:
+        monitor.finish()
+    scheme.finish(soc)
+    if not finished:
+        raise RuntimeError("golden %s run did not finish in %d cycles"
+                           % (scheme.kind, max_cycles))
+    if scheme.error_detected(soc):
+        raise RuntimeError("golden %s run raised its error signal"
+                           % scheme.kind)
+    return soc, scheme.outputs(soc), soc.cycle
+
+
+def _classify(scheme: RedundancyScheme, soc, finished: bool,
+              trapped: bool, golden_outputs, fault_cycle: int
+              ) -> SchemeTrial:
+    detection = scheme.detection_cycle(soc)
+    latency = detection - fault_cycle if detection >= 0 else -1
+    outputs = scheme.outputs(soc) if not trapped else ()
+    if trapped:
+        classification = "trap"
+        latency = soc.cycle - fault_cycle
+    elif finished:
+        if (scheme.corrected(soc)
+                and scheme.voted_output(soc) == golden_outputs[0]):
+            classification = "corrected"
+        elif scheme.error_detected(soc):
+            classification = "detected"
+        elif tuple(outputs) == tuple(golden_outputs):
+            classification = "masked"
+        else:
+            classification = "silent"
+    elif scheme.checker_detected(soc):
+        # The replica hung, but the streaming checker had already
+        # flagged the divergence — the error signal fired.
+        classification = "detected"
+    else:
+        classification = "hang"
+    return SchemeTrial(fault_cycle=fault_cycle, stimulus=0,
+                       classification=classification, latency=latency,
+                       outputs=tuple(outputs), effects=())
+
+
+def run_scheme_trials(scheme, program, benchmark: str = "program",
+                      config=None, num_faults: int = 8,
+                      stimuli: Sequence[int] = DEFAULT_STIMULI,
+                      max_cycles: int = 2_000_000) -> SchemeMatrixRow:
+    """CCF trials of one scheme on one kernel.
+
+    ``scheme`` is anything :func:`repro.schemes.base.build_scheme`
+    accepts (a kind string, a :class:`SchemeSpec`, or an instance).
+    Every trial uses a fresh SoC; the fault cycle is stepped first and
+    the corruption applied on its closing clock edge, matching the
+    pair campaign's after-step semantics.
+    """
+    sch = build_scheme(scheme)
+    _, golden_outputs, golden_cycles = _golden(
+        sch, program, benchmark, config, max_cycles)
+    row = SchemeMatrixRow(scheme=sch.kind, benchmark=benchmark,
+                          golden_cycles=golden_cycles,
+                          golden_output=golden_outputs[0],
+                          hardware=sch.hardware_cost())
+    cycles = spread_cycles(golden_cycles, num_faults)
+    # A corrupted replica can loop essentially forever; a few golden
+    # lengths is ample for every legitimate post-fault path, and hangs
+    # are classified, not simulated to the bitter end.
+    budget = min(max_cycles, 4 * golden_cycles + 20_000)
+    for stimulus in stimuli:
+        for fault_cycle in cycles:
+            row.trials.append(_one_trial(
+                sch, program, benchmark, config, fault_cycle,
+                stimulus, golden_outputs, budget))
+    return row
+
+
+def _one_trial(sch: RedundancyScheme, program, benchmark, config,
+               fault_cycle: int, stimulus: int, golden_outputs,
+               max_cycles: int) -> SchemeTrial:
+    fault = CommonCauseFault(cycle=fault_cycle, stimulus=stimulus)
+    soc = sch.build(config)
+    sch.start(soc, program, benchmark=benchmark)
+    trapped = False
+    finished = False
+    effects = []
+    try:
+        finished = _run_watched(soc, sch, max_cycles,
+                                stop_at=fault_cycle)
+        if not finished and soc.cycle == fault_cycle \
+                and soc.cycle < max_cycles:
+            soc.step()
+            for idx in sch.watched():
+                effect = fault.effect_on(soc.cores[idx], activity=0)
+                effect.apply(soc.cores[idx])
+                effects.append((effect.register, effect.bit))
+            finished = _run_watched(soc, sch, max_cycles)
+    except (MemoryError_, SimulationError):
+        trapped = True
+    for monitor in soc.monitors:
+        monitor.finish()
+    sch.finish(soc)
+    trial = _classify(sch, soc, finished, trapped, golden_outputs,
+                      fault_cycle)
+    trial.stimulus = stimulus
+    trial.effects = tuple(effects)
+    return trial
+
+
+def scheme_matrix(program, benchmark: str = "program",
+                  schemes: Sequence = SCHEME_KINDS, config=None,
+                  num_faults: int = 8,
+                  stimuli: Sequence[int] = DEFAULT_STIMULI,
+                  max_cycles: int = 2_000_000,
+                  metrics=None) -> List[SchemeMatrixRow]:
+    """One :class:`SchemeMatrixRow` per scheme, same kernel and fault
+    grid throughout (fault *cycles* follow each scheme's own golden
+    timeline; stimuli are shared)."""
+    rows = []
+    for scheme in schemes:
+        row = run_scheme_trials(scheme, program, benchmark=benchmark,
+                                config=config, num_faults=num_faults,
+                                stimuli=stimuli, max_cycles=max_cycles)
+        rows.append(row)
+        if metrics is not None:
+            _row_to_metrics(row, metrics)
+    return rows
+
+
+def _row_to_metrics(row: SchemeMatrixRow, registry):
+    if not getattr(registry, "enabled", True):
+        return
+    labels = (("scheme", row.scheme),)
+    for classification in ("masked", "corrected", "detected", "trap",
+                           "hang", "silent"):
+        registry.counter(
+            "repro_scheme_trials_total",
+            labels + (("classification", classification),)
+        ).inc(row.count(classification))
+    registry.gauge("repro_scheme_coverage", labels).set(row.coverage)
+
+
+def matrix_table(rows: Sequence[SchemeMatrixRow]) -> str:
+    """The ``repro compare-schemes`` table."""
+    header = ("scheme", "cores", "trials", "masked", "corr", "det",
+              "trap", "silent", "coverage", "latency", "luts",
+              "overhead")
+    lines = ["  ".join("%-9s" % h for h in header)]
+    for row in rows:
+        hardware = row.hardware
+        lines.append("  ".join("%-9s" % v for v in (
+            row.scheme,
+            hardware["cores"],
+            len(row.trials),
+            row.count("masked"),
+            row.count("corrected"),
+            row.count("detected"),
+            row.count("trap"),
+            row.silent,
+            "%.3f" % row.coverage,
+            "%.1f" % row.mean_latency,
+            hardware["total_luts"],
+            "%+.1f%%" % hardware["overhead_vs_dual_percent"],
+        )))
+    return "\n".join(lines)

@@ -1,0 +1,280 @@
+"""Triple Modular Redundancy: three replicas, per-commit majority vote.
+
+All three replicas run the same text image in private data regions and
+start in the same cycle (optionally staggered by per-replica nop
+sleds).  Every cycle the voter aligns the three per-commit record
+streams elastically and votes each position:
+
+* all three agree — ``agreed``;
+* exactly two agree — ``corrected`` (the hardware masks the error and
+  keeps running off the majority; the minority replica is flagged);
+* none agree — ``uncorrectable`` (detected, not maskable).
+
+Cross-replica records tolerate the pairwise data-region address deltas
+(see :mod:`repro.schemes.base`).  The end-of-run verdict also votes
+the final outputs: TMR *corrects* a fault when the majority output is
+still the golden value, and merely *detects* it otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .base import (
+    RedundancyScheme,
+    VOTER_LUTS,
+    commit_records,
+    delta_equivalence,
+)
+from .spec import SchemeSpec
+
+
+@dataclass
+class TmrStats:
+    voted: int = 0
+    agreed: int = 0
+    corrected: int = 0
+    uncorrectable: int = 0
+    first_corrected_cycle: int = -1
+    first_uncorrectable_cycle: int = -1
+    #: Minority-replica histogram for corrected votes (who was wrong).
+    outvoted: Tuple[int, int, int] = (0, 0, 0)
+
+
+class MajorityVoter:
+    """Elastic three-stream per-commit majority voter."""
+
+    def __init__(self, equivalences=(None, None, None)):
+        #: Pairwise record equivalences for (0,1), (0,2), (1,2).
+        self._eq = equivalences
+        self.stats = TmrStats()
+        self._streams: Tuple[List, List, List] = ([], [], [])
+
+    @staticmethod
+    def _match(eq, a, b) -> bool:
+        return a == b or (eq is not None and eq(a, b))
+
+    def sample(self, cycle: int, recs0, recs1, recs2):
+        streams = self._streams
+        streams[0].extend(recs0)
+        streams[1].extend(recs1)
+        streams[2].extend(recs2)
+        n = min(len(streams[0]), len(streams[1]), len(streams[2]))
+        if not n:
+            return
+        eq01, eq02, eq12 = self._eq
+        stats = self.stats
+        outvoted = list(stats.outvoted)
+        for i in range(n):
+            a, b, c = streams[0][i], streams[1][i], streams[2][i]
+            ab = self._match(eq01, a, b)
+            ac = self._match(eq02, a, c)
+            bc = self._match(eq12, b, c)
+            stats.voted += 1
+            if ab and ac:
+                stats.agreed += 1
+            elif ab or ac or bc:
+                stats.corrected += 1
+                if stats.first_corrected_cycle < 0:
+                    stats.first_corrected_cycle = cycle
+                outvoted[2 if ab else (1 if ac else 0)] += 1
+            else:
+                stats.uncorrectable += 1
+                if stats.first_uncorrectable_cycle < 0:
+                    stats.first_uncorrectable_cycle = cycle
+        stats.outvoted = tuple(outvoted)
+        for stream in streams:
+            del stream[:n]
+
+    def flush(self, cycle: int):
+        """End of run: any stream-length imbalance is a divergence —
+        vote the residue as corrected/uncorrectable by who diverged."""
+        lens = tuple(len(s) for s in self._streams)
+        residue = max(lens) - min(lens)
+        if residue:
+            self.stats.voted += residue
+            # Two streams drained equally and one is short/long:
+            # majority still exists — corrected.  All three different:
+            # uncorrectable.
+            if lens.count(min(lens)) == 2 or lens.count(max(lens)) == 2:
+                self.stats.corrected += residue
+                if self.stats.first_corrected_cycle < 0:
+                    self.stats.first_corrected_cycle = cycle
+            else:
+                self.stats.uncorrectable += residue
+                if self.stats.first_uncorrectable_cycle < 0:
+                    self.stats.first_uncorrectable_cycle = cycle
+        for stream in self._streams:
+            del stream[:]
+
+    @property
+    def event_detected(self) -> bool:
+        return self.stats.corrected > 0 or self.stats.uncorrectable > 0
+
+    def first_event_cycle(self) -> int:
+        cycles = [c for c in (self.stats.first_corrected_cycle,
+                              self.stats.first_uncorrectable_cycle)
+                  if c >= 0]
+        return min(cycles) if cycles else -1
+
+
+def majority_value(values) -> Optional[int]:
+    """The value held by >= 2 of the 3 replicas (None when all differ)."""
+    a, b, c = values
+    if a == b or a == c:
+        return a
+    if b == c:
+        return b
+    return None
+
+
+class TMRGroup(RedundancyScheme):
+    """Three replicas on cores 0..2 with a per-commit majority voter."""
+
+    kind = "tmr"
+
+    def __init__(self, spec: SchemeSpec):
+        super().__init__(spec)
+        self.voter = None
+        self._skips = [0, 0, 0]
+
+    def reset(self):
+        self.voter = None
+        self._skips = [0, 0, 0]
+
+    def num_cores(self) -> int:
+        return 3
+
+    def monitor_pairs(self):
+        # The platform monitor still observes (0, 1); the scheme's
+        # checker is the voter, which watches all three.
+        return ((0, 1),)
+
+    def watched(self) -> Tuple[int, ...]:
+        return (0, 1, 2)
+
+    def attach(self, soc):
+        super().attach(soc)
+        cfg = soc.config
+        b0, b1, b2 = (cfg.data_base(i) for i in range(3))
+        self.voter = MajorityVoter(equivalences=(
+            delta_equivalence(b1 - b0),
+            delta_equivalence(b2 - b0),
+            delta_equivalence(b2 - b1),
+        ))
+        self._skips = [0, 0, 0]
+        cores = soc.cores
+
+        def tap(cycle, cores=cores, sample=self.voter.sample,
+                records=commit_records, skips=self._skips):
+            recs = [records(cores[0]), records(cores[1]),
+                    records(cores[2])]
+            for i in (1, 2):
+                if skips[i] and recs[i]:
+                    drop = min(skips[i], len(recs[i]))
+                    skips[i] -= drop
+                    recs[i] = recs[i][drop:]
+            sample(cycle, recs[0], recs[1], recs[2])
+
+        soc.add_scheme_tap(tap)
+
+    def start(self, soc, program, stagger_nops: int = 0,
+              late_core: int = 1, benchmark: str = "program"):
+        """Start the three replicas; replica ``i`` runs behind an
+        ``i * stagger_nops`` sled (0 = no staggering, the default)."""
+        soc.load(program)
+        shared = soc.cores[0]._fetch_cache
+        for core_id in range(3):
+            count = soc.start_core(core_id, program.entry,
+                                   stagger_nops=core_id * stagger_nops)
+            self._skips[core_id] = count
+            if core_id:
+                soc.cores[core_id]._fetch_cache = shared
+                soc._shared_fetch_pairs.add((0, core_id))
+        # Keep the attached monitor's staggering counter meaningful for
+        # its (0, 1) pair, like start_redundant does.
+        soc.safedm.instruction_diff.diff = self._skips[1]
+
+    def finish(self, soc):
+        self.voter.flush(soc.cycle)
+
+    def error_detected(self, soc) -> bool:
+        return self.voter.event_detected or super().error_detected(soc)
+
+    def checker_detected(self, soc) -> bool:
+        return self.voter.event_detected
+
+    def corrected(self, soc) -> bool:
+        """The error never reached the voted output: vote events
+        occurred, nothing was uncorrectable, and the majority of the
+        final outputs agrees."""
+        return (self.voter.stats.corrected > 0
+                and self.voter.stats.uncorrectable == 0
+                and majority_value(self.outputs(soc)) is not None)
+
+    def voted_output(self, soc) -> Optional[int]:
+        return majority_value(self.outputs(soc))
+
+    def detection_cycle(self, soc) -> int:
+        first = self.voter.first_event_cycle()
+        if first >= 0:
+            return first
+        return super().detection_cycle(soc)
+
+    def result(self, soc) -> dict:
+        out = super().result(soc)
+        stats = self.voter.stats
+        out["voted"] = stats.voted
+        out["agreed"] = stats.agreed
+        out["corrected"] = stats.corrected
+        out["uncorrectable"] = stats.uncorrectable
+        out["outvoted"] = list(stats.outvoted)
+        out["voted_output"] = self.voted_output(soc)
+        return out
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        if self.voter is not None:
+            stats = self.voter.stats
+            state.update({
+                "skips": list(self._skips),
+                "stats": [stats.voted, stats.agreed, stats.corrected,
+                          stats.uncorrectable,
+                          stats.first_corrected_cycle,
+                          stats.first_uncorrectable_cycle,
+                          list(stats.outvoted)],
+                "streams": [[list(rec) for rec in stream]
+                            for stream in self.voter._streams],
+            })
+        return state
+
+    def load_state_dict(self, state: dict):
+        super().load_state_dict(state)
+        if self.voter is None or "stats" not in state:
+            return
+        self._skips[:] = [int(v) for v in state["skips"]]
+        stats = self.voter.stats
+        (stats.voted, stats.agreed, stats.corrected,
+         stats.uncorrectable, stats.first_corrected_cycle,
+         stats.first_uncorrectable_cycle, outvoted) = state["stats"]
+        stats.outvoted = tuple(outvoted)
+        for stream, entry in zip(self.voter._streams,
+                                 state["streams"]):
+            stream[:] = [tuple(rec) for rec in entry]
+
+    def checker_luts(self) -> int:
+        return VOTER_LUTS
+
+    def to_metrics(self, registry, soc):
+        super().to_metrics(registry, soc)
+        if not getattr(registry, "enabled", True):
+            return
+        labels = (("scheme", self.kind),)
+        stats = self.voter.stats
+        registry.counter("repro_scheme_checks_total",
+                         labels).inc(stats.voted)
+        registry.counter("repro_scheme_corrected_total",
+                         labels).inc(stats.corrected)
+        registry.counter("repro_scheme_uncorrectable_total",
+                         labels).inc(stats.uncorrectable)

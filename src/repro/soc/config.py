@@ -12,12 +12,26 @@ spaces", which is one of the natural diversity sources).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..core.signatures import SignatureConfig
 from ..cpu.core import CoreConfig
 from ..mem.bus import BusTiming
 from ..mem.cache import CacheConfig
+from ..schemes.spec import SchemeSpec
+
+#: Default per-core data-region layout: core ``i`` owns the region at
+#: ``DEFAULT_DATA_BASE + i * DATA_REGION_STRIDE``.  The two-core
+#: default ``data_bases`` below is the ``i = 0, 1`` prefix of this
+#: progression; wider platforms derive the remaining bases from it.
+DEFAULT_DATA_BASE = 0x4000_0000
+DATA_REGION_STRIDE = 0x1000_0000
+
+
+def derived_data_bases(num_cores: int) -> Tuple[int, ...]:
+    """The default private data-region base for each of ``num_cores``."""
+    return tuple(DEFAULT_DATA_BASE + i * DATA_REGION_STRIDE
+                 for i in range(num_cores))
 
 
 @dataclass
@@ -41,14 +55,34 @@ class SocConfig:
     sled_base: int = 0x0010_0000
     #: APB bridge base address.
     apb_base: int = 0xFC00_0000
+    #: Redundancy-scheme spec this platform runs under (``None`` means
+    #: the plain monitored pair).  Part of the simulation cache key.
+    scheme: Optional[SchemeSpec] = None
 
     def __post_init__(self):
         if self.num_cores < 2:
             raise ValueError("the monitored platform needs >= 2 cores")
+        self.data_bases = tuple(self.data_bases)
         if len(self.data_bases) < self.num_cores:
-            raise ValueError(
-                "need a data base per core: %d cores, %d bases"
-                % (self.num_cores, len(self.data_bases)))
+            # Derive the missing bases when the configured ones are a
+            # prefix of the default progression; a *custom* layout that
+            # names too few regions is a real inconsistency — guessing
+            # the rest could silently alias a deliberate mapping.
+            if self.data_bases != derived_data_bases(
+                    len(self.data_bases)):
+                raise ValueError(
+                    "inconsistent data_bases override: %d cores but"
+                    " only %d custom bases %s — name one region per"
+                    " core, or leave data_bases at its default to"
+                    " derive them"
+                    % (self.num_cores, len(self.data_bases),
+                       tuple(hex(b) for b in self.data_bases)))
+            self.data_bases = derived_data_bases(self.num_cores)
+        for base in self.data_bases:
+            if base + self.data_size > self.apb_base:
+                raise ValueError(
+                    "data region at %#x (+%#x) overlaps the APB space"
+                    " at %#x" % (base, self.data_size, self.apb_base))
         if self.text_base % 8:
             raise ValueError("text base must be 8-byte aligned")
 

@@ -84,11 +84,38 @@ class MPSoC:
         self._shared_fetch_pairs = set()
         #: Sample each monitor only while its pair is fully live.
         self.gate_monitor_on_finish = True
+        #: Scheme check hooks, fired every cycle after the monitor taps
+        #: (see :meth:`add_scheme_tap`).  Unlike monitors, scheme taps
+        #: are not gated on finish: checkers like the lockstep
+        #: comparator must see the head core's final commits while the
+        #: shadow is still draining.
+        self._scheme_taps = []
+        #: Override of which cores' completion ends :meth:`run` (set by
+        #: a :class:`repro.schemes.base.RedundancyScheme`; ``None``
+        #: keeps the monitored-pair default).
+        self.watched_cores = None
         # Pre-bound (monitor, core, core) taps: the per-cycle loop must
         # not re-index cores or build generator expressions every cycle.
         self._taps = tuple(
             (monitor, self.cores[pair[0]], self.cores[pair[1]])
             for monitor, pair in zip(self.monitors, self.monitor_pairs))
+
+    def add_scheme_tap(self, tap):
+        """Register a per-cycle scheme check hook.
+
+        ``tap(cycle)`` fires once per :meth:`step`, after the cores and
+        bus have advanced and the monitors have sampled — the same
+        clock edge the monitors observe, so a checker reads exactly the
+        state a hardware comparator would latch.
+        """
+        self._scheme_taps.append(tap)
+
+    def _watched_indices(self):
+        """Core ids whose completion ends :meth:`run`."""
+        if self.watched_cores is not None:
+            return tuple(self.watched_cores)
+        return tuple(dict.fromkeys(
+            idx for pair in self.monitor_pairs for idx in pair))
 
     # -- program setup ------------------------------------------------------
 
@@ -173,6 +200,10 @@ class MPSoC:
         for monitor, core_a, core_b in self._taps:
             if not gate or not (core_a.finished or core_b.finished):
                 monitor.observe(cycle, core_a, core_b)
+        staps = self._scheme_taps
+        if staps:
+            for tap in staps:
+                tap(cycle)
         self.cycle = cycle + 1
 
     def _monitor_active(self, pair) -> bool:
@@ -191,9 +222,7 @@ class MPSoC:
         number of cycles simulated.
         """
         start = self.cycle
-        watched = list(dict.fromkeys(
-            self.cores[idx] for pair in self.monitor_pairs
-            for idx in pair))
+        watched = [self.cores[idx] for idx in self._watched_indices()]
         step = self.step
         limit = start + max_cycles
         if checkpoint_every > 0 and on_checkpoint is not None:

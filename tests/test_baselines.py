@@ -41,6 +41,65 @@ class TestLockstep:
         assert "shadow core" in text
         assert "compare" in text
 
+    def test_stagger_one_full_stream(self):
+        """Minimum staggering: shadow runs exactly one cycle behind."""
+        cmp_ = LockstepComparator(stagger=1)
+        stream = [(0x13,), (0x33, 0x13), (), (0x67,), (0x93,)]
+        cmp_.sample(0, stream[0], ())
+        for cycle in range(1, len(stream)):
+            cmp_.sample(cycle, stream[cycle], stream[cycle - 1])
+        cmp_.sample(len(stream), (), stream[-1])
+        cmp_.flush(len(stream))
+        assert not cmp_.error_detected
+        assert cmp_.stats.compared == sum(len(c) for c in stream)
+
+    def test_head_finishes_before_shadow(self):
+        """The head drains while the shadow is still committing: the
+        tail commits meet in the flush, not in live sampling."""
+        cmp_ = LockstepComparator(stagger=3)
+        stream = [(0x13,), (0x33,), (0x67,)]
+        for cycle, commits in enumerate(stream):
+            cmp_.sample(cycle, commits, ())
+        # Head is done; shadow delivers everything afterwards.
+        for cycle, commits in enumerate(stream, start=len(stream)):
+            cmp_.sample(cycle, (), commits)
+        cmp_.flush(2 * len(stream))
+        assert not cmp_.error_detected
+        assert cmp_.stats.compared == len(stream)
+
+    def test_mismatch_on_final_commit_caught_by_flush(self):
+        """A divergence in the very last commit sits in the delay FIFO
+        when the cores halt — only the flush can surface it."""
+        cmp_ = LockstepComparator(stagger=2)
+        cmp_.sample(0, (0x13,), ())
+        cmp_.sample(1, (0x67,), (0x13,))
+        cmp_.sample(2, (), (0xBAD,))  # shadow's final commit differs
+        assert not cmp_.error_detected  # head's 0x67 still delayed
+        cmp_.flush(3)
+        assert cmp_.error_detected
+        assert cmp_.stats.mismatches == 1
+        assert cmp_.stats.first_mismatch_cycle == 3
+
+    def test_flush_counts_stream_imbalance_as_mismatch(self):
+        """Replicas committing different instruction counts is itself
+        a detected divergence."""
+        cmp_ = LockstepComparator(stagger=1)
+        cmp_.sample(0, (0x13, 0x33), ())
+        cmp_.sample(1, (), (0x13,))  # shadow commits one fewer
+        cmp_.flush(2)
+        assert cmp_.error_detected
+        assert cmp_.stats.mismatches == 1
+
+    def test_equivalence_predicate_tolerates_delta(self):
+        delta = 0x1000_0000
+        cmp_ = LockstepComparator(
+            stagger=1,
+            equivalent=lambda a, b: b - a == delta)
+        cmp_.sample(0, (0x4000_0000,), ())
+        cmp_.sample(1, (), (0x5000_0000,))
+        cmp_.flush(2)
+        assert not cmp_.error_detected
+
 
 class TestSafeDeEnforcer:
     def test_stalls_until_threshold(self):

@@ -13,9 +13,17 @@ class TestSocConfigValidation:
         with pytest.raises(ValueError):
             SocConfig(num_cores=1)
 
-    def test_missing_data_base_rejected(self):
-        with pytest.raises(ValueError):
-            SocConfig(num_cores=3)  # only two default data bases
+    def test_missing_data_bases_derived(self):
+        cfg = SocConfig(num_cores=4)
+        assert cfg.data_bases == (0x4000_0000, 0x5000_0000,
+                                  0x6000_0000, 0x7000_0000)
+
+    def test_inconsistent_data_base_override_rejected(self):
+        # A custom base for core 1 with no base for core 2: deriving
+        # would silently ignore the override, so this must fail loudly.
+        with pytest.raises(ValueError, match="inconsistent"):
+            SocConfig(num_cores=3,
+                      data_bases=(0x4000_0000, 0x4800_0000))
 
     def test_misaligned_text_base_rejected(self):
         with pytest.raises(ValueError):

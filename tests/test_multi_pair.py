@@ -89,3 +89,35 @@ class TestTwoRedundantTasks:
         alone.run()
         # bitonic's pair in the quad had to share the bus with pair 1.
         assert quad_run.cycle >= alone.cycle
+
+
+class TestEngineTier:
+    """The fast engine on a multi-pair MPSoC (the 'multi' span) is
+    bit-identical to the reference interpreter."""
+
+    def _run(self, engine):
+        from repro.engine import run_soc
+        soc = make_quad()
+        soc.start_redundant(program("bitonic"), pair=0)
+        soc.start_redundant(program("countnegative", base=0x0003_0000),
+                            pair=1)
+        cycles, stats = run_soc(soc, engine=engine)
+        return soc, cycles, stats
+
+    def test_fast_tier_accepts_multi_pair(self):
+        _, _, stats = self._run("fast")
+        assert stats.fallback_reason is None
+        assert stats.fast_cycles > 0
+
+    def test_fast_bit_identical_to_reference(self):
+        ref_soc, ref_cycles, _ = self._run("reference")
+        fast_soc, fast_cycles, _ = self._run("fast")
+        assert fast_cycles == ref_cycles
+        for ref_core, fast_core in zip(ref_soc.cores, fast_soc.cores):
+            assert fast_core.regfile.values == ref_core.regfile.values
+            assert fast_core.stats.committed == ref_core.stats.committed
+        for ref_mon, fast_mon in zip(ref_soc.monitors,
+                                     fast_soc.monitors):
+            assert fast_mon.stats == ref_mon.stats
+            assert (fast_mon.instruction_diff.stats
+                    == ref_mon.instruction_diff.stats)
